@@ -1,0 +1,121 @@
+package fsjoin
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestJoinMethodAndPivotSelectionMappings exercises every public enum value
+// end-to-end: all combinations must produce the same (exact) results.
+func TestJoinMethodAndPivotSelectionMappings(t *testing.T) {
+	texts := corpus(70, 5)
+	var want []Pair
+	for _, jm := range []JoinMethod{PrefixJoin, IndexJoin, LoopJoin} {
+		for _, ps := range []PivotSelection{EvenTF, EvenInterval, RandomPivots} {
+			res, err := SelfJoinStrings(texts, Options{
+				Threshold:      0.7,
+				JoinMethod:     jm,
+				PivotSelection: ps,
+				Nodes:          3,
+				Seed:           9,
+			})
+			if err != nil {
+				t.Fatalf("jm=%d ps=%d: %v", jm, ps, err)
+			}
+			if want == nil {
+				want = res.Pairs
+				continue
+			}
+			if len(res.Pairs) != len(want) {
+				t.Fatalf("jm=%d ps=%d: %d pairs, want %d", jm, ps, len(res.Pairs), len(want))
+			}
+			for i := range want {
+				if res.Pairs[i] != want[i] {
+					t.Fatalf("jm=%d ps=%d: pair %d = %+v, want %+v", jm, ps, i, res.Pairs[i], want[i])
+				}
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("no results — corpus too sparse")
+	}
+}
+
+func TestFSJoinVMatchesFSJoin(t *testing.T) {
+	texts := corpus(80, 6)
+	a, err := SelfJoinStrings(texts, Options{Threshold: 0.75, Algorithm: FSJoin, Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelfJoinStrings(texts, Options{Threshold: 0.75, Algorithm: FSJoinV, Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Fatalf("fs %d pairs, fs-v %d", len(a.Pairs), len(b.Pairs))
+	}
+}
+
+func TestStatsPopulatedPerAlgorithm(t *testing.T) {
+	texts := corpus(60, 7)
+	for _, algo := range []Algorithm{FSJoin, RIDPairsPPJoin, VSmartJoin, ApproxLSHJoin} {
+		res, err := SelfJoinStrings(texts, Options{Threshold: 0.8, Algorithm: algo, Nodes: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.Stats.SimulatedTime <= 0 {
+			t.Errorf("%v: no simulated time", algo)
+		}
+		if res.Stats.ShuffleRecords <= 0 || res.Stats.ShuffleBytes <= 0 {
+			t.Errorf("%v: shuffle accounting empty: %+v", algo, res.Stats)
+		}
+		if res.Stats.LoadImbalance < 1.0 {
+			t.Errorf("%v: impossible imbalance %v", algo, res.Stats.LoadImbalance)
+		}
+	}
+}
+
+func TestNodesAffectSimulatedTime(t *testing.T) {
+	texts := corpus(200, 8)
+	small, err := SelfJoinStrings(texts, Options{Threshold: 0.8, Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := SelfJoinStrings(texts, Options{Threshold: 0.8, Nodes: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Stats.SimulatedTime >= small.Stats.SimulatedTime {
+		t.Fatalf("20 nodes (%v) not faster than 2 (%v)",
+			big.Stats.SimulatedTime, small.Stats.SimulatedTime)
+	}
+}
+
+func TestPairsSortedAndDeduplicated(t *testing.T) {
+	texts := corpus(150, 9)
+	res, err := SelfJoinStrings(texts, Options{Threshold: 0.7, Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Pairs); i++ {
+		prev, cur := res.Pairs[i-1], res.Pairs[i]
+		if prev.A > cur.A || (prev.A == cur.A && prev.B >= cur.B) {
+			t.Fatalf("pairs unsorted or duplicated at %d: %+v then %+v", i, prev, cur)
+		}
+	}
+	for _, p := range res.Pairs {
+		if p.A >= p.B {
+			t.Fatalf("self-join pair not ordered: %+v", p)
+		}
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SelfJoinStrings(corpus(50, 10), Options{Threshold: 0.8, Context: ctx, Nodes: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,383 @@
+package fsjoin
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (Section VI). Each benchmark regenerates its
+// experiment through internal/experiments at a reduced dataset scale so the
+// whole suite completes in minutes; `go run ./cmd/experiments` produces the
+// full-scale tables recorded in EXPERIMENTS.md.
+//
+// Reported custom metrics make the paper's quantities visible in benchmark
+// output: simulated cluster seconds (sim-s/op), shuffled records and bytes.
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fsjoin/internal/core"
+	"fsjoin/internal/dataset"
+	"fsjoin/internal/experiments"
+	"fsjoin/internal/filters"
+	"fsjoin/internal/fragjoin"
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/partition"
+	"fsjoin/internal/ridpairs"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+	"fsjoin/internal/vsmart"
+)
+
+// benchScale shrinks the calibrated profiles so `go test -bench=.` stays
+// fast while preserving every experiment's structure.
+const benchScale = 0.15
+
+func benchCluster() *mapreduce.Cluster { return mapreduce.DefaultCluster() }
+
+func benchCollection(b *testing.B, p dataset.Profile) *tokens.Collection {
+	b.Helper()
+	return dataset.Generate(p.Scale(benchScale), 1)
+}
+
+func fsOpts(theta float64) core.Options {
+	return core.Options{
+		Fn:                 similarity.Jaccard,
+		Theta:              theta,
+		PivotMethod:        partition.EvenTF,
+		VerticalPartitions: 30,
+		HorizontalPivots:   10,
+		JoinMethod:         fragjoin.Prefix,
+		Filters:            filters.All,
+		Cluster:            benchCluster(),
+	}
+}
+
+func reportFS(b *testing.B, res *core.Result) {
+	b.Helper()
+	b.ReportMetric(res.Pipeline.TotalSimulatedTime().Seconds(), "sim-s/op")
+	b.ReportMetric(float64(res.Pipeline.TotalShuffleRecords()), "shuffle-recs/op")
+	b.ReportMetric(float64(res.Pipeline.TotalShuffleBytes()), "shuffle-B/op")
+}
+
+// BenchmarkTable3Stats regenerates Table III: dataset generation plus the
+// statistics pass for all three profiles.
+func BenchmarkTable3Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range dataset.Profiles() {
+			s := dataset.Describe(dataset.Generate(p.Scale(benchScale), 1))
+			if s.Records == 0 {
+				b.Fatal("empty dataset")
+			}
+		}
+	}
+}
+
+// BenchmarkTable1Duplication regenerates Table I's measured quantities:
+// duplication factors and load imbalance for FS-Join vs RIDPairsPPJoin.
+func BenchmarkTable1Duplication(b *testing.B) {
+	c := benchCollection(b, dataset.Wiki())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs, err := core.SelfJoin(c, fsOpts(0.8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rid, err := ridpairs.SelfJoin(c, ridpairs.Options{Fn: similarity.Jaccard, Theta: 0.8, Cluster: benchCluster()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dup := float64(rid.Pipeline.Counter("ridpairs.duplicates")) / float64(c.Len())
+		b.ReportMetric(dup, "rid-dup-factor")
+		b.ReportMetric(fs.Pipeline.MaxLoadImbalance(), "fs-imbalance")
+	}
+}
+
+// benchFig6 runs one Figure 6 cell: FS-Join vs RIDPairsPPJoin on one
+// dataset and threshold, reporting the simulated speedup.
+func benchFig6(b *testing.B, p dataset.Profile, theta float64) {
+	c := benchCollection(b, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs, err := core.SelfJoin(c, fsOpts(theta))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rid, err := ridpairs.SelfJoin(c, ridpairs.Options{Fn: similarity.Jaccard, Theta: theta, Cluster: benchCluster()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fs.Pairs) != len(rid.Pairs) {
+			b.Fatalf("result mismatch: %d vs %d", len(fs.Pairs), len(rid.Pairs))
+		}
+		reportFS(b, fs)
+		b.ReportMetric(rid.Pipeline.TotalSimulatedTime().Seconds()/
+			fs.Pipeline.TotalSimulatedTime().Seconds(), "speedup-x")
+	}
+}
+
+// BenchmarkFig6 covers Figure 6 (big datasets, θ sweep ends).
+func BenchmarkFig6(b *testing.B) {
+	for _, p := range dataset.Profiles() {
+		for _, theta := range []float64{0.75, 0.9} {
+			p, theta := p, theta
+			b.Run(p.Name+"/theta="+ftoa(theta), func(b *testing.B) { benchFig6(b, p, theta) })
+		}
+	}
+}
+
+// BenchmarkFig7 covers Figure 7 (small datasets, all five methods).
+func BenchmarkFig7(b *testing.B) {
+	for _, p := range dataset.Profiles() {
+		c := dataset.Sample(benchCollection(b, p), 0.5, 7)
+		algos := []struct {
+			name string
+			run  func() (int, error)
+		}{
+			{"fs-join", func() (int, error) {
+				r, err := core.SelfJoin(c, fsOpts(0.8))
+				if err != nil {
+					return 0, err
+				}
+				return len(r.Pairs), nil
+			}},
+			{"ridpairs", func() (int, error) {
+				r, err := ridpairs.SelfJoin(c, ridpairs.Options{Fn: similarity.Jaccard, Theta: 0.8, Cluster: benchCluster()})
+				if err != nil {
+					return 0, err
+				}
+				return len(r.Pairs), nil
+			}},
+			{"v-smart", func() (int, error) {
+				r, err := vsmart.SelfJoin(c, vsmart.Options{Fn: similarity.Jaccard, Theta: 0.8, Cluster: benchCluster()})
+				if err != nil {
+					return 0, err
+				}
+				return len(r.Pairs), nil
+			}},
+		}
+		for _, a := range algos {
+			a := a
+			b.Run(p.Name+"/"+a.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := a.run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 covers Figure 8: FS-Join across data scales.
+func BenchmarkFig8(b *testing.B) {
+	full := benchCollection(b, dataset.Wiki())
+	for _, frac := range []float64{0.4, 1.0} {
+		frac := frac
+		c := dataset.Sample(full, frac, 3)
+		b.Run("wiki/scale="+ftoa(frac), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.SelfJoin(c, fsOpts(0.8))
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportFS(b, res)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9 covers Figure 9: FS-Join across cluster sizes.
+func BenchmarkFig9(b *testing.B) {
+	c := benchCollection(b, dataset.PubMed())
+	for _, nodes := range []int{5, 10, 15} {
+		nodes := nodes
+		b.Run("pubmed/nodes="+itoa(nodes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := fsOpts(0.8)
+				opt.Cluster = opt.Cluster.WithNodes(nodes)
+				res, err := core.SelfJoin(c, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportFS(b, res)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10 covers Figure 10: the filter/verification phase split
+// across horizontal partition counts.
+func BenchmarkFig10(b *testing.B) {
+	c := benchCollection(b, dataset.PubMed())
+	for _, hp := range []int{5, 25} {
+		hp := hp
+		b.Run("pubmed/hpivots="+itoa(hp), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := fsOpts(0.8)
+				opt.HorizontalPivots = hp
+				res, err := core.SelfJoin(c, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Pipeline.StageTime("filtering").Seconds(), "filter-s/op")
+				b.ReportMetric(res.Pipeline.StageTime("verification").Seconds(), "verify-s/op")
+			}
+		})
+	}
+}
+
+// BenchmarkFig11 covers Figure 11: the three pivot selection methods.
+func BenchmarkFig11(b *testing.B) {
+	c := benchCollection(b, dataset.Wiki())
+	for _, m := range []partition.PivotMethod{partition.Random, partition.EvenInterval, partition.EvenTF} {
+		m := m
+		b.Run("wiki/"+m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := fsOpts(0.8)
+				opt.PivotMethod = m
+				opt.Seed = 5
+				res, err := core.SelfJoin(c, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Pipeline.StageTime("filtering").Seconds(), "filter-s/op")
+				b.ReportMetric(res.Pipeline.Stages()[1].LoadImbalance(), "imbalance")
+			}
+		})
+	}
+}
+
+// BenchmarkFig12 covers Figure 12: the three fragment join kernels.
+func BenchmarkFig12(b *testing.B) {
+	c := benchCollection(b, dataset.PubMed())
+	for _, m := range []fragjoin.Method{fragjoin.Loop, fragjoin.Index, fragjoin.Prefix} {
+		m := m
+		b.Run("pubmed/"+m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := fsOpts(0.8)
+				opt.JoinMethod = m
+				res, err := core.SelfJoin(c, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Pipeline.Counter(fragjoin.CtrComparisons)), "comparisons/op")
+			}
+		})
+	}
+}
+
+// BenchmarkFig13 covers Figure 13: FS-Join vs FS-Join-V.
+func BenchmarkFig13(b *testing.B) {
+	c := benchCollection(b, dataset.Wiki())
+	for _, hp := range []int{25, 0} {
+		hp := hp
+		name := "fs-join"
+		if hp == 0 {
+			name = "fs-join-v"
+		}
+		b.Run("wiki/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := fsOpts(0.8)
+				opt.HorizontalPivots = hp
+				res, err := core.SelfJoin(c, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportFS(b, res)
+			}
+		})
+	}
+}
+
+// BenchmarkTable4Filters covers Table IV: filter-job output volume per
+// filter combination.
+func BenchmarkTable4Filters(b *testing.B) {
+	c := dataset.Sample(benchCollection(b, dataset.Wiki()), 0.5, 11)
+	cases := []struct {
+		name   string
+		set    filters.Set
+		method fragjoin.Method
+		naive  bool
+	}{
+		{"StrL", filters.StrL, fragjoin.Index, false},
+		{"StrL+SegI", filters.StrL | filters.SegI, fragjoin.Index, false},
+		{"All", filters.All, fragjoin.Prefix, false},
+		{"All-paper", filters.All, fragjoin.Prefix, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run("wiki/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := fsOpts(0.8)
+				opt.Filters = tc.set
+				opt.JoinMethod = tc.method
+				opt.PaperPrefix = tc.naive
+				res, err := core.SelfJoin(c, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.FilterOutputRecords), "filter-out/op")
+			}
+		})
+	}
+}
+
+// BenchmarkExperimentSuite smoke-runs the full experiment driver at tiny
+// scale — the end-to-end path of cmd/experiments.
+func BenchmarkExperimentSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(experiments.Config{
+			Scale: 0.06, Seed: 1, Out: io.Discard, Budget: 200_000,
+		})
+		if err := r.Run("table3"); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Run("cost"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicAPI measures the public entry point end-to-end on text.
+func BenchmarkPublicAPI(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	words := strings.Fields("alpha beta gamma delta epsilon zeta eta theta iota kappa")
+	texts := make([]string, 400)
+	for i := range texts {
+		var sb strings.Builder
+		for j := 0; j < rng.Intn(8)+3; j++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		texts[i] = sb.String()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelfJoinStrings(texts, Options{Threshold: 0.8, Nodes: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ftoa(f float64) string {
+	switch f {
+	case 0.4:
+		return "0.4"
+	case 0.75:
+		return "0.75"
+	case 0.9:
+		return "0.9"
+	case 1.0:
+		return "1.0"
+	default:
+		return "x"
+	}
+}
+
+func itoa(n int) string {
+	digits := "0123456789"
+	if n < 10 {
+		return digits[n : n+1]
+	}
+	return itoa(n/10) + digits[n%10:n%10+1]
+}

@@ -1,0 +1,57 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (Section VI) on the synthetic datasets.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|table3|table4|fig6..fig13|cost] [-scale F] [-seed N] [-budget N]
+//
+// Output is a series of aligned text tables, one per figure/table, printing
+// the same rows/series the paper reports (simulated cluster seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fsjoin/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (all, table1, table3, table4, fig6..fig13, cost); comma-separated list allowed")
+		scale  = flag.Float64("scale", 1.0, "dataset scale multiplier (smaller = faster)")
+		seed   = flag.Int64("seed", 1, "random seed for dataset generation")
+		budget = flag.Int64("budget", 3_000_000, "intermediate-record budget for V-Smart-Join/MassJoin (0 = unlimited)")
+	)
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Out: os.Stdout, Budget: *budget}
+	r := experiments.NewRunner(cfg)
+	if *list {
+		for _, name := range r.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	start := time.Now()
+	var err error
+	if *exp == "all" {
+		err = r.All()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			if err = r.Run(strings.TrimSpace(name)); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted in %.1fs (wall)\n", time.Since(start).Seconds())
+}

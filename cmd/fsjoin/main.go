@@ -1,0 +1,157 @@
+// Command fsjoin runs a set-similarity self-join or R-S join over text
+// files, one record per line, printing the matching line-number pairs and
+// their similarity scores.
+//
+// Usage:
+//
+//	fsjoin -theta 0.8 [-algo fs|fs-v|ridpairs|vsmart|massjoin|massjoin-light]
+//	       [-fn jaccard|dice|cosine] [-q N] [-nodes N] [-stats] R.txt [S.txt]
+//
+// With one input file a self-join is performed; with two, an R-S join
+// (FS-Join only). Records are word-tokenised (lower-cased, split on
+// non-alphanumerics) or q-gram tokenised with -q.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"fsjoin"
+	"fsjoin/internal/dataset"
+	"fsjoin/internal/tokens"
+)
+
+func main() {
+	var (
+		theta  = flag.Float64("theta", 0.8, "similarity threshold in (0,1]")
+		algo   = flag.String("algo", "fs", "algorithm: fs, fs-v, ridpairs, vsmart, massjoin, massjoin-light, approx")
+		fn     = flag.String("fn", "jaccard", "similarity function: jaccard, dice, cosine")
+		qgram  = flag.Int("q", 0, "q-gram length (0 = word tokenisation)")
+		tsv    = flag.Bool("tsv", false, "inputs are datagen TSV files (rid<TAB>integer tokens) instead of text")
+		nodes  = flag.Int("nodes", 10, "simulated cluster nodes")
+		stats  = flag.Bool("stats", false, "print simulated execution statistics")
+		budget = flag.Int64("budget", 0, "work budget for vsmart/massjoin (0 = unlimited)")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: fsjoin [flags] R.txt [S.txt]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := fsjoin.Options{Threshold: *theta, Nodes: *nodes, WorkBudget: *budget}
+	switch *fn {
+	case "jaccard":
+		opt.Function = fsjoin.Jaccard
+	case "dice":
+		opt.Function = fsjoin.Dice
+	case "cosine":
+		opt.Function = fsjoin.Cosine
+	default:
+		fatal("unknown similarity function %q", *fn)
+	}
+	switch *algo {
+	case "fs":
+		opt.Algorithm = fsjoin.FSJoin
+	case "fs-v":
+		opt.Algorithm = fsjoin.FSJoinV
+	case "ridpairs":
+		opt.Algorithm = fsjoin.RIDPairsPPJoin
+	case "vsmart":
+		opt.Algorithm = fsjoin.VSmartJoin
+	case "massjoin":
+		opt.Algorithm = fsjoin.MassJoinMerge
+	case "massjoin-light":
+		opt.Algorithm = fsjoin.MassJoinMergeLight
+	case "approx":
+		opt.Algorithm = fsjoin.ApproxLSHJoin
+	default:
+		fatal("unknown algorithm %q", *algo)
+	}
+
+	var tk tokens.Tokenizer = tokens.WordTokenizer{}
+	if *qgram > 0 {
+		tk = tokens.QGramTokenizer{Q: *qgram}
+	}
+
+	dict := fsjoin.NewDictionary()
+	load := func(path string) *fsjoin.Collection {
+		if *tsv {
+			return loadTSV(path, dict)
+		}
+		return loadCollection(path, tk, dict)
+	}
+	r := load(flag.Arg(0))
+	var res *fsjoin.Result
+	var err error
+	if flag.NArg() == 2 {
+		s := load(flag.Arg(1))
+		res, err = r.Join(s, opt)
+	} else {
+		res, err = r.SelfJoin(opt)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	for _, p := range res.Pairs {
+		fmt.Printf("%d\t%d\t%.4f\n", p.A, p.B, p.Similarity)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "pairs=%d simulated=%.1fs shuffle=%d records (%d bytes) imbalance=%.2f candidates=%d\n",
+			len(res.Pairs), res.Stats.SimulatedTime.Seconds(),
+			res.Stats.ShuffleRecords, res.Stats.ShuffleBytes,
+			res.Stats.LoadImbalance, res.Stats.Candidates)
+	}
+}
+
+// loadCollection reads one record per line from path, tokenises each line
+// and encodes the result against the shared dictionary.
+func loadCollection(path string, tk tokens.Tokenizer, dict *fsjoin.Dictionary) *fsjoin.Collection {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	var sets [][]string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		sets = append(sets, tk.Tokenize(sc.Text()))
+	}
+	if err := sc.Err(); err != nil {
+		fatal("reading %s: %v", path, err)
+	}
+	return dict.NewCollection(sets)
+}
+
+// loadTSV reads a datagen-format TSV file; integer tokens are re-encoded
+// through the shared dictionary so text and TSV inputs can coexist.
+func loadTSV(path string, dict *fsjoin.Dictionary) *fsjoin.Collection {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	c, err := dataset.ReadTSV(f)
+	if err != nil {
+		fatal("reading %s: %v", path, err)
+	}
+	sets := make([][]string, 0, c.Len())
+	for _, rec := range c.Records {
+		set := make([]string, len(rec.Tokens))
+		for i, tok := range rec.Tokens {
+			set[i] = strconv.FormatUint(uint64(tok), 10)
+		}
+		sets = append(sets, set)
+	}
+	return dict.NewCollection(sets)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fsjoin: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+package fsjoin_test
+
+import (
+	"fmt"
+
+	"fsjoin"
+)
+
+// The smallest end-to-end self-join: three records, one near-duplicate
+// pair.
+func ExampleSelfJoinSets() {
+	docs := [][]string{
+		{"set", "similarity", "join", "mapreduce"},
+		{"set", "similarity", "joins", "mapreduce"},
+		{"completely", "different", "tokens"},
+	}
+	res, err := fsjoin.SelfJoinSets(docs, fsjoin.Options{Threshold: 0.6})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range res.Pairs {
+		fmt.Printf("%d ~ %d: %d common tokens, Jaccard %.2f\n", p.A, p.B, p.Common, p.Similarity)
+	}
+	// Output:
+	// 0 ~ 1: 3 common tokens, Jaccard 0.60
+}
+
+// Raw text is word-tokenised (lower-cased, split on non-alphanumerics)
+// before joining.
+func ExampleSelfJoinStrings() {
+	res, err := fsjoin.SelfJoinStrings([]string{
+		"The quick brown fox!",
+		"the QUICK brown fox...",
+		"lorem ipsum dolor",
+	}, fsjoin.Options{Threshold: 0.9})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Pairs), "pair(s); similarity", res.Pairs[0].Similarity)
+	// Output:
+	// 1 pair(s); similarity 1
+}
+
+// An R-S join links records across two collections sharing one dictionary.
+func ExampleCollection_Join() {
+	dict := fsjoin.NewDictionary()
+	r := dict.NewTextCollection([]string{"distributed set similarity joins"})
+	s := dict.NewTextCollection([]string{
+		"distributed set similarity joins extended",
+		"unrelated title",
+	})
+	res, err := r.Join(s, fsjoin.Options{Threshold: 0.7, Function: fsjoin.Dice})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range res.Pairs {
+		fmt.Printf("R[%d] matches S[%d] (Dice %.2f)\n", p.A, p.B, p.Similarity)
+	}
+	// Output:
+	// R[0] matches S[0] (Dice 0.89)
+}
+
+// Every baseline produces the same exact results as FS-Join; pick one with
+// Options.Algorithm.
+func ExampleOptions_algorithms() {
+	docs := [][]string{
+		{"a", "b", "c", "d"},
+		{"a", "b", "c", "e"},
+	}
+	for _, algo := range []fsjoin.Algorithm{fsjoin.FSJoin, fsjoin.RIDPairsPPJoin, fsjoin.VSmartJoin} {
+		res, err := fsjoin.SelfJoinSets(docs, fsjoin.Options{Threshold: 0.5, Algorithm: algo})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %d pair(s)\n", algo, len(res.Pairs))
+	}
+	// Output:
+	// fs-join: 1 pair(s)
+	// ridpairs-ppjoin: 1 pair(s)
+	// v-smart-join: 1 pair(s)
+}

@@ -1,0 +1,62 @@
+// Capacity: use the cluster cost model for capacity planning — how many
+// worker nodes does a similarity-join workload need before returns diminish?
+// The example joins one synthetic workload on simulated clusters of growing
+// size and prints the scaling curve with marginal speedups, the analysis
+// behind the paper's Figure 9.
+//
+// Run with: go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"fsjoin"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	words := strings.Fields(`data join set similarity threshold filter verify
+partition fragment segment pivot token order shuffle reduce cluster node
+record pair candidate prefix index loop balance skew scale`)
+	texts := make([]string, 1500)
+	for i := range texts {
+		if i > 0 && rng.Float64() < 0.25 {
+			texts[i] = texts[rng.Intn(i)] + " " + words[rng.Intn(len(words))]
+			continue
+		}
+		var sb strings.Builder
+		for j := 0; j < rng.Intn(14)+6; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(words[rng.Intn(len(words))])
+		}
+		texts[i] = sb.String()
+	}
+	collection := fsjoin.NewDictionary().NewTextCollection(texts)
+
+	fmt.Printf("workload: %d records, θ=0.8 Jaccard self-join\n\n", collection.Len())
+	fmt.Printf("%6s  %12s  %10s  %s\n", "nodes", "sim time", "speedup", "marginal gain")
+	var base, prev float64
+	for _, nodes := range []int{2, 4, 6, 8, 10, 15, 20, 30} {
+		res, err := collection.SelfJoin(fsjoin.Options{Threshold: 0.8, Nodes: nodes, VerticalPartitions: 30})
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs := res.Stats.SimulatedTime.Seconds()
+		if base == 0 {
+			base, prev = secs, secs
+		}
+		marginal := ""
+		if prev != secs {
+			marginal = fmt.Sprintf("%.0f%% faster than previous size", 100*(prev-secs)/prev)
+		}
+		fmt.Printf("%6d  %10.1fs  %9.2fx  %s\n", nodes, secs, base/secs, marginal)
+		prev = secs
+	}
+	fmt.Println("\nspeedup comes from parallel shuffle drain and task slots; the knee appears")
+	fmt.Println("where per-task overhead and stragglers stop shrinking — the paper's Figure 9.")
+}

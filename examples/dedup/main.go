@@ -1,0 +1,124 @@
+// Dedup: near-duplicate detection for data cleaning — the paper's
+// motivating application. A synthetic product catalogue is polluted with
+// noisy duplicate entries; FS-Join finds the duplicate pairs, and a
+// union-find pass groups them into clusters to keep one canonical entry
+// each.
+//
+// Run with: go run ./examples/dedup
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"fsjoin"
+)
+
+// vocabulary for synthetic product descriptions.
+var words = strings.Fields(`wireless bluetooth noise cancelling over ear
+headphones black stainless steel electric kettle fast boil litre cordless
+vacuum cleaner bagless lightweight rechargeable stick ergonomic office
+chair lumbar support mesh back adjustable height ceramic non stick frying
+pan induction compatible dishwasher safe portable power bank usb fast
+charging slim aluminium laptop stand foldable ventilated travel mug leak
+proof insulated thermal smart fitness tracker heart rate sleep monitor
+waterproof mechanical keyboard backlit tactile switches compact hdmi cable
+high speed gold plated braided`)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// Build a catalogue of 300 products, ~30% of them noisy duplicates.
+	var catalogue []string
+	for i := 0; i < 300; i++ {
+		if i > 0 && rng.Float64() < 0.3 {
+			catalogue = append(catalogue, mutate(rng, catalogue[rng.Intn(i)]))
+			continue
+		}
+		n := rng.Intn(8) + 6
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(words[rng.Intn(len(words))])
+		}
+		catalogue = append(catalogue, sb.String())
+	}
+
+	res, err := fsjoin.SelfJoinStrings(catalogue, fsjoin.Options{
+		Threshold: 0.75,
+		Function:  fsjoin.Jaccard,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Union-find over duplicate pairs → clusters.
+	parent := make([]int, len(catalogue))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, p := range res.Pairs {
+		parent[find(p.A)] = find(p.B)
+	}
+	clusters := make(map[int][]int)
+	for i := range catalogue {
+		r := find(i)
+		clusters[r] = append(clusters[r], i)
+	}
+
+	dupClusters := 0
+	removed := 0
+	for _, members := range clusters {
+		if len(members) > 1 {
+			dupClusters++
+			removed += len(members) - 1
+		}
+	}
+	fmt.Printf("catalogue: %d entries, %d duplicate pairs found at θ=0.75\n",
+		len(catalogue), len(res.Pairs))
+	fmt.Printf("%d duplicate clusters; deduplication would remove %d entries\n\n",
+		dupClusters, removed)
+
+	shown := 0
+	for root, members := range clusters {
+		if len(members) < 2 || shown >= 3 {
+			continue
+		}
+		shown++
+		fmt.Printf("cluster (keep entry %d):\n", root)
+		for _, m := range members {
+			fmt.Printf("  [%3d] %s\n", m, catalogue[m])
+		}
+	}
+}
+
+// mutate produces a noisy duplicate: a few word substitutions/drops.
+func mutate(rng *rand.Rand, s string) string {
+	fields := strings.Fields(s)
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		switch {
+		case rng.Float64() < 0.08:
+			out = append(out, words[rng.Intn(len(words))])
+		case rng.Float64() < 0.04:
+			// dropped
+		default:
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		out = fields
+	}
+	return strings.Join(out, " ")
+}

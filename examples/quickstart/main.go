@@ -1,0 +1,38 @@
+// Quickstart: the smallest end-to-end FS-Join — build a collection from
+// tokenised records, self-join at θ = 0.5, print the similar pairs.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fsjoin"
+)
+
+func main() {
+	docs := [][]string{
+		{"set", "similarity", "join", "mapreduce"},      // 0
+		{"set", "similarity", "joins", "mapreduce"},     // 1 — near-dup of 0
+		{"vertical", "partitioning", "for", "big"},      // 2
+		{"vertical", "partitioning", "for", "big", "x"}, // 3 — near-dup of 2
+		{"completely", "unrelated", "tokens", "here"},   // 4
+	}
+
+	res, err := fsjoin.SelfJoinSets(docs, fsjoin.Options{
+		Threshold: 0.5,
+		Function:  fsjoin.Jaccard,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d similar pairs at θ=0.5:\n", len(res.Pairs))
+	for _, p := range res.Pairs {
+		fmt.Printf("  records %d and %d: %d common tokens, Jaccard %.3f\n",
+			p.A, p.B, p.Common, p.Similarity)
+	}
+	fmt.Printf("\nsimulated cluster time: %.1fs over %d shuffled records\n",
+		res.Stats.SimulatedTime.Seconds(), res.Stats.ShuffleRecords)
+}

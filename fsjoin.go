@@ -1,0 +1,233 @@
+// Package fsjoin is a distributed set-similarity join library, a faithful
+// reproduction of "Fast and Scalable Distributed Set Similarity Joins for
+// Big Data Analytics" (Rong et al., ICDE 2017).
+//
+// The library finds all pairs of records from one collection (self-join) or
+// two collections (R-S join) whose set similarity — Jaccard, Dice or Cosine
+// — reaches a threshold θ. The primary algorithm is FS-Join: a three-phase,
+// duplicate-free MapReduce pipeline built on vertical partitioning. The
+// three baselines the paper compares against (RIDPairsPPJoin, V-Smart-Join,
+// MassJoin) are included and share the same execution substrate, an
+// in-process MapReduce engine with a cluster cost model.
+//
+// Quick start:
+//
+//	docs := [][]string{
+//		{"set", "similarity", "join"},
+//		{"set", "similarity", "joins"},
+//		{"completely", "different", "tokens"},
+//	}
+//	res, err := fsjoin.SelfJoinSets(docs, fsjoin.Options{Threshold: 0.5})
+//	// res.Pairs → [(0,1)]
+package fsjoin
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fsjoin/internal/fragjoin"
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/partition"
+	"fsjoin/internal/similarity"
+)
+
+// Similarity selects the set-similarity function.
+type Similarity int
+
+// Supported similarity functions.
+const (
+	// Jaccard is |s∩t| / |s∪t| — the paper's primary function.
+	Jaccard Similarity = iota
+	// Dice is 2|s∩t| / (|s|+|t|).
+	Dice
+	// Cosine is |s∩t| / √(|s|·|t|).
+	Cosine
+)
+
+func (s Similarity) internal() (similarity.Func, error) {
+	switch s {
+	case Jaccard:
+		return similarity.Jaccard, nil
+	case Dice:
+		return similarity.Dice, nil
+	case Cosine:
+		return similarity.Cosine, nil
+	default:
+		return 0, fmt.Errorf("fsjoin: unknown similarity function %d", int(s))
+	}
+}
+
+// Algorithm selects the join implementation.
+type Algorithm int
+
+// Supported algorithms. FSJoin is the paper's contribution and the default;
+// the others are the evaluated baselines.
+const (
+	// FSJoin is the full algorithm: vertical + horizontal partitioning.
+	FSJoin Algorithm = iota
+	// FSJoinV disables horizontal partitioning (the paper's FS-Join-V).
+	FSJoinV
+	// RIDPairsPPJoin is the prefix-signature baseline of Vernica et al.
+	RIDPairsPPJoin
+	// VSmartJoin is the Online-Aggregation variant of Metwally et al.
+	VSmartJoin
+	// MassJoinMerge is Deng et al.'s MassJoin, Merge variant.
+	MassJoinMerge
+	// MassJoinMergeLight is MassJoin with the token-grouping light filter.
+	MassJoinMergeLight
+	// ApproxLSHJoin is the approximate MinHash/LSH join — the paper's
+	// stated future-work extension. Results have perfect precision; recall
+	// follows the LSH S-curve (near 1 well above the threshold). Jaccard
+	// only.
+	ApproxLSHJoin
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case FSJoin:
+		return "fs-join"
+	case FSJoinV:
+		return "fs-join-v"
+	case RIDPairsPPJoin:
+		return "ridpairs-ppjoin"
+	case VSmartJoin:
+		return "v-smart-join"
+	case MassJoinMerge:
+		return "massjoin-merge"
+	case MassJoinMergeLight:
+		return "massjoin-merge+light"
+	case ApproxLSHJoin:
+		return "approx-lsh"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// PivotSelection selects how FS-Join chooses vertical pivots (Section IV).
+type PivotSelection int
+
+// Supported pivot-selection methods.
+const (
+	// EvenTF splits total term frequency evenly — the paper's choice,
+	// with a load-balancing guarantee.
+	EvenTF PivotSelection = iota
+	// EvenInterval splits the token domain into equal-width rank ranges.
+	EvenInterval
+	// RandomPivots picks pivots uniformly at random.
+	RandomPivots
+)
+
+func (p PivotSelection) internal() partition.PivotMethod {
+	switch p {
+	case EvenInterval:
+		return partition.EvenInterval
+	case RandomPivots:
+		return partition.Random
+	default:
+		return partition.EvenTF
+	}
+}
+
+// JoinMethod selects FS-Join's within-fragment join kernel (Section V-A).
+type JoinMethod int
+
+// Supported join kernels.
+const (
+	// PrefixJoin indexes lossless segment prefixes — the paper's choice.
+	PrefixJoin JoinMethod = iota
+	// IndexJoin builds inverted lists over all segment tokens.
+	IndexJoin
+	// LoopJoin compares all qualifying segment pairs.
+	LoopJoin
+)
+
+func (j JoinMethod) internal() fragjoin.Method {
+	switch j {
+	case IndexJoin:
+		return fragjoin.Index
+	case LoopJoin:
+		return fragjoin.Loop
+	default:
+		return fragjoin.Prefix
+	}
+}
+
+// Options configures a join.
+type Options struct {
+	// Threshold is the similarity threshold θ in (0, 1]. Required.
+	Threshold float64
+	// Function is the similarity function (default Jaccard).
+	Function Similarity
+	// Algorithm is the join implementation (default FSJoin).
+	Algorithm Algorithm
+	// VerticalPartitions is FS-Join's fragment count (default 3 × nodes).
+	VerticalPartitions int
+	// HorizontalPivots is FS-Join's length-pivot count t, yielding 2t+1
+	// horizontal partitions (default 0 for FSJoinV; 10 for FSJoin).
+	HorizontalPivots int
+	// PivotSelection is FS-Join's vertical pivot strategy (default
+	// EvenTF).
+	PivotSelection PivotSelection
+	// JoinMethod is FS-Join's fragment join kernel (default PrefixJoin).
+	JoinMethod JoinMethod
+	// Nodes is the simulated cluster size (default 10, the paper's).
+	Nodes int
+	// Seed drives RandomPivots.
+	Seed int64
+	// WorkBudget caps intermediate-record generation for the V-Smart-Join
+	// and MassJoin baselines (they blow up on large inputs, as the paper
+	// reports); 0 means unlimited.
+	WorkBudget int64
+	// Context, when non-nil, cancels the join at the next task boundary
+	// with the context's error.
+	Context context.Context
+	// LocalParallelism runs that many simulated tasks concurrently on the
+	// local machine (FS-Join algorithms only); 0 or 1 is sequential, which
+	// also gives the most faithful simulated-time measurements.
+	LocalParallelism int
+}
+
+func (o Options) cluster() *mapreduce.Cluster {
+	cl := mapreduce.DefaultCluster()
+	if o.Nodes > 0 {
+		cl.Nodes = o.Nodes
+	}
+	return cl
+}
+
+// Pair is one join result.
+type Pair struct {
+	// A and B are record indices into the input collection(s): A < B for
+	// self-joins; A indexes R and B indexes S for R-S joins.
+	A, B int
+	// Common is the number of shared tokens.
+	Common int
+	// Similarity is the exact similarity score.
+	Similarity float64
+}
+
+// Stats summarises the simulated distributed execution.
+type Stats struct {
+	// SimulatedTime is the modelled end-to-end cluster makespan.
+	SimulatedTime time.Duration
+	// ShuffleRecords and ShuffleBytes total the data moved between map and
+	// reduce tasks across all jobs.
+	ShuffleRecords int64
+	ShuffleBytes   int64
+	// LoadImbalance is the worst per-reducer max/mean shuffle-byte ratio
+	// across jobs (1.0 = perfectly balanced).
+	LoadImbalance float64
+	// Candidates is the number of candidate-pair records generated before
+	// verification.
+	Candidates int64
+}
+
+// Result is a completed join.
+type Result struct {
+	// Pairs holds all similar pairs, sorted by (A, B).
+	Pairs []Pair
+	// Stats summarises the simulated distributed execution.
+	Stats Stats
+}

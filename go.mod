@@ -1,0 +1,3 @@
+module fsjoin
+
+go 1.22

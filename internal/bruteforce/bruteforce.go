@@ -1,0 +1,55 @@
+// Package bruteforce provides the exact reference implementation every join
+// algorithm in this repository is tested against: enumerate all pairs,
+// intersect with a linear merge, keep pairs meeting the threshold. It shares
+// the similarity algebra (and therefore tie handling) with the real
+// algorithms through package similarity.
+package bruteforce
+
+import (
+	"fsjoin/internal/result"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+// SelfJoin returns all pairs within c meeting the threshold, sorted
+// canonically.
+func SelfJoin(c *tokens.Collection, fn similarity.Func, theta float64) []result.Pair {
+	var out []result.Pair
+	recs := c.Records
+	for i := range recs {
+		for j := i + 1; j < len(recs); j++ {
+			a, b := &recs[i], &recs[j]
+			if a.RID > b.RID {
+				a, b = b, a
+			}
+			if p, ok := check(a, b, fn, theta); ok {
+				out = append(out, p)
+			}
+		}
+	}
+	result.Sort(out)
+	return out
+}
+
+// Join returns all cross pairs between r and s meeting the threshold, with
+// Pair.A holding the R-side id, sorted canonically.
+func Join(r, s *tokens.Collection, fn similarity.Func, theta float64) []result.Pair {
+	var out []result.Pair
+	for i := range r.Records {
+		for j := range s.Records {
+			if p, ok := check(&r.Records[i], &s.Records[j], fn, theta); ok {
+				out = append(out, p)
+			}
+		}
+	}
+	result.Sort(out)
+	return out
+}
+
+func check(a, b *tokens.Record, fn similarity.Func, theta float64) (result.Pair, bool) {
+	c := tokens.Intersect(a.Tokens, b.Tokens)
+	if !fn.AtLeast(c, len(a.Tokens), len(b.Tokens), theta) {
+		return result.Pair{}, false
+	}
+	return result.Pair{A: a.RID, B: b.RID, Common: c, Sim: fn.Sim(c, len(a.Tokens), len(b.Tokens))}, true
+}

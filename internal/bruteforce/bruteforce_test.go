@@ -1,0 +1,77 @@
+package bruteforce
+
+import (
+	"testing"
+
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+func rec(rid int32, ids ...tokens.ID) tokens.Record { return tokens.NewRecord(rid, ids) }
+
+func TestSelfJoinBasic(t *testing.T) {
+	c := &tokens.Collection{Records: []tokens.Record{
+		rec(0, 1, 2, 3),
+		rec(1, 1, 2, 3, 4),
+		rec(2, 9, 10),
+	}}
+	got := SelfJoin(c, similarity.Jaccard, 0.7)
+	if len(got) != 1 || got[0].A != 0 || got[0].B != 1 || got[0].Common != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0].Sim < 0.74 || got[0].Sim > 0.76 {
+		t.Fatalf("sim = %v", got[0].Sim)
+	}
+}
+
+func TestSelfJoinOrdersByRID(t *testing.T) {
+	// Records supplied in reverse rid order must still yield A < B.
+	c := &tokens.Collection{Records: []tokens.Record{
+		rec(5, 1, 2),
+		rec(3, 1, 2),
+	}}
+	got := SelfJoin(c, similarity.Jaccard, 0.9)
+	if len(got) != 1 || got[0].A != 3 || got[0].B != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRSJoinOrientation(t *testing.T) {
+	r := &tokens.Collection{Records: []tokens.Record{rec(7, 1, 2)}}
+	s := &tokens.Collection{Records: []tokens.Record{rec(2, 1, 2)}}
+	got := Join(r, s, similarity.Jaccard, 0.9)
+	if len(got) != 1 || got[0].A != 7 || got[0].B != 2 {
+		t.Fatalf("R-side must come first: %v", got)
+	}
+}
+
+func TestThresholdRespected(t *testing.T) {
+	c := &tokens.Collection{Records: []tokens.Record{
+		rec(0, 1, 2, 3, 4),
+		rec(1, 1, 2, 5, 6),
+	}}
+	// Jaccard = 2/6 = 0.333.
+	if got := SelfJoin(c, similarity.Jaccard, 0.34); len(got) != 0 {
+		t.Fatalf("above-threshold pair: %v", got)
+	}
+	if got := SelfJoin(c, similarity.Jaccard, 0.33); len(got) != 1 {
+		t.Fatalf("boundary pair missed: %v", got)
+	}
+}
+
+func TestDiceAndCosine(t *testing.T) {
+	c := &tokens.Collection{Records: []tokens.Record{
+		rec(0, 1, 2, 3),
+		rec(1, 1, 2, 4),
+	}}
+	// Dice = 4/6 = 0.667, Cosine = 2/3 = 0.667, Jaccard = 0.5.
+	if got := SelfJoin(c, similarity.Dice, 0.66); len(got) != 1 {
+		t.Fatalf("dice: %v", got)
+	}
+	if got := SelfJoin(c, similarity.Cosine, 0.66); len(got) != 1 {
+		t.Fatalf("cosine: %v", got)
+	}
+	if got := SelfJoin(c, similarity.Jaccard, 0.66); len(got) != 0 {
+		t.Fatalf("jaccard: %v", got)
+	}
+}

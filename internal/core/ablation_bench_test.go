@@ -1,0 +1,154 @@
+package core
+
+// Ablation benchmarks for FS-Join's design choices: each isolates one knob
+// (filters, prefix mode, vertical partition count, horizontal partitioning)
+// and reports the quantities it trades — candidate volume, comparisons,
+// simulated time.
+
+import (
+	"testing"
+
+	"fsjoin/internal/dataset"
+	"fsjoin/internal/filters"
+	"fsjoin/internal/fragjoin"
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/order"
+	"fsjoin/internal/partition"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+func ablationCollection(b *testing.B) *tokens.Collection {
+	b.Helper()
+	return dataset.Generate(dataset.Wiki().Scale(0.15), 1)
+}
+
+func ablationOpts(theta float64) Options {
+	return Options{
+		Fn:                 similarity.Jaccard,
+		Theta:              theta,
+		PivotMethod:        partition.EvenTF,
+		VerticalPartitions: 30,
+		HorizontalPivots:   10,
+		JoinMethod:         fragjoin.Prefix,
+		Cluster:            mapreduce.DefaultCluster(),
+	}
+}
+
+// BenchmarkAblationFilters isolates the filter set: none vs StrL only vs
+// all.
+func BenchmarkAblationFilters(b *testing.B) {
+	c := ablationCollection(b)
+	cases := []struct {
+		name string
+		set  filters.Set
+	}{
+		{"none", filters.Set(0x80) /* non-zero, no real filters */},
+		{"strl", filters.StrL},
+		{"all", filters.All},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := ablationOpts(0.8)
+				opt.JoinMethod = fragjoin.Index
+				opt.Filters = tc.set
+				res, err := SelfJoin(c, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.FilterOutputRecords), "filter-out/op")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPrefixMode isolates the prefix rule: lossless (default)
+// vs the paper's literal segment prefix, reporting recall cost alongside.
+func BenchmarkAblationPrefixMode(b *testing.B) {
+	c := ablationCollection(b)
+	exact, err := SelfJoin(c, ablationOpts(0.8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, paper := range []bool{false, true} {
+		paper := paper
+		name := "lossless"
+		if paper {
+			name = "paper"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := ablationOpts(0.8)
+				opt.PaperPrefix = paper
+				res, err := SelfJoin(c, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recall := 1.0
+				if len(exact.Pairs) > 0 {
+					recall = float64(len(res.Pairs)) / float64(len(exact.Pairs))
+				}
+				b.ReportMetric(float64(res.FilterOutputRecords), "filter-out/op")
+				b.ReportMetric(recall, "recall")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVerticalPartitions sweeps the fragment count: more
+// fragments mean smaller reduce groups but more partials per pair.
+func BenchmarkAblationVerticalPartitions(b *testing.B) {
+	c := ablationCollection(b)
+	for _, v := range []int{5, 30, 120} {
+		v := v
+		b.Run(itoa(v), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := ablationOpts(0.8)
+				opt.VerticalPartitions = v
+				res, err := SelfJoin(c, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.FilterOutputRecords), "filter-out/op")
+				b.ReportMetric(res.Pipeline.TotalSimulatedTime().Seconds(), "sim-s/op")
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationOrderKind isolates the global-ordering strategy: the
+// paper's ascending term frequency vs descending vs lexicographic.
+func BenchmarkAblationOrderKind(b *testing.B) {
+	c := ablationCollection(b)
+	for _, kind := range []order.Kind{order.FreqAscending, order.FreqDescending, order.Lexicographic} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := ablationOpts(0.8)
+				opt.OrderKind = kind
+				res, err := SelfJoin(c, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.FilterOutputRecords), "filter-out/op")
+				b.ReportMetric(float64(res.Pipeline.Counter(fragjoin.CtrComparisons)), "comparisons/op")
+			}
+		})
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"fsjoin/internal/bruteforce"
+	"fsjoin/internal/filters"
+	"fsjoin/internal/fragjoin"
+	"fsjoin/internal/order"
+	"fsjoin/internal/partition"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/testutil"
+	"fsjoin/internal/tokens"
+)
+
+func defaultOpts(theta float64) Options {
+	return Options{
+		Theta:              theta,
+		PivotMethod:        partition.EvenTF,
+		VerticalPartitions: 8,
+		HorizontalPivots:   2,
+		JoinMethod:         fragjoin.Prefix,
+		Cluster:            testutil.SmallCluster(),
+	}
+}
+
+func TestDiceAndCosineEndToEnd(t *testing.T) {
+	c := testutil.RandomCollection(100, 50, 20, 31)
+	for _, fn := range []similarity.Func{similarity.Dice, similarity.Cosine} {
+		for _, theta := range []float64{0.7, 0.9} {
+			want := bruteforce.SelfJoin(c, fn, theta)
+			opt := defaultOpts(theta)
+			opt.Fn = fn
+			res, err := SelfJoin(c, opt)
+			if err != nil {
+				t.Fatalf("%v: %v", fn, err)
+			}
+			testutil.AssertSameResults(t, fn.String(), res.Pairs, want)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	c := testutil.RandomCollection(80, 40, 15, 32)
+	var first *Result
+	for i := 0; i < 3; i++ {
+		res, err := SelfJoin(c, defaultOpts(0.7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Pairs, first.Pairs) {
+			t.Fatal("results differ across runs")
+		}
+		if res.FilterOutputRecords != first.FilterOutputRecords {
+			t.Fatal("filter output volume differs across runs")
+		}
+	}
+}
+
+func TestEdgeCollections(t *testing.T) {
+	cases := map[string]*tokens.Collection{
+		"empty":         {},
+		"single":        {Records: []tokens.Record{tokens.NewRecord(0, []tokens.ID{1, 2})}},
+		"empty-records": {Records: []tokens.Record{tokens.NewRecord(0, nil), tokens.NewRecord(1, nil)}},
+		"identical": {Records: []tokens.Record{
+			tokens.NewRecord(0, []tokens.ID{1, 2, 3}),
+			tokens.NewRecord(1, []tokens.ID{1, 2, 3}),
+		}},
+		"singleton-tokens": {Records: []tokens.Record{
+			tokens.NewRecord(0, []tokens.ID{5}),
+			tokens.NewRecord(1, []tokens.ID{5}),
+			tokens.NewRecord(2, []tokens.ID{6}),
+		}},
+	}
+	for name, c := range cases {
+		want := bruteforce.SelfJoin(c, similarity.Jaccard, 0.8)
+		res, err := SelfJoin(c, defaultOpts(0.8))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		testutil.AssertSameResults(t, name, res.Pairs, want)
+	}
+}
+
+func TestThetaOne(t *testing.T) {
+	c := &tokens.Collection{Records: []tokens.Record{
+		tokens.NewRecord(0, []tokens.ID{1, 2, 3}),
+		tokens.NewRecord(1, []tokens.ID{1, 2, 3}),
+		tokens.NewRecord(2, []tokens.ID{1, 2, 4}),
+	}}
+	res, err := SelfJoin(c, defaultOpts(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 1 || res.Pairs[0].A != 0 || res.Pairs[0].B != 1 {
+		t.Fatalf("theta=1 pairs: %v", res.Pairs)
+	}
+}
+
+func TestInvalidTheta(t *testing.T) {
+	c := testutil.RandomCollection(5, 10, 4, 1)
+	for _, theta := range []float64{0, -0.5, 1.5} {
+		if _, err := SelfJoin(c, Options{Theta: theta}); err == nil {
+			t.Errorf("theta=%v accepted", theta)
+		}
+	}
+}
+
+func TestRSJoinNilS(t *testing.T) {
+	if _, err := Join(testutil.RandomCollection(3, 5, 3, 1), nil, defaultOpts(0.5)); err == nil {
+		t.Fatal("nil S accepted")
+	}
+}
+
+func TestRSJoinWithSharedRIDSpace(t *testing.T) {
+	// R and S records reuse the same rid values; results must still be
+	// exactly the cross pairs.
+	r := testutil.RandomCollection(50, 30, 12, 33)
+	s := testutil.RandomCollection(50, 30, 12, 34)
+	want := bruteforce.Join(r, s, similarity.Jaccard, 0.7)
+	res, err := Join(r, s, defaultOpts(0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.AssertSameResults(t, "shared-rid", res.Pairs, want)
+}
+
+// TestMoreFiltersNeverIncreaseOutput: adding filters can only shrink the
+// filter job's emission.
+func TestMoreFiltersNeverIncreaseOutput(t *testing.T) {
+	c := testutil.RandomCollection(150, 60, 20, 35)
+	sets := []filters.Set{
+		filters.StrL,
+		filters.StrL | filters.SegL,
+		filters.StrL | filters.SegL | filters.SegI,
+		filters.All &^ filters.Prefix,
+	}
+	prev := int64(-1)
+	for _, fs := range sets {
+		opt := defaultOpts(0.8)
+		opt.JoinMethod = fragjoin.Index
+		opt.Filters = fs
+		res, err := SelfJoin(c, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.FilterOutputRecords > prev {
+			t.Fatalf("filters %v increased output: %d > %d", fs, res.FilterOutputRecords, prev)
+		}
+		prev = res.FilterOutputRecords
+	}
+}
+
+// TestVerticalPartitionCountInvariance: results are identical for any
+// fragment count.
+func TestVerticalPartitionCountInvariance(t *testing.T) {
+	c := testutil.RandomCollection(90, 45, 18, 36)
+	want := bruteforce.SelfJoin(c, similarity.Jaccard, 0.75)
+	for _, v := range []int{1, 2, 5, 17, 64} {
+		opt := defaultOpts(0.75)
+		opt.VerticalPartitions = v
+		res, err := SelfJoin(c, opt)
+		if err != nil {
+			t.Fatalf("v=%d: %v", v, err)
+		}
+		testutil.AssertSameResults(t, "vparts", res.Pairs, want)
+	}
+}
+
+// TestHorizontalPivotCountInvariance: results are identical for any
+// horizontal pivot count.
+func TestHorizontalPivotCountInvariance(t *testing.T) {
+	c := testutil.RandomCollection(90, 45, 18, 37)
+	want := bruteforce.SelfJoin(c, similarity.Jaccard, 0.75)
+	for _, h := range []int{0, 1, 4, 16} {
+		opt := defaultOpts(0.75)
+		opt.HorizontalPivots = h
+		res, err := SelfJoin(c, opt)
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		testutil.AssertSameResults(t, "hpivots", res.Pairs, want)
+	}
+}
+
+// TestPaperPrefixNoFalsePositives: the literal paper prefix may lose pairs
+// but must never fabricate or mis-score one.
+func TestPaperPrefixNoFalsePositives(t *testing.T) {
+	c := testutil.RandomCollection(120, 50, 20, 38)
+	want := bruteforce.SelfJoin(c, similarity.Jaccard, 0.7)
+	wantKeys := map[uint64]int{}
+	for _, p := range want {
+		wantKeys[p.Key()] = p.Common
+	}
+	opt := defaultOpts(0.7)
+	opt.PaperPrefix = true
+	res, err := SelfJoin(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Pairs {
+		c, ok := wantKeys[p.Key()]
+		if !ok {
+			t.Fatalf("paper prefix invented pair %v", p)
+		}
+		// Missed fragments can only lower the aggregated count, never
+		// raise it; the pair itself is still a true result.
+		if p.Common > c {
+			t.Fatalf("paper prefix overcounted %v (true %d)", p, c)
+		}
+	}
+}
+
+func TestPipelineMetricsPopulated(t *testing.T) {
+	c := testutil.RandomCollection(60, 30, 12, 39)
+	res, err := SelfJoin(c, defaultOpts(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := res.Pipeline.Stages()
+	if len(stages) != 3 {
+		t.Fatalf("stages = %d, want 3 (ordering, filtering, verification)", len(stages))
+	}
+	names := []string{"ordering", "filtering", "verification"}
+	for i, st := range stages {
+		if st.Job != names[i] {
+			t.Errorf("stage %d = %q, want %q", i, st.Job, names[i])
+		}
+		if st.SimulatedTotalTime <= 0 {
+			t.Errorf("stage %q has no simulated time", st.Job)
+		}
+	}
+	if res.Pipeline.TotalShuffleBytes() <= 0 {
+		t.Error("no shuffle bytes accounted")
+	}
+}
+
+// TestOrderKindInvariance: any global ordering yields the same join
+// results (the ordering only changes performance, never correctness).
+func TestOrderKindInvariance(t *testing.T) {
+	c := testutil.RandomCollection(90, 45, 18, 61)
+	want := bruteforce.SelfJoin(c, similarity.Jaccard, 0.75)
+	for _, kind := range []order.Kind{order.FreqAscending, order.FreqDescending, order.Lexicographic} {
+		opt := defaultOpts(0.75)
+		opt.OrderKind = kind
+		res, err := SelfJoin(c, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		testutil.AssertSameResults(t, kind.String(), res.Pairs, want)
+	}
+}
+
+// TestLocalParallelismInvariance: concurrent local task execution must not
+// change results (race-free and deterministic assembly).
+func TestLocalParallelismInvariance(t *testing.T) {
+	c := testutil.RandomCollection(100, 50, 18, 62)
+	want := bruteforce.SelfJoin(c, similarity.Jaccard, 0.75)
+	for _, par := range []int{1, 4, 16} {
+		opt := defaultOpts(0.75)
+		opt.LocalParallelism = par
+		res, err := SelfJoin(c, opt)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		testutil.AssertSameResults(t, "parallel", res.Pairs, want)
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+// CostEstimate is the analytic cost model of Lemma 5, evaluated on a
+// collection's statistics: the expected record volumes of FS-Join's
+// filtering and verification jobs. It predicts *volumes* (what the paper's
+// C_m/C_s/C_r unit costs multiply), which the experiments compare against
+// the engine's measured metrics.
+type CostEstimate struct {
+	// MapRecords is Σ|s_i| in tokens — the map and shuffle volume of the
+	// filtering job (duplicate-free, so shuffle = input).
+	MapRecords int64
+	// ExpectedSegments is the expected number of non-empty segments, i.e.
+	// the filtering job's map output record count, assuming tokens spread
+	// independently over N fragments.
+	ExpectedSegments int64
+	// CandidateRecords is α·(M·p/N)²·N from Lemma 5 with p estimated from
+	// the data: the expected number of per-fragment co-occurring pairs
+	// before filtering.
+	CandidateRecords int64
+}
+
+// EstimateCost evaluates Lemma 5's quantities for a self-join over c with
+// n vertical fragments and pruning proportion alpha (the fraction of
+// fragment pair comparisons surviving the filters; 1.0 gives the unpruned
+// bound).
+func EstimateCost(c *tokens.Collection, fn similarity.Func, theta float64, n int, alpha float64) CostEstimate {
+	if n < 1 {
+		n = 1
+	}
+	var est CostEstimate
+	m := len(c.Records)
+	if m == 0 {
+		return est
+	}
+	est.MapRecords = int64(c.TotalTokens())
+
+	// P(record has ≥1 token in a fragment) with |s| tokens spread over n
+	// even-mass fragments ≈ 1 − (1−1/n)^{|s|}; summed over records gives
+	// the expected segment count, and its mean is Lemma 5's M·p/N (the
+	// expected fragment population divided by N).
+	pow := func(base float64, k int) float64 {
+		out := 1.0
+		for i := 0; i < k; i++ {
+			out *= base
+		}
+		return out
+	}
+	q := 1.0 - 1.0/float64(n)
+	var segs float64
+	for _, r := range c.Records {
+		segs += (1.0 - pow(q, r.Len())) * float64(n)
+	}
+	est.ExpectedSegments = int64(segs)
+
+	// Lemma 5's reducer term: N · (M·p/N)²/2 pairwise comparisons, of
+	// which a proportion alpha are emitted as candidates.
+	perFragment := segs / float64(n) // E[segments in one fragment] = M·p/N·N... (M·p)
+	pairs := float64(n) * perFragment * perFragment / 2
+	est.CandidateRecords = int64(alpha * pairs)
+	return est
+}

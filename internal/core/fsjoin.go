@@ -1,0 +1,374 @@
+// Package core implements FS-Join itself (Sections III–V): the three-phase
+// Ordering → Filtering → Verification MapReduce pipeline built on vertical
+// partitioning, with optional horizontal partitioning, four filters and
+// three join kernels. This is the paper's primary contribution.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fsjoin/internal/filters"
+	"fsjoin/internal/fragjoin"
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/order"
+	"fsjoin/internal/partition"
+	"fsjoin/internal/result"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+// Options configures one FS-Join execution.
+type Options struct {
+	// Fn is the similarity function (default Jaccard, as in the paper).
+	Fn similarity.Func
+	// Theta is the similarity threshold in (0, 1].
+	Theta float64
+	// PivotMethod selects vertical pivots (default EvenTF, the paper's
+	// choice).
+	PivotMethod partition.PivotMethod
+	// VerticalPartitions is the number of fragments (paper default 30);
+	// 0 means 3 × cluster nodes.
+	VerticalPartitions int
+	// HorizontalPivots is the number t of length pivots, yielding 2t+1
+	// horizontal partitions. 0 disables horizontal partitioning
+	// (FS-Join-V).
+	HorizontalPivots int
+	// JoinMethod is the fragment join kernel (default Prefix).
+	JoinMethod fragjoin.Method
+	// Filters is the enabled filter set (default All). The Prefix bit is
+	// normalised to match JoinMethod.
+	Filters filters.Set
+	// Cluster is the cost model (default: the paper's 10-node cluster).
+	Cluster *mapreduce.Cluster
+	// Seed drives the Random pivot method.
+	Seed int64
+	// PaperPrefix switches the Prefix join to the paper's literal
+	// segment-local prefix (aggressive, potentially lossy — see
+	// fragjoin.Params.PaperPrefix). Off by default.
+	PaperPrefix bool
+	// OrderKind selects the global ordering strategy (default: the
+	// paper's ascending term frequency).
+	OrderKind order.Kind
+	// Ctx, when non-nil, cancels the pipeline at the next task boundary.
+	Ctx context.Context
+	// LocalParallelism runs that many engine tasks concurrently on the
+	// local machine; 0 or 1 is sequential (best cost-model fidelity).
+	LocalParallelism int
+}
+
+// withDefaults normalises an Options value.
+func (o Options) withDefaults() (Options, error) {
+	if o.Theta <= 0 || o.Theta > 1 {
+		return o, fmt.Errorf("fsjoin: theta %v outside (0, 1]", o.Theta)
+	}
+	if o.Cluster == nil {
+		o.Cluster = mapreduce.DefaultCluster()
+	}
+	if o.VerticalPartitions <= 0 {
+		o.VerticalPartitions = 3 * o.Cluster.Nodes
+	}
+	if o.Filters == 0 {
+		o.Filters = filters.All
+	}
+	// The Prefix filter bit and the Prefix join method are one feature.
+	if o.JoinMethod == fragjoin.Prefix {
+		o.Filters |= filters.Prefix
+	} else {
+		o.Filters &^= filters.Prefix
+	}
+	return o, nil
+}
+
+// Result carries the join output and every measurement the experiments use.
+type Result struct {
+	// Pairs are the similar pairs, sorted canonically.
+	Pairs []result.Pair
+	// Pipeline exposes per-stage metrics (ordering, filtering,
+	// verification).
+	Pipeline *mapreduce.Pipeline
+	// FilterOutputRecords is the number of (pair, partial-count) records
+	// the filtering job emitted — the quantity Table IV reports.
+	FilterOutputRecords int64
+	// Pivots are the vertical pivot ranks used.
+	Pivots []uint32
+	// LengthPivots are the horizontal length pivots used (nil when
+	// horizontal partitioning is off).
+	LengthPivots []int
+}
+
+// partial is the filtering job's output value: a fragment's common-token
+// count for one pair plus the two record lengths, so verification never
+// needs the original strings (Section V-B).
+type partial struct {
+	C, La, Lb int32
+}
+
+// SizeBytes implements mapreduce.Sized.
+func (partial) SizeBytes() int { return 12 }
+
+// taggedRecord is the filtering job's input value for R-S joins.
+type taggedRecord struct {
+	rec    tokens.Record
+	origin uint8
+}
+
+// SizeBytes implements mapreduce.Sized.
+func (t taggedRecord) SizeBytes() int { return 5 + 4*len(t.rec.Tokens) }
+
+// SelfJoin runs FS-Join over one collection.
+func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
+	return run(c, nil, opt)
+}
+
+// Join runs FS-Join across two collections (R-S join); result pairs carry
+// the R-side id first.
+func Join(r, s *tokens.Collection, opt Options) (*Result, error) {
+	if s == nil {
+		return nil, errors.New("fsjoin: nil S collection")
+	}
+	return run(r, s, opt)
+}
+
+func run(r, s *tokens.Collection, opt Options) (*Result, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rs := s != nil
+	p := mapreduce.NewPipeline("fs-join", opt.Cluster)
+	p.Context = opt.Ctx
+
+	// ---- Phase 1: Ordering (one MR job over the union) ----
+	union := r
+	if rs {
+		union = &tokens.Collection{Records: append(append([]tokens.Record{}, r.Records...), s.Records...)}
+	}
+	o, err := order.ComputeKind(p, union, opt.OrderKind)
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := o.Apply(r)
+	if err != nil {
+		return nil, err
+	}
+	var orderedS *tokens.Collection
+	if rs {
+		if orderedS, err = o.Apply(s); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- Driver-side setup: pivots, published to the DFS the way the
+	// ordering job's output reaches Algorithm 1's setup() ----
+	pivots := partition.SelectPivots(opt.PivotMethod, o, opt.VerticalPartitions-1, opt.Seed)
+	horiz := partition.NoHorizontal(opt.Fn, opt.Theta)
+	if opt.HorizontalPivots > 0 {
+		var lengths []int
+		for _, rec := range union.Records {
+			lengths = append(lengths, rec.Len())
+		}
+		lp := partition.SelectLengthPivots(opt.Fn, opt.Theta, lengths, opt.HorizontalPivots)
+		horiz = partition.NewHorizontal(opt.Fn, opt.Theta, lp)
+	}
+	dfs := mapreduce.NewDFS()
+	dfs.Write(dfsPivots, pivots)
+	dfs.Write(dfsHorizontal, horiz)
+	splitter := partition.NewSplitter(pivots)
+
+	// ---- Phase 2: Filtering (vertical partition map, fragment join
+	// reduce) ----
+	input := tagInput(ordered, 0)
+	if rs {
+		input = append(input, tagInput(orderedS, 1)...)
+	}
+	nv := splitter.Fragments()
+	params := fragjoin.Params{
+		Fn:          opt.Fn,
+		Theta:       opt.Theta,
+		Filters:     opt.Filters,
+		Method:      opt.JoinMethod,
+		RS:          rs,
+		PaperPrefix: opt.PaperPrefix,
+	}
+	filterRes, err := p.Run(mapreduce.Config{
+		Name:        "filtering",
+		Parallelism: opt.LocalParallelism,
+		// Fragments are routed round-robin to reducers, the paper's
+		// fragment-per-node layout.
+		Partitioner: func(key string, reducers int) int {
+			h, v := mapreduce.DecodePairKey(key)
+			return int(h*uint32(nv)+v) % reducers
+		},
+	}, input, &filterMapper{dfs: dfs}, &filterReducer{params: params})
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Phase 3: Verification (aggregate partial counts) ----
+	verifyRes, err := p.Run(mapreduce.Config{
+		Name:        "verification",
+		Parallelism: opt.LocalParallelism,
+		Combiner:    sumPartials{},
+	}, filterRes.Output, mapreduce.IdentityMapper, &verifyReducer{fn: opt.Fn, theta: opt.Theta})
+	if err != nil {
+		return nil, err
+	}
+
+	pairs := decodePairs(verifyRes.Output, opt.Fn)
+	result.Sort(pairs)
+	return &Result{
+		Pairs:               pairs,
+		Pipeline:            p,
+		FilterOutputRecords: filterRes.Metrics.OutputRecords,
+		Pivots:              pivots,
+		LengthPivots:        horiz.Pivots(),
+	}, nil
+}
+
+// tagInput converts a collection into filtering-job input pairs.
+func tagInput(c *tokens.Collection, origin uint8) []mapreduce.KV {
+	kvs := make([]mapreduce.KV, 0, len(c.Records))
+	for _, rec := range c.Records {
+		kvs = append(kvs, mapreduce.KV{
+			Key:   mapreduce.U32Key(uint32(rec.RID)),
+			Value: taggedRecord{rec: rec, origin: origin},
+		})
+	}
+	return kvs
+}
+
+// DFS paths under which the driver publishes the setup data each filter
+// map task loads, mirroring Algorithm 1's SetUp (lines 2–4).
+const (
+	dfsPivots     = "fs-join/vertical-pivots"
+	dfsHorizontal = "fs-join/horizontal-partitioner"
+)
+
+// filterMapper implements Algorithm 1's map: vertical (and horizontal)
+// partitioning, emitting (partition id, segment+segInfo). Its Setup hook
+// loads the pivots from the DFS, as the paper's mappers do; the load is
+// once-guarded so concurrent task setups stay race-free.
+type filterMapper struct {
+	dfs      *mapreduce.DFS
+	once     sync.Once
+	splitter *partition.Splitter
+	horiz    *partition.Horizontal
+}
+
+// Setup implements mapreduce.Setupper: load the global setup data.
+func (m *filterMapper) Setup(ctx *mapreduce.Context) {
+	m.once.Do(func() {
+		m.splitter = partition.NewSplitter(m.dfs.MustRead(dfsPivots).([]uint32))
+		m.horiz = m.dfs.MustRead(dfsHorizontal).(*partition.Horizontal)
+	})
+}
+
+// Map implements mapreduce.Mapper.
+func (m *filterMapper) Map(ctx *mapreduce.Context, kv mapreduce.KV) {
+	tr := kv.Value.(taggedRecord)
+	rec := tr.rec
+	if rec.Len() == 0 {
+		return
+	}
+	segs := m.splitter.Split(rec)
+	for _, asg := range m.horiz.Assign(rec.Len()) {
+		for _, seg := range segs {
+			ctx.Emit(mapreduce.PairKey(uint32(asg.Partition), uint32(seg.Fragment)), fragjoin.Seg{
+				RID:    rec.RID,
+				Origin: tr.origin,
+				Role:   asg.Role,
+				StrLen: int32(seg.StrLen),
+				Head:   int32(seg.Head),
+				Tail:   int32(seg.Tail),
+				Tokens: seg.Tokens,
+			})
+		}
+	}
+}
+
+// filterReducer joins one fragment's segments and emits partial counts.
+type filterReducer struct {
+	params fragjoin.Params
+}
+
+// Reduce implements mapreduce.Reducer.
+func (r *filterReducer) Reduce(ctx *mapreduce.Context, key string, values []any) {
+	segs := make([]fragjoin.Seg, len(values))
+	for i, v := range values {
+		segs[i] = v.(fragjoin.Seg)
+	}
+	fragjoin.Join(ctx, segs, r.params, func(a, b *fragjoin.Seg, c int) {
+		ctx.Emit(mapreduce.PairKey(uint32(a.RID), uint32(b.RID)),
+			partial{C: int32(c), La: a.StrLen, Lb: b.StrLen})
+	})
+}
+
+// sumPartials merges partial counts for one pair; used as the verification
+// job's combiner (with the engine's fold fast path).
+type sumPartials struct{}
+
+// Reduce implements mapreduce.Reducer.
+func (s sumPartials) Reduce(ctx *mapreduce.Context, key string, values []any) {
+	acc := values[0]
+	for _, v := range values[1:] {
+		acc = s.Fold(acc, v)
+	}
+	ctx.Emit(key, acc)
+}
+
+// Fold implements mapreduce.Folder.
+func (sumPartials) Fold(acc, v any) any {
+	a := acc.(partial)
+	a.C += v.(partial).C
+	return a
+}
+
+// verifyReducer implements Section V-B: aggregate common-token counts and
+// apply the threshold algebraically. It uses the engine's fold fast path.
+type verifyReducer struct {
+	fn    similarity.Func
+	theta float64
+}
+
+// Reduce implements mapreduce.Reducer.
+func (r *verifyReducer) Reduce(ctx *mapreduce.Context, key string, values []any) {
+	acc := values[0]
+	for _, v := range values[1:] {
+		acc = r.Fold(acc, v)
+	}
+	r.FinishFold(ctx, key, acc)
+}
+
+// Fold implements mapreduce.Folder.
+func (r *verifyReducer) Fold(acc, v any) any {
+	a := acc.(partial)
+	a.C += v.(partial).C
+	return a
+}
+
+// FinishFold implements mapreduce.FoldingReducer.
+func (r *verifyReducer) FinishFold(ctx *mapreduce.Context, key string, acc any) {
+	sum := acc.(partial)
+	if r.fn.AtLeast(int(sum.C), int(sum.La), int(sum.Lb), r.theta) {
+		ctx.Emit(key, sum)
+	}
+}
+
+// decodePairs converts verification output into result pairs.
+func decodePairs(kvs []mapreduce.KV, fn similarity.Func) []result.Pair {
+	out := make([]result.Pair, 0, len(kvs))
+	for _, kv := range kvs {
+		a, b := mapreduce.DecodePairKey(kv.Key)
+		pv := kv.Value.(partial)
+		out = append(out, result.Pair{
+			A:      int32(a),
+			B:      int32(b),
+			Common: int(pv.C),
+			Sim:    fn.Sim(int(pv.C), int(pv.La), int(pv.Lb)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsjoin/internal/bruteforce"
+	"fsjoin/internal/fragjoin"
+	"fsjoin/internal/partition"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/testutil"
+)
+
+// TestRandomConfigurationSweep is the deep oracle sweep: many random
+// (dataset, θ, function, kernel, pivot method, partition counts, order)
+// configurations, every one compared against the brute-force oracle.
+func TestRandomConfigurationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep sweep")
+	}
+	rng := rand.New(rand.NewSource(99))
+	fns := []similarity.Func{similarity.Jaccard, similarity.Dice, similarity.Cosine}
+	kernels := []fragjoin.Method{fragjoin.Loop, fragjoin.Index, fragjoin.Prefix}
+	pivots := []partition.PivotMethod{partition.Random, partition.EvenInterval, partition.EvenTF}
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(120) + 20
+		vocab := rng.Intn(80) + 10
+		maxLen := rng.Intn(25) + 3
+		c := testutil.RandomCollection(n, vocab, maxLen, int64(1000+trial))
+		theta := float64(rng.Intn(55)+40) / 100 // 0.40..0.94
+		fn := fns[rng.Intn(len(fns))]
+		opt := Options{
+			Fn:                 fn,
+			Theta:              theta,
+			PivotMethod:        pivots[rng.Intn(len(pivots))],
+			VerticalPartitions: rng.Intn(40) + 1,
+			HorizontalPivots:   rng.Intn(8),
+			JoinMethod:         kernels[rng.Intn(len(kernels))],
+			Cluster:            testutil.SmallCluster(),
+			Seed:               int64(trial),
+		}
+		want := bruteforce.SelfJoin(c, fn, theta)
+		res, err := SelfJoin(c, opt)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, opt, err)
+		}
+		label := fn.String() + "/" + opt.JoinMethod.String() + "/" + opt.PivotMethod.String()
+		testutil.AssertSameResults(t, label, res.Pairs, want)
+		if t.Failed() {
+			t.Fatalf("trial %d config: θ=%.2f v=%d h=%d", trial, theta,
+				opt.VerticalPartitions, opt.HorizontalPivots)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package dataset provides the synthetic workloads standing in for the
+// paper's three real datasets (Table III): Enron Email, PubMed abstracts and
+// Wiki abstracts. Generators reproduce the properties the join algorithms
+// are sensitive to — Zipfian token-frequency skew, the length distribution,
+// and a controllable rate of near-duplicate records so joins return
+// non-trivial results — scaled down uniformly to laptop size (DESIGN.md §2).
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"fsjoin/internal/tokens"
+)
+
+// Profile parameterises a synthetic dataset.
+type Profile struct {
+	// Name labels the profile in reports ("email", "pubmed", "wiki").
+	Name string
+	// Records is the number of records at scale 1.0 (the "10X" scale of
+	// the paper's sampling experiments).
+	Records int
+	// Vocab is the token-domain size |U| at scale 1.0.
+	Vocab int
+	// ZipfS is the Zipf skew exponent (> 1; larger = more skew).
+	ZipfS float64
+	// ZipfV is the Zipf offset: p(k) ∝ 1/(v+k)^s. Larger values flatten
+	// the head so the most frequent token lands at realistic stopword
+	// frequencies (~0.5–2%% of occurrences) instead of dominating.
+	ZipfV float64
+	// MeanLen, MinLen, MaxLen bound the per-record token-set sizes.
+	MeanLen int
+	MinLen  int
+	MaxLen  int
+	// LenSigma is the lognormal shape of the length distribution; larger
+	// values give the heavy tails of the Email dataset.
+	LenSigma float64
+	// DupRate is the fraction of records generated as near-duplicates of
+	// an earlier record — these create the join's result pairs.
+	DupRate float64
+	// DupNoise is the per-token mutation probability for near-duplicates.
+	DupNoise float64
+}
+
+// Email approximates the Enron Email dataset: few records, very long and
+// extremely variable token sets (Table III: min 51 tokens, heavy tail).
+func Email() Profile {
+	return Profile{
+		Name: "email", Records: 800, Vocab: 30000, ZipfS: 1.08, ZipfV: 60,
+		MeanLen: 280, MinLen: 51, MaxLen: 3000, LenSigma: 1.0,
+		DupRate: 0.25, DupNoise: 0.08,
+	}
+}
+
+// PubMed approximates the PubMed abstract dataset: many short records
+// (Table III: avg 80.4 tokens, max 1142, min 1).
+func PubMed() Profile {
+	return Profile{
+		Name: "pubmed", Records: 4000, Vocab: 60000, ZipfS: 1.05, ZipfV: 100,
+		MeanLen: 80, MinLen: 1, MaxLen: 1142, LenSigma: 0.7,
+		DupRate: 0.2, DupNoise: 0.06,
+	}
+}
+
+// Wiki approximates the Wiki abstract dataset: many very short records
+// (Table III: avg 56.0 tokens, min 1).
+func Wiki() Profile {
+	return Profile{
+		Name: "wiki", Records: 5000, Vocab: 80000, ZipfS: 1.05, ZipfV: 100,
+		MeanLen: 56, MinLen: 1, MaxLen: 1500, LenSigma: 0.8,
+		DupRate: 0.2, DupNoise: 0.07,
+	}
+}
+
+// Profiles returns the three paper datasets in presentation order.
+func Profiles() []Profile { return []Profile{Email(), PubMed(), Wiki()} }
+
+// Scale returns a copy of p with Records (and Vocab, sub-linearly — Heaps'
+// law) multiplied by f. Used for the paper's 4X/6X/8X/10X experiment.
+func (p Profile) Scale(f float64) Profile {
+	out := p
+	out.Records = int(float64(p.Records) * f)
+	if out.Records < 1 {
+		out.Records = 1
+	}
+	out.Vocab = int(float64(p.Vocab) * math.Pow(f, 0.6))
+	if out.Vocab < 64 {
+		out.Vocab = 64
+	}
+	return out
+}
+
+// Generate builds the synthetic collection deterministically from the seed.
+func Generate(p Profile, seed int64) *tokens.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	v := p.ZipfV
+	if v < 1 {
+		v = 1
+	}
+	zipf := rand.NewZipf(rng, p.ZipfS, v, uint64(p.Vocab-1))
+	lenMu := math.Log(float64(p.MeanLen)) - p.LenSigma*p.LenSigma/2
+
+	c := &tokens.Collection{Records: make([]tokens.Record, 0, p.Records)}
+	for i := 0; i < p.Records; i++ {
+		rid := int32(i)
+		if i > 0 && rng.Float64() < p.DupRate {
+			base := c.Records[rng.Intn(i)]
+			c.Records = append(c.Records, mutate(rng, zipf, base, rid, p.DupNoise))
+			continue
+		}
+		n := sampleLen(rng, lenMu, p.LenSigma, p.MinLen, p.MaxLen)
+		ids := make([]tokens.ID, n)
+		for j := range ids {
+			ids[j] = tokens.ID(zipf.Uint64())
+		}
+		c.Records = append(c.Records, tokens.NewRecord(rid, ids))
+	}
+	return c
+}
+
+// mutate derives a near-duplicate: each token is replaced with probability
+// noise, and with probability noise/2 a token is added or dropped.
+func mutate(rng *rand.Rand, zipf *rand.Zipf, base tokens.Record, rid int32, noise float64) tokens.Record {
+	ids := make([]tokens.ID, 0, len(base.Tokens)+2)
+	for _, t := range base.Tokens {
+		switch {
+		case rng.Float64() < noise:
+			ids = append(ids, tokens.ID(zipf.Uint64()))
+		case rng.Float64() < noise/2:
+			// dropped
+		default:
+			ids = append(ids, t)
+		}
+	}
+	if rng.Float64() < noise {
+		ids = append(ids, tokens.ID(zipf.Uint64()))
+	}
+	if len(ids) == 0 {
+		ids = append(ids, tokens.ID(zipf.Uint64()))
+	}
+	return tokens.NewRecord(rid, ids)
+}
+
+func sampleLen(rng *rand.Rand, mu, sigma float64, lo, hi int) int {
+	n := int(math.Round(math.Exp(rng.NormFloat64()*sigma + mu)))
+	if n < lo {
+		n = lo
+	}
+	if n > hi {
+		n = hi
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Sample returns a deterministic random fraction of the collection,
+// mirroring the paper's "6X means 60% of strings extracted randomly".
+// Record ids are preserved.
+func Sample(c *tokens.Collection, frac float64, seed int64) *tokens.Collection {
+	if frac >= 1 {
+		return c.Clone()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := &tokens.Collection{}
+	for _, r := range c.Records {
+		if rng.Float64() < frac {
+			out.Records = append(out.Records, r.Clone())
+		}
+	}
+	return out
+}
+
+// Stats summarises a collection the way Table III does.
+type Stats struct {
+	Records   int
+	MinLen    int
+	MaxLen    int
+	AvgLen    float64
+	TotalToks int
+	Distinct  int
+}
+
+// Describe computes Table III-style statistics.
+func Describe(c *tokens.Collection) Stats {
+	s := Stats{Records: len(c.Records), MinLen: math.MaxInt}
+	seen := make(map[tokens.ID]struct{})
+	for _, r := range c.Records {
+		n := r.Len()
+		s.TotalToks += n
+		if n < s.MinLen {
+			s.MinLen = n
+		}
+		if n > s.MaxLen {
+			s.MaxLen = n
+		}
+		for _, t := range r.Tokens {
+			seen[t] = struct{}{}
+		}
+	}
+	if s.Records > 0 {
+		s.AvgLen = float64(s.TotalToks) / float64(s.Records)
+	} else {
+		s.MinLen = 0
+	}
+	s.Distinct = len(seen)
+	return s
+}

@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fsjoin/internal/bruteforce"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Wiki().Scale(0.05)
+	a := Generate(p, 42)
+	b := Generate(p, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different collections")
+	}
+	c := Generate(p, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical collections")
+	}
+}
+
+func TestGenerateRespectsProfileShape(t *testing.T) {
+	for _, p := range Profiles() {
+		small := p.Scale(0.1)
+		c := Generate(small, 1)
+		s := Describe(c)
+		if s.Records != small.Records {
+			t.Errorf("%s: records %d != %d", p.Name, s.Records, small.Records)
+		}
+		if s.MaxLen > p.MaxLen {
+			t.Errorf("%s: max len %d > %d", p.Name, s.MaxLen, p.MaxLen)
+		}
+		if s.AvgLen < float64(p.MeanLen)/4 || s.AvgLen > float64(p.MeanLen)*4 {
+			t.Errorf("%s: avg len %.1f far from mean %d", p.Name, s.AvgLen, p.MeanLen)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestGenerateProducesSimilarPairs(t *testing.T) {
+	// The duplicate mechanism must create join results, or every
+	// experiment would report empty joins.
+	c := Generate(Wiki().Scale(0.05), 7)
+	pairs := bruteforce.SelfJoin(c, similarity.Jaccard, 0.8)
+	if len(pairs) == 0 {
+		t.Fatal("no similar pairs at θ=0.8")
+	}
+}
+
+func TestTokenFrequencySkewIsRealistic(t *testing.T) {
+	// The most frequent token should sit at stopword-like frequency:
+	// present in a meaningful share of records but nowhere near all
+	// positions (the ZipfV head-flattening).
+	c := Generate(PubMed().Scale(0.25), 1)
+	counts := map[tokens.ID]int{}
+	total := 0
+	for _, r := range c.Records {
+		for _, tok := range r.Tokens {
+			counts[tok]++
+			total++
+		}
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	share := float64(max) / float64(total)
+	if share > 0.05 {
+		t.Fatalf("top token holds %.1f%% of occurrences — head too fat", share*100)
+	}
+	if share < 0.0005 {
+		t.Fatalf("top token holds %.3f%% — no skew at all", share*100)
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := PubMed()
+	h := p.Scale(0.5)
+	if h.Records != p.Records/2 {
+		t.Fatalf("records %d", h.Records)
+	}
+	if h.Vocab >= p.Vocab || h.Vocab <= p.Vocab/2 {
+		t.Fatalf("vocab should shrink sub-linearly: %d from %d", h.Vocab, p.Vocab)
+	}
+	tiny := p.Scale(0.000001)
+	if tiny.Records < 1 || tiny.Vocab < 64 {
+		t.Fatal("scale floors violated")
+	}
+}
+
+func TestSampleFraction(t *testing.T) {
+	c := Generate(Wiki().Scale(0.2), 1)
+	s := Sample(c, 0.5, 9)
+	frac := float64(s.Len()) / float64(c.Len())
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("sample fraction %.2f far from 0.5", frac)
+	}
+	// RIDs preserved and records identical.
+	byRID := map[int32]tokens.Record{}
+	for _, r := range c.Records {
+		byRID[r.RID] = r
+	}
+	for _, r := range s.Records {
+		orig, ok := byRID[r.RID]
+		if !ok || !reflect.DeepEqual(orig.Tokens, r.Tokens) {
+			t.Fatal("sampled record mangled")
+		}
+	}
+	if full := Sample(c, 1.0, 9); full.Len() != c.Len() {
+		t.Fatal("full sample lost records")
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	s := Describe(&tokens.Collection{})
+	if s.Records != 0 || s.MinLen != 0 || s.MaxLen != 0 || s.AvgLen != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	c := Generate(Wiki().Scale(0.02), 3)
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c, back) {
+		t.Fatal("TSV round trip changed the collection")
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader("no-tab-here\n")); err == nil {
+		t.Fatal("missing tab accepted")
+	}
+	if _, err := ReadTSV(strings.NewReader("x\t1 2\n")); err == nil {
+		t.Fatal("bad rid accepted")
+	}
+	if _, err := ReadTSV(strings.NewReader("1\ta b\n")); err == nil {
+		t.Fatal("bad token accepted")
+	}
+	c, err := ReadTSV(strings.NewReader("7\t3 1 2\n\n8\t\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.Records[0].RID != 7 || c.Records[0].Len() != 3 || c.Records[1].Len() != 0 {
+		t.Fatalf("parsed wrong: %+v", c.Records)
+	}
+}
+
+func TestReadText(t *testing.T) {
+	dict := tokens.NewDictionary()
+	c, err := ReadText(strings.NewReader("Hello world\nhello again\n"), tokens.WordTokenizer{}, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("records = %d", c.Len())
+	}
+	// "hello" shared between both records.
+	if n := tokens.Intersect(c.Records[0].Tokens, c.Records[1].Tokens); n != 1 {
+		t.Fatalf("shared tokens = %d", n)
+	}
+}

@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fsjoin/internal/tokens"
+)
+
+// WriteTSV writes a collection as lines of "rid<TAB>tok tok ...", with
+// tokens as integer ids.
+func WriteTSV(w io.Writer, c *tokens.Collection) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range c.Records {
+		if _, err := fmt.Fprintf(bw, "%d\t", r.RID); err != nil {
+			return err
+		}
+		for i, t := range r.Tokens {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(t), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV reads a collection written by WriteTSV.
+func ReadTSV(r io.Reader) (*tokens.Collection, error) {
+	c := &tokens.Collection{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		rid, rest, ok := strings.Cut(text, "\t")
+		if !ok {
+			return nil, fmt.Errorf("dataset: line %d: missing tab separator", line)
+		}
+		id, err := strconv.ParseInt(rid, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad rid %q: %v", line, rid, err)
+		}
+		fields := strings.Fields(rest)
+		ids := make([]tokens.ID, 0, len(fields))
+		for _, f := range fields {
+			t, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad token %q: %v", line, f, err)
+			}
+			ids = append(ids, tokens.ID(t))
+		}
+		c.Records = append(c.Records, tokens.NewRecord(int32(id), ids))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ReadText tokenises one raw text record per line (rid = line index) with
+// the given tokenizer and dictionary-encodes them. The dictionary may be
+// shared across calls so two collections can be joined.
+func ReadText(r io.Reader, tk tokens.Tokenizer, dict *tokens.Dictionary) (*tokens.Collection, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var raws []tokens.Raw
+	for sc.Scan() {
+		raws = append(raws, tokens.Raw{RID: int32(len(raws)), Text: sc.Text()})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return dict.Encode(raws, tk), nil
+}

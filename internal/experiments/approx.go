@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fsjoin/internal/dataset"
+	"fsjoin/internal/minhash"
+)
+
+// Approx evaluates the future-work extension (Section VII): the approximate
+// MinHash/LSH join against exact FS-Join — simulated time, candidate volume
+// and recall per dataset and threshold.
+func (r *Runner) Approx() error {
+	head := []string{"dataset", "theta", "FS-Join (s)", "LSH (s)", "LSH candidates", "recall"}
+	var rows [][]string
+	for _, p := range dataset.Profiles() {
+		c := r.full(p)
+		for _, theta := range []float64{0.75, 0.9} {
+			exact, cl, err := runFS(c, fsOptions(theta, 10))
+			if err != nil {
+				return err
+			}
+			approx, err := minhash.SelfJoin(c, minhash.Params{
+				Theta: theta, Seed: 11, Cluster: cluster(10),
+			})
+			if err != nil {
+				return err
+			}
+			recall := 1.0
+			if len(exact.Pairs) > 0 {
+				recall = float64(len(approx.Pairs)) / float64(len(exact.Pairs))
+			}
+			rows = append(rows, []string{
+				p.Name, fmt.Sprintf("%.2f", theta),
+				cl.String(),
+				fmt.Sprintf("%.1f", approx.Pipeline.TotalSimulatedTime().Seconds()),
+				fmt.Sprintf("%d", approx.Candidates),
+				fmt.Sprintf("%.1f%%", 100*recall),
+			})
+		}
+	}
+	printTable(r.cfg.Out, "Extension: approximate MinHash/LSH join vs exact FS-Join", head, rows)
+	return nil
+}

@@ -1,0 +1,238 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI) on the synthetic datasets: Figures 6–13 and
+// Tables I, III and IV, plus a Lemma 5 cost-model check. Each experiment
+// prints the same rows/series the paper reports; EXPERIMENTS.md records the
+// measured shapes against the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"fsjoin/internal/core"
+	"fsjoin/internal/dataset"
+	"fsjoin/internal/filters"
+	"fsjoin/internal/fragjoin"
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/massjoin"
+	"fsjoin/internal/partition"
+	"fsjoin/internal/ridpairs"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+	"fsjoin/internal/vsmart"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Scale multiplies every dataset profile's record count; 1.0 is the
+	// calibrated laptop-scale default, smaller values give quick runs.
+	Scale float64
+	// Seed drives dataset generation and random pivot selection.
+	Seed int64
+	// Out receives the rendered tables.
+	Out io.Writer
+	// Budget caps intermediate records for V-Smart-Join and MassJoin (the
+	// baselines that blow up); runs exceeding it are reported as DNF, the
+	// way the paper reports failed runs. 0 means no cap.
+	Budget int64
+}
+
+// DefaultConfig returns the calibrated configuration.
+func DefaultConfig(out io.Writer) Config {
+	return Config{Scale: 1.0, Seed: 1, Out: out, Budget: 3_000_000}
+}
+
+// Runner executes experiments, caching generated datasets across them.
+type Runner struct {
+	cfg   Config
+	cache map[string]*tokens.Collection
+}
+
+// NewRunner returns a Runner for the configuration.
+func NewRunner(cfg Config) *Runner {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	return &Runner{cfg: cfg, cache: make(map[string]*tokens.Collection)}
+}
+
+// full returns the profile's collection at the configured scale.
+func (r *Runner) full(p dataset.Profile) *tokens.Collection {
+	key := fmt.Sprintf("%s@%g", p.Name, r.cfg.Scale)
+	if c, ok := r.cache[key]; ok {
+		return c
+	}
+	c := dataset.Generate(p.Scale(r.cfg.Scale), r.cfg.Seed)
+	r.cache[key] = c
+	return c
+}
+
+// smallFraction mirrors the paper's small datasets: Email(10%), Wiki(1%),
+// PubMed(1%). Our profiles are already scaled down uniformly, so the
+// fractions are re-calibrated to leave enough records for meaningful joins.
+func smallFraction(name string) float64 {
+	switch name {
+	case "email":
+		return 0.30 // stands in for the paper's Email(10%)
+	default:
+		return 0.15 // stands in for the paper's 1% of the multi-million sets
+	}
+}
+
+// small returns the profile's small-scale sample.
+func (r *Runner) small(p dataset.Profile) *tokens.Collection {
+	key := fmt.Sprintf("%s-small@%g", p.Name, r.cfg.Scale)
+	if c, ok := r.cache[key]; ok {
+		return c
+	}
+	c := dataset.Sample(r.full(p), smallFraction(p.Name), r.cfg.Seed+100)
+	r.cache[key] = c
+	return c
+}
+
+// cluster returns the paper's cluster model with the given node count.
+func cluster(nodes int) *mapreduce.Cluster {
+	cl := mapreduce.DefaultCluster()
+	cl.Nodes = nodes
+	return cl
+}
+
+// cell is one measured table entry.
+type cell struct {
+	seconds float64
+	dnf     bool
+	extra   string
+}
+
+// String renders the cell (seconds, DNF, or a preformatted value).
+func (c cell) String() string {
+	if c.dnf {
+		return "DNF"
+	}
+	if c.extra != "" {
+		return c.extra
+	}
+	return fmt.Sprintf("%.1f", c.seconds)
+}
+
+// fsOptions returns the paper's default FS-Join configuration.
+func fsOptions(theta float64, nodes int) core.Options {
+	return core.Options{
+		Fn:                 similarity.Jaccard,
+		Theta:              theta,
+		PivotMethod:        partition.EvenTF,
+		VerticalPartitions: 30,
+		HorizontalPivots:   10,
+		JoinMethod:         fragjoin.Prefix,
+		Filters:            filters.All,
+		Cluster:            cluster(nodes),
+		Seed:               7,
+	}
+}
+
+// runFS runs FS-Join and returns (result, simulated seconds).
+func runFS(c *tokens.Collection, opt core.Options) (*core.Result, cell, error) {
+	res, err := core.SelfJoin(c, opt)
+	if err != nil {
+		return nil, cell{}, err
+	}
+	return res, cell{seconds: res.Pipeline.TotalSimulatedTime().Seconds()}, nil
+}
+
+// runAlgo runs one named algorithm on a collection, mapping budget
+// exhaustion to DNF like the paper's failed runs.
+func (r *Runner) runAlgo(name string, c *tokens.Collection, theta float64, nodes int) (cell, int, error) {
+	switch name {
+	case "FS-Join":
+		res, cl, err := runFS(c, fsOptions(theta, nodes))
+		if err != nil {
+			return cell{}, 0, err
+		}
+		return cl, len(res.Pairs), nil
+	case "FS-Join-V":
+		opt := fsOptions(theta, nodes)
+		opt.HorizontalPivots = 0
+		res, cl, err := runFS(c, opt)
+		if err != nil {
+			return cell{}, 0, err
+		}
+		return cl, len(res.Pairs), nil
+	case "FS-Join-paper":
+		opt := fsOptions(theta, nodes)
+		opt.PaperPrefix = true
+		res, cl, err := runFS(c, opt)
+		if err != nil {
+			return cell{}, 0, err
+		}
+		return cl, len(res.Pairs), nil
+	case "RIDPairsPPJoin":
+		res, err := ridpairs.SelfJoin(c, ridpairs.Options{Fn: similarity.Jaccard, Theta: theta, Cluster: cluster(nodes)})
+		if err != nil {
+			return cell{}, 0, err
+		}
+		return cell{seconds: res.Pipeline.TotalSimulatedTime().Seconds()}, len(res.Pairs), nil
+	case "V-Smart-Join":
+		res, err := vsmart.SelfJoin(c, vsmart.Options{
+			Fn: similarity.Jaccard, Theta: theta, Cluster: cluster(nodes), MaxPairEmits: r.cfg.Budget,
+		})
+		if err != nil {
+			return cell{dnf: true}, 0, nil
+		}
+		return cell{seconds: res.Pipeline.TotalSimulatedTime().Seconds()}, len(res.Pairs), nil
+	case "Merge", "Merge+Light":
+		variant := massjoin.Merge
+		if name == "Merge+Light" {
+			variant = massjoin.MergeLight
+		}
+		res, err := massjoin.SelfJoin(c, massjoin.Options{
+			Fn: similarity.Jaccard, Theta: theta, Variant: variant,
+			Cluster: cluster(nodes), MaxSignatures: r.cfg.Budget,
+		})
+		if err != nil {
+			return cell{dnf: true}, 0, nil
+		}
+		return cell{seconds: res.Pipeline.TotalSimulatedTime().Seconds()}, len(res.Pairs), nil
+	default:
+		return cell{}, 0, fmt.Errorf("experiments: unknown algorithm %q", name)
+	}
+}
+
+// printTable renders an aligned text table.
+func printTable(w io.Writer, title string, head []string, rows [][]string) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	widths := make([]int, len(head))
+	for i, h := range head {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(head)
+	sep := make([]string, len(head))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// secondsOf formats a duration in seconds for table cells.
+func secondsOf(d time.Duration) string { return fmt.Sprintf("%.1f", d.Seconds()) }

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fsjoin/internal/dataset"
+)
+
+// tinyRunner runs experiments at a very small scale with a tight budget so
+// the whole suite smoke-tests quickly.
+func tinyRunner(buf *bytes.Buffer) *Runner {
+	return NewRunner(Config{Scale: 0.05, Seed: 1, Out: buf, Budget: 100_000})
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke suite")
+	}
+	var buf bytes.Buffer
+	r := tinyRunner(&buf)
+	for _, name := range r.Names() {
+		before := buf.Len()
+		if err := r.Run(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == before {
+			t.Fatalf("%s produced no output", name)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table III", "Table I", "Figure 6", "Figure 7", "Figure 8",
+		"Figure 9", "Figure 10", "Figure 11", "Figure 12", "Figure 13",
+		"Table IV", "Soundness", "Lemma 5", "MinHash",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tinyRunner(&buf).Run("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunnerCachesDatasets(t *testing.T) {
+	var buf bytes.Buffer
+	r := tinyRunner(&buf)
+	a := r.full(dataset.Profiles()[0])
+	b := r.full(dataset.Profiles()[0])
+	if a != b {
+		t.Fatal("dataset not cached")
+	}
+}
+
+func TestOrderingSanity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tinyRunner(&buf).orderingSanity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	printTable(&buf, "T", []string{"a", "bb"}, [][]string{{"xxx", "y"}})
+	out := buf.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "xxx") {
+		t.Fatalf("table output: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, head, separator, row
+		t.Fatalf("table lines = %d", len(lines))
+	}
+}

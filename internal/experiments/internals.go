@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fsjoin/internal/core"
+	"fsjoin/internal/dataset"
+	"fsjoin/internal/filters"
+	"fsjoin/internal/fragjoin"
+	"fsjoin/internal/partition"
+	"fsjoin/internal/tokens"
+)
+
+// horizontalSweep mirrors Figure 10's per-dataset horizontal partition
+// counts (the numbers above the dataset names in the paper's plot).
+func horizontalSweep(name string) []int {
+	switch name {
+	case "email":
+		return []int{5, 10}
+	case "wiki":
+		return []int{30, 50}
+	default: // pubmed
+		return []int{50, 70}
+	}
+}
+
+// Fig10 reproduces Figure 10: the filtering-phase vs verification-phase
+// split of FS-Join's time, while sweeping the number of horizontal
+// partitions. The paper observes filtering ≫ verification and total time
+// decreasing as horizontal partitions increase.
+func (r *Runner) Fig10() error {
+	theta := 0.8
+	head := []string{"dataset", "h-partitions", "filter (s)", "verify (s)", "total (s)"}
+	var rows [][]string
+	for _, p := range dataset.Profiles() {
+		c := r.full(p)
+		for _, hp := range horizontalSweep(p.Name) {
+			opt := fsOptions(theta, 10)
+			opt.HorizontalPivots = hp / 2 // 2t+1 partitions from t pivots
+			res, _, err := runFS(c, opt)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, []string{
+				p.Name, fmt.Sprintf("%d", hp),
+				secondsOf(res.Pipeline.StageTime("filtering")),
+				secondsOf(res.Pipeline.StageTime("verification")),
+				secondsOf(res.Pipeline.TotalSimulatedTime()),
+			})
+		}
+	}
+	printTable(r.cfg.Out, "Figure 10: filtering vs verification time across horizontal partitions (theta=0.8)", head, rows)
+	return nil
+}
+
+// Fig11 reproduces Figure 11: the three pivot selection methods. The paper
+// observes Even-TF < Even-Interval < Random, driven by reduce-phase load
+// balance.
+func (r *Runner) Fig11() error {
+	theta := 0.8
+	methods := []struct {
+		label string
+		m     partition.PivotMethod
+	}{{"Random", partition.Random}, {"Even-Interval", partition.EvenInterval}, {"Even-TF", partition.EvenTF}}
+	head := []string{"dataset", "method", "filter phase (s)", "total (s)", "filter-job imbalance"}
+	var rows [][]string
+	for _, p := range dataset.Profiles() {
+		c := r.full(p)
+		for _, m := range methods {
+			opt := fsOptions(theta, 10)
+			opt.PivotMethod = m.m
+			res, cl, err := runFS(c, opt)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, []string{
+				p.Name, m.label,
+				secondsOf(res.Pipeline.StageTime("filtering")),
+				cl.String(),
+				fmt.Sprintf("%.2f", res.Pipeline.Stages()[1].LoadImbalance()),
+			})
+		}
+	}
+	printTable(r.cfg.Out, "Figure 11: pivot selection methods (theta=0.8)", head, rows)
+	return nil
+}
+
+// Fig12 reproduces Figure 12: the three join methods. The paper observes
+// Prefix fastest (about 2× over Loop/Index on the long-string Email set).
+func (r *Runner) Fig12() error {
+	theta := 0.8
+	methods := []struct {
+		label string
+		m     fragjoin.Method
+	}{{"Loop", fragjoin.Loop}, {"Index", fragjoin.Index}, {"Prefix", fragjoin.Prefix}}
+	head := []string{"dataset", "method", "filter phase (s)", "total (s)", "comparisons"}
+	var rows [][]string
+	for _, p := range dataset.Profiles() {
+		c := r.full(p)
+		for _, m := range methods {
+			opt := fsOptions(theta, 10)
+			opt.JoinMethod = m.m
+			res, cl, err := runFS(c, opt)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, []string{
+				p.Name, m.label,
+				secondsOf(res.Pipeline.StageTime("filtering")),
+				cl.String(),
+				fmt.Sprintf("%d", res.Pipeline.Counter(fragjoin.CtrComparisons)),
+			})
+		}
+	}
+	printTable(r.cfg.Out, "Figure 12: join methods (theta=0.8)", head, rows)
+	return nil
+}
+
+// Fig13 reproduces Figure 13: FS-Join vs FS-Join-V (no horizontal
+// partitioning) with the paper's partition counts: 30 vertical everywhere;
+// 10/50/70 horizontal for Email/Wiki/PubMed.
+func (r *Runner) Fig13() error {
+	hp := map[string]int{"email": 10, "wiki": 50, "pubmed": 70}
+	head := []string{"dataset", "theta", "FS-Join (s)", "FS-Join-V (s)", "FS shuffle MB", "FS-V shuffle MB", "FS-V group-spill (s)"}
+	var rows [][]string
+	for _, p := range dataset.Profiles() {
+		c := r.full(p)
+		for _, theta := range []float64{0.8, 0.9} {
+			opt := fsOptions(theta, 10)
+			opt.HorizontalPivots = hp[p.Name] / 2
+			resH, clH, err := runFS(c, opt)
+			if err != nil {
+				return err
+			}
+			opt.HorizontalPivots = 0
+			resV, clV, err := runFS(c, opt)
+			if err != nil {
+				return err
+			}
+			if len(resH.Pairs) != len(resV.Pairs) {
+				return fmt.Errorf("fig13 %s: result mismatch %d vs %d", p.Name, len(resH.Pairs), len(resV.Pairs))
+			}
+			var spillV float64
+			for _, g := range resV.Pipeline.Stages()[1].GroupSpillTime {
+				spillV += g.Seconds()
+			}
+			rows = append(rows, []string{
+				p.Name, fmt.Sprintf("%.1f", theta), clH.String(), clV.String(),
+				fmt.Sprintf("%d", resH.Pipeline.TotalShuffleBytes()>>20),
+				fmt.Sprintf("%d", resV.Pipeline.TotalShuffleBytes()>>20),
+				fmt.Sprintf("%.1f", spillV),
+			})
+		}
+	}
+	printTable(r.cfg.Out, "Figure 13: FS-Join vs FS-Join-V", head, rows)
+	return nil
+}
+
+// table4Configs are the filter combinations of Table IV.
+var table4Configs = []struct {
+	label       string
+	filters     filters.Set
+	method      fragjoin.Method
+	paperPrefix bool
+}{
+	{"StrL", filters.StrL, fragjoin.Index, false},
+	{"StrL+SegL", filters.StrL | filters.SegL, fragjoin.Index, false},
+	{"StrL+SegI", filters.StrL | filters.SegI, fragjoin.Index, false},
+	{"StrL+SegD", filters.StrL | filters.SegD, fragjoin.Index, false},
+	{"StrL+Prefix", filters.StrL | filters.Prefix, fragjoin.Prefix, false},
+	{"StrL+Prefix(paper)", filters.StrL | filters.Prefix, fragjoin.Prefix, true},
+	{"All", filters.All, fragjoin.Prefix, false},
+	{"All(paper)", filters.All, fragjoin.Prefix, true},
+}
+
+// Table4 reproduces Table IV: the filtering job's output record count under
+// each filter combination — the filters' pruning power. The paper observes
+// SegD the strongest stable single filter, SegI close, SegL weak, and the
+// full combination strongest.
+func (r *Runner) Table4() error {
+	theta := 0.8
+	head := []string{"filter"}
+	sets := []*tokens.Collection{}
+	for _, p := range dataset.Profiles() {
+		head = append(head, p.Name+"(small)")
+		sets = append(sets, r.small(p))
+	}
+	var rows [][]string
+	for _, cfg := range table4Configs {
+		row := []string{cfg.label}
+		for _, c := range sets {
+			opt := fsOptions(theta, 10)
+			opt.Filters = cfg.filters
+			opt.JoinMethod = cfg.method
+			opt.PaperPrefix = cfg.paperPrefix
+			res, err := core.SelfJoin(c, opt)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%d", res.FilterOutputRecords))
+		}
+		rows = append(rows, row)
+	}
+	printTable(r.cfg.Out, "Table IV: filter-job output records per filter combination (theta=0.8)", head, rows)
+	return nil
+}

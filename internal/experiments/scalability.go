@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fsjoin/internal/dataset"
+)
+
+// Fig8 reproduces Figure 8: FS-Join execution time as the dataset scale
+// grows 4X → 10X (40%–100% random samples), per dataset and threshold. The
+// paper observes sub-quadratic growth (≲33% per 2X step in most cases).
+func (r *Runner) Fig8() error {
+	scales := []struct {
+		label string
+		frac  float64
+	}{{"4X", 0.4}, {"6X", 0.6}, {"8X", 0.8}, {"10X", 1.0}}
+	thetas := []float64{0.8, 0.9}
+	for _, p := range dataset.Profiles() {
+		full := r.full(p)
+		head := []string{"scale", "records"}
+		for _, th := range thetas {
+			head = append(head, fmt.Sprintf("theta=%.1f (s)", th))
+		}
+		var rows [][]string
+		for _, sc := range scales {
+			c := dataset.Sample(full, sc.frac, r.cfg.Seed+int64(sc.frac*100))
+			row := []string{sc.label, fmt.Sprintf("%d", c.Len())}
+			for _, th := range thetas {
+				cl, _, err := r.runAlgo("FS-Join", c, th, 10)
+				if err != nil {
+					return err
+				}
+				row = append(row, cl.String())
+			}
+			rows = append(rows, row)
+		}
+		printTable(r.cfg.Out, fmt.Sprintf("Figure 8 (%s): FS-Join time vs data scale", p.Name), head, rows)
+	}
+	return nil
+}
+
+// Fig9 reproduces Figure 9: FS-Join execution time on 5, 10 and 15 worker
+// nodes (reduce tasks = 3 × nodes). The paper observes a 35–48% drop from
+// 5→10 nodes and 10–20% from 10→15.
+func (r *Runner) Fig9() error {
+	nodeCounts := []int{5, 10, 15}
+	theta := 0.8
+	head := []string{"dataset", "5 nodes (s)", "10 nodes (s)", "15 nodes (s)", "drop 5→10", "drop 10→15"}
+	var rows [][]string
+	for _, p := range dataset.Profiles() {
+		c := r.full(p)
+		var secs []float64
+		for _, n := range nodeCounts {
+			cl, _, err := r.runAlgo("FS-Join", c, theta, n)
+			if err != nil {
+				return err
+			}
+			secs = append(secs, cl.seconds)
+		}
+		rows = append(rows, []string{
+			p.Name,
+			fmt.Sprintf("%.1f", secs[0]),
+			fmt.Sprintf("%.1f", secs[1]),
+			fmt.Sprintf("%.1f", secs[2]),
+			fmt.Sprintf("%.0f%%", 100*(secs[0]-secs[1])/secs[0]),
+			fmt.Sprintf("%.0f%%", 100*(secs[1]-secs[2])/secs[1]),
+		})
+	}
+	printTable(r.cfg.Out, "Figure 9: FS-Join time vs worker nodes (theta=0.8)", head, rows)
+	return nil
+}

@@ -1,0 +1,298 @@
+// Package fragjoin implements the reduce-side join kernels of FS-Join's
+// filtering phase (Section V-A, "Join Algorithms"): given all segments of
+// one fragment, produce (record pair, common-token count) partials.
+//
+// Loop and Index emit identical partials: one per qualifying segment pair
+// with a non-zero intersection. Prefix emits a subset — it skips pairs
+// whose fragment overlap is provably below what any θ-similar pair must
+// have here (c < max(1, L(s), L(t)), DESIGN.md §3) — which preserves the
+// exactness of the final join: every fragment of a similar pair is still
+// counted exactly, and dropped partials can only lower the aggregate of
+// pairs that are already below the threshold.
+package fragjoin
+
+import (
+	"fmt"
+	"sort"
+
+	"fsjoin/internal/filters"
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/partition"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+// Method selects the join kernel.
+type Method int
+
+const (
+	// Loop compares every qualifying segment pair with a merge intersect.
+	Loop Method = iota
+	// Index builds an inverted list over all segment tokens and counts
+	// overlaps through posting lists.
+	Index
+	// Prefix indexes only each segment's lossless prefix (DESIGN.md §3) —
+	// the kernel FS-Join adopts.
+	Prefix
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Loop:
+		return "loop"
+	case Index:
+		return "index"
+	case Prefix:
+		return "prefix"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Seg is one record segment as shuffled to a fragment reducer: the segment
+// tokens plus everything the filters need (Algorithm 1's segInfo).
+type Seg struct {
+	// RID identifies the source record.
+	RID int32
+	// Origin is 0 for self-join / R-side records and 1 for S-side records.
+	Origin uint8
+	// Role is the record's horizontal-partition join role.
+	Role partition.Role
+	// StrLen, Head, Tail are |s|, |s^h| and |s^e|.
+	StrLen int32
+	Head   int32
+	Tail   int32
+	// Tokens is the segment's sorted token slice.
+	Tokens []tokens.ID
+}
+
+// SizeBytes implements mapreduce.Sized: rid + origin/role + three lengths +
+// tokens.
+func (s Seg) SizeBytes() int { return 4 + 2 + 12 + 4*len(s.Tokens) }
+
+// Meta converts the segment to the filters' view.
+func (s Seg) Meta() filters.SegMeta {
+	return filters.SegMeta{SegLen: len(s.Tokens), StrLen: int(s.StrLen), Head: int(s.Head), Tail: int(s.Tail)}
+}
+
+// Params configures a fragment join.
+type Params struct {
+	// Fn and Theta define the similarity predicate.
+	Fn    similarity.Func
+	Theta float64
+	// Filters is the enabled filter set. The Prefix bit selects prefix
+	// indexing inside the Prefix method and is implied by Method == Prefix.
+	Filters filters.Set
+	// Method is the join kernel.
+	Method Method
+	// RS marks an R-S join: only pairs with different Origin are joined.
+	// When false the join is a self-join over Origin-0 segments.
+	RS bool
+	// PaperPrefix switches the Prefix kernel from the lossless segment
+	// prefix (DESIGN.md §3) to the paper's literal segment-local prefix
+	// length |Seg| − ⌈θ|Seg|⌉ + 1, which prunes candidates far harder but
+	// can miss pairs whose co-occurring segments are individually below θ.
+	PaperPrefix bool
+}
+
+// Emit receives one qualifying pair and its exact segment intersection
+// size. For self-joins a.RID < b.RID; for R-S joins a is the R side.
+type Emit func(a, b *Seg, common int)
+
+// Counter names incremented on the context during joins.
+const (
+	CtrComparisons = "fragjoin.comparisons"
+	CtrPrunedStrL  = "fragjoin.pruned.strl"
+	CtrPrunedSegL  = "fragjoin.pruned.segl"
+	CtrPrunedSegI  = "fragjoin.pruned.segi"
+	CtrPrunedSegD  = "fragjoin.pruned.segd"
+	CtrEmitted     = "fragjoin.emitted"
+)
+
+// Join runs the configured kernel over one fragment's segments. ctx may be
+// nil (counters are then skipped). Segments are processed in a canonical
+// (Origin, RID) order so output is deterministic.
+func Join(ctx *mapreduce.Context, segs []Seg, p Params, emit Emit) {
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Origin != segs[j].Origin {
+			return segs[i].Origin < segs[j].Origin
+		}
+		return segs[i].RID < segs[j].RID
+	})
+	j := &joiner{ctx: ctx, p: p, emit: emit}
+	switch p.Method {
+	case Loop:
+		j.loop(segs)
+	case Index:
+		j.index(segs)
+	case Prefix:
+		j.prefix(segs)
+	default:
+		panic("fragjoin: unknown method")
+	}
+}
+
+type joiner struct {
+	ctx  *mapreduce.Context
+	p    Params
+	emit Emit
+}
+
+func (j *joiner) inc(name string, d int64) {
+	if j.ctx != nil {
+		j.ctx.Inc(name, d)
+	}
+}
+
+// pairable applies the origin and horizontal-role join rules.
+func (j *joiner) pairable(a, b *Seg) bool {
+	if j.p.RS {
+		if a.Origin == b.Origin {
+			return false
+		}
+	} else if a.RID == b.RID {
+		return false
+	}
+	return partition.Joinable(a.Role, b.Role)
+}
+
+// orient orders the pair for emission: R before S, else smaller RID first.
+func orient(a, b *Seg) (*Seg, *Seg) {
+	if a.Origin != b.Origin {
+		if a.Origin == 0 {
+			return a, b
+		}
+		return b, a
+	}
+	if a.RID < b.RID {
+		return a, b
+	}
+	return b, a
+}
+
+// lengthPrune applies StrL and SegL, which need no intersection.
+func (j *joiner) lengthPrune(a, b *Seg) bool {
+	if j.p.Filters.Has(filters.StrL) && filters.StrLPrune(j.p.Fn, j.p.Theta, int(a.StrLen), int(b.StrLen)) {
+		j.inc(CtrPrunedStrL, 1)
+		return true
+	}
+	if j.p.Filters.Has(filters.SegL) && filters.SegLPrune(j.p.Fn, j.p.Theta, a.Meta(), b.Meta()) {
+		j.inc(CtrPrunedSegL, 1)
+		return true
+	}
+	return false
+}
+
+// finish applies the intersection-dependent filters and emits.
+func (j *joiner) finish(a, b *Seg, c int) {
+	if c == 0 {
+		return
+	}
+	if j.p.Filters.Has(filters.SegI) && filters.SegIPrune(j.p.Fn, j.p.Theta, c, a.Meta(), b.Meta()) {
+		j.inc(CtrPrunedSegI, 1)
+		return
+	}
+	if j.p.Filters.Has(filters.SegD) && filters.SegDPrune(j.p.Fn, j.p.Theta, c, a.Meta(), b.Meta()) {
+		j.inc(CtrPrunedSegD, 1)
+		return
+	}
+	j.inc(CtrEmitted, 1)
+	x, y := orient(a, b)
+	j.emit(x, y, c)
+}
+
+// loop is the naive nested-loop kernel.
+func (j *joiner) loop(segs []Seg) {
+	for i := range segs {
+		for k := i + 1; k < len(segs); k++ {
+			a, b := &segs[i], &segs[k]
+			if !j.pairable(a, b) {
+				continue
+			}
+			j.inc(CtrComparisons, 1)
+			if j.lengthPrune(a, b) {
+				continue
+			}
+			j.finish(a, b, tokens.Intersect(a.Tokens, b.Tokens))
+		}
+	}
+}
+
+// index is the inverted-list kernel: postings over every token, counts
+// accumulated while probing, probe-then-insert to see each pair once.
+func (j *joiner) index(segs []Seg) {
+	inv := make(map[tokens.ID][]int)
+	counts := make(map[int]int)
+	for k := range segs {
+		b := &segs[k]
+		clear(counts)
+		for _, t := range b.Tokens {
+			for _, i := range inv[t] {
+				counts[i]++
+			}
+		}
+		j.drain(segs, counts, k, nil)
+		for _, t := range b.Tokens {
+			inv[t] = append(inv[t], k)
+		}
+	}
+}
+
+// prefix is the prefix-filtered inverted-list kernel: only segment prefixes
+// are indexed and probed; discovered pairs get their exact intersection via
+// a merge.
+func (j *joiner) prefix(segs []Seg) {
+	inv := make(map[tokens.ID][]int)
+	seen := make(map[int]int)
+	for k := range segs {
+		b := &segs[k]
+		var plen int
+		if j.p.PaperPrefix {
+			plen = filters.SegPrefixLenNaive(j.p.Theta, b.Meta())
+		} else {
+			plen = filters.SegPrefixLen(j.p.Fn, j.p.Theta, b.Meta())
+		}
+		clear(seen)
+		for _, t := range b.Tokens[:plen] {
+			for _, i := range inv[t] {
+				seen[i]++
+			}
+		}
+		j.drain(segs, seen, k, func(a, b *Seg) int { return tokens.Intersect(a.Tokens, b.Tokens) })
+		for _, t := range b.Tokens[:plen] {
+			inv[t] = append(inv[t], k)
+		}
+	}
+}
+
+// drain finalises candidates of segment k found in counts. When intersect
+// is nil the candidate count is already the exact intersection size;
+// otherwise it is recomputed. Candidates are visited in index order for
+// deterministic output and counter values.
+func (j *joiner) drain(segs []Seg, counts map[int]int, k int, intersect func(a, b *Seg) int) {
+	if len(counts) == 0 {
+		return
+	}
+	idxs := make([]int, 0, len(counts))
+	for i := range counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	b := &segs[k]
+	for _, i := range idxs {
+		a := &segs[i]
+		if !j.pairable(a, b) {
+			continue
+		}
+		j.inc(CtrComparisons, 1)
+		if j.lengthPrune(a, b) {
+			continue
+		}
+		c := counts[i]
+		if intersect != nil {
+			c = intersect(a, b)
+		}
+		j.finish(a, b, c)
+	}
+}

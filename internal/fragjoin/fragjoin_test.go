@@ -1,0 +1,294 @@
+package fragjoin
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"fsjoin/internal/filters"
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/partition"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+// randomFragment builds one fragment's segments from random records split
+// at a fixed pivot, all metadata consistent.
+func randomFragment(rng *rand.Rand, n int, rs bool) []Seg {
+	segs := make([]Seg, 0, n)
+	for i := 0; i < n; i++ {
+		segLen := rng.Intn(8) + 1
+		head := rng.Intn(10)
+		tail := rng.Intn(10)
+		toks := make([]tokens.ID, 0, segLen)
+		seen := map[tokens.ID]bool{}
+		for len(toks) < segLen {
+			t := tokens.ID(rng.Intn(25))
+			if !seen[t] {
+				seen[t] = true
+				toks = append(toks, t)
+			}
+		}
+		sort.Slice(toks, func(a, b int) bool { return toks[a] < toks[b] })
+		var origin uint8
+		if rs && rng.Intn(2) == 0 {
+			origin = 1
+		}
+		role := partition.RoleRegion
+		switch rng.Intn(3) {
+		case 1:
+			role = partition.RoleSmall
+		case 2:
+			role = partition.RoleLarge
+		}
+		segs = append(segs, Seg{
+			RID:    int32(i),
+			Origin: origin,
+			Role:   role,
+			StrLen: int32(segLen + head + tail),
+			Head:   int32(head),
+			Tail:   int32(tail),
+			Tokens: toks,
+		})
+	}
+	return segs
+}
+
+type emitted struct {
+	a, b int32
+	c    int
+}
+
+func collect(segs []Seg, p Params) []emitted {
+	// Copy segments: Join sorts its input.
+	cp := make([]Seg, len(segs))
+	copy(cp, segs)
+	var out []emitted
+	Join(nil, cp, p, func(a, b *Seg, c int) {
+		out = append(out, emitted{a.RID, b.RID, c})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].a != out[j].a {
+			return out[i].a < out[j].a
+		}
+		return out[i].b < out[j].b
+	})
+	return out
+}
+
+// TestLoopIndexEquivalent: Loop and Index emit identical partials under
+// every filter set and join mode.
+func TestLoopIndexEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		rs := trial%2 == 0
+		segs := randomFragment(rng, rng.Intn(20)+2, rs)
+		for _, fset := range []filters.Set{0, filters.StrL, filters.All &^ filters.Prefix, filters.All} {
+			base := Params{
+				Fn:      similarity.Jaccard,
+				Theta:   float64(rng.Intn(5)+5) / 10,
+				Filters: fset,
+				RS:      rs,
+			}
+			loop := base
+			loop.Method = Loop
+			index := base
+			index.Method = Index
+			a, b := collect(segs, loop), collect(segs, index)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("loop vs index diverge (trial %d, filters %v):\n%v\n%v",
+					trial, fset, a, b)
+			}
+		}
+	}
+}
+
+// TestPrefixSubsetWithJustifiedMisses: the lossless Prefix kernel emits a
+// subset of Index's partials with exact counts, and every skipped pair has
+// a fragment overlap below the guaranteed minimum of any θ-similar pair
+// (c < max(1, L(s), L(t))) — so final join results are unaffected.
+func TestPrefixSubsetWithJustifiedMisses(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		segs := randomFragment(rng, rng.Intn(20)+2, false)
+		theta := float64(rng.Intn(5)+5) / 10
+		base := Params{Fn: similarity.Jaccard, Theta: theta}
+		idx := base
+		idx.Method = Index
+		pfx := base
+		pfx.Method = Prefix
+		all := collect(segs, idx)
+		found := map[[2]int32]int{}
+		for _, e := range collect(segs, pfx) {
+			found[[2]int32{e.a, e.b}] = e.c
+		}
+		meta := map[int32]Seg{}
+		for _, s := range segs {
+			meta[s.RID] = s
+		}
+		required := func(s Seg) int {
+			l := int(mathCeil(similarity.Jaccard.MinOverlapAnyPartner(theta, int(s.StrLen)))) -
+				int(s.Head) - int(s.Tail)
+			if l < 1 {
+				l = 1
+			}
+			return l
+		}
+		for _, e := range all {
+			if c, ok := found[[2]int32{e.a, e.b}]; ok {
+				if c != e.c {
+					t.Fatalf("prefix count %d != index count %d for (%d,%d)", c, e.c, e.a, e.b)
+				}
+				continue
+			}
+			la, lb := required(meta[e.a]), required(meta[e.b])
+			need := la
+			if lb > need {
+				need = lb
+			}
+			if e.c >= need {
+				t.Fatalf("prefix missed pair (%d,%d) with c=%d ≥ required %d (θ=%v)",
+					e.a, e.b, e.c, need, theta)
+			}
+		}
+	}
+}
+
+func TestEmittedCountsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	segs := randomFragment(rng, 15, false)
+	out := collect(segs, Params{Fn: similarity.Jaccard, Theta: 0.5, Method: Loop})
+	if len(out) == 0 {
+		t.Fatal("no pairs emitted")
+	}
+	byRID := map[int32]Seg{}
+	for _, s := range segs {
+		byRID[s.RID] = s
+	}
+	for _, e := range out {
+		want := tokens.Intersect(byRID[e.a].Tokens, byRID[e.b].Tokens)
+		if e.c != want {
+			t.Fatalf("pair (%d,%d): count %d, want %d", e.a, e.b, e.c, want)
+		}
+		if e.a >= e.b {
+			t.Fatalf("self-join pair not ordered: (%d,%d)", e.a, e.b)
+		}
+	}
+}
+
+func TestRSJoinOnlyCrossOrigin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	segs := randomFragment(rng, 20, true)
+	origin := map[int32]uint8{}
+	for _, s := range segs {
+		origin[s.RID] = s.Origin
+	}
+	out := collect(segs, Params{Fn: similarity.Jaccard, Theta: 0.5, Method: Index, RS: true})
+	for _, e := range out {
+		if origin[e.a] != 0 || origin[e.b] != 1 {
+			t.Fatalf("pair (%d,%d) not oriented R,S: origins %d,%d",
+				e.a, e.b, origin[e.a], origin[e.b])
+		}
+	}
+}
+
+func TestRolesRespected(t *testing.T) {
+	mk := func(rid int32, role partition.Role, toks ...tokens.ID) Seg {
+		return Seg{RID: rid, Role: role, StrLen: int32(len(toks)), Tokens: toks}
+	}
+	segs := []Seg{
+		mk(0, partition.RoleSmall, 1, 2),
+		mk(1, partition.RoleSmall, 1, 2),
+		mk(2, partition.RoleLarge, 1, 2),
+	}
+	out := collect(segs, Params{Fn: similarity.Jaccard, Theta: 0.1, Method: Loop})
+	want := []emitted{{0, 2, 2}, {1, 2, 2}}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("boundary join = %v, want %v", out, want)
+	}
+}
+
+func TestSameRIDNeverPaired(t *testing.T) {
+	segs := []Seg{
+		{RID: 5, StrLen: 2, Tokens: []tokens.ID{1, 2}},
+		{RID: 5, StrLen: 2, Tokens: []tokens.ID{1, 2}},
+	}
+	out := collect(segs, Params{Fn: similarity.Jaccard, Theta: 0.1, Method: Loop})
+	if len(out) != 0 {
+		t.Fatalf("self pair emitted: %v", out)
+	}
+}
+
+func TestCountersTrackPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	segs := randomFragment(rng, 30, false)
+	// Run through a real MapReduce context to exercise the counter path.
+	in := []mapreduce.KV{{Key: "frag", Value: segs}}
+	res, err := mapreduce.Run(mapreduce.Config{Name: "frag-test"},
+		in, mapreduce.IdentityMapper,
+		mapreduce.ReduceFunc(func(ctx *mapreduce.Context, key string, values []any) {
+			ss := append([]Seg{}, values[0].([]Seg)...)
+			Join(ctx, ss, Params{
+				Fn: similarity.Jaccard, Theta: 0.9, Filters: filters.All, Method: Prefix,
+			}, func(a, b *Seg, c int) {})
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get(CtrComparisons) == 0 {
+		t.Fatal("no comparisons counted")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Loop.String() != "loop" || Index.String() != "index" || Prefix.String() != "prefix" {
+		t.Fatal("method names wrong")
+	}
+	if Method(9).String() != "Method(9)" {
+		t.Fatal("unknown method name")
+	}
+}
+
+func TestSegSizeBytes(t *testing.T) {
+	s := Seg{Tokens: []tokens.ID{1, 2, 3}}
+	if s.SizeBytes() != 4+2+12+12 {
+		t.Fatalf("SizeBytes = %d", s.SizeBytes())
+	}
+}
+
+func TestPaperPrefixSubsetOfLossless(t *testing.T) {
+	// The naive prefix may only miss pairs, never invent them, and counts
+	// of found pairs stay exact.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		segs := randomFragment(rng, rng.Intn(15)+2, false)
+		theta := float64(rng.Intn(5)+5) / 10
+		base := Params{Fn: similarity.Jaccard, Theta: theta, Method: Prefix}
+		exact := collect(segs, base)
+		paper := base
+		paper.PaperPrefix = true
+		lossy := collect(segs, paper)
+		em := map[string]int{}
+		for _, e := range exact {
+			em[fmt.Sprintf("%d-%d", e.a, e.b)] = e.c
+		}
+		for _, e := range lossy {
+			want, ok := em[fmt.Sprintf("%d-%d", e.a, e.b)]
+			if !ok {
+				t.Fatalf("paper prefix invented pair %v", e)
+			}
+			if want != e.c {
+				t.Fatalf("paper prefix count %d != %d", e.c, want)
+			}
+		}
+		if len(lossy) > len(exact) {
+			t.Fatal("paper prefix found more pairs than lossless")
+		}
+	}
+}
+
+// mathCeil avoids importing math at every call site above.
+func mathCeil(x float64) float64 { return math.Ceil(x - 1e-9) }

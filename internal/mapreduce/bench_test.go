@@ -1,0 +1,92 @@
+package mapreduce
+
+// Engine micro-benchmarks, including the fold-path ablation that motivated
+// Folder/FoldingReducer (DESIGN.md §2).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchInput builds n records with k-way key collisions.
+func benchInput(n, distinctKeys int) []KV {
+	rng := rand.New(rand.NewSource(1))
+	in := make([]KV, n)
+	for i := range in {
+		in[i] = KV{Key: fmt.Sprintf("k%06d", rng.Intn(distinctKeys)), Value: int64(1)}
+	}
+	return in
+}
+
+type plainSum struct{}
+
+func (plainSum) Reduce(ctx *Context, key string, values []any) {
+	var n int64
+	for _, v := range values {
+		n += v.(int64)
+	}
+	ctx.Emit(key, n)
+}
+
+type foldSum struct{ plainSum }
+
+func (foldSum) Fold(acc, v any) any                          { return acc.(int64) + v.(int64) }
+func (foldSum) FinishFold(ctx *Context, key string, acc any) { ctx.Emit(key, acc) }
+
+// BenchmarkReducePlainVsFold ablates the folding fast path.
+func BenchmarkReducePlainVsFold(b *testing.B) {
+	in := benchInput(200_000, 20_000)
+	cl := DefaultCluster()
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(Config{Cluster: cl}, in, IdentityMapper, plainSum{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(Config{Cluster: cl}, in, IdentityMapper, foldSum{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCombinerAblation measures the shuffle shrink a combiner buys.
+func BenchmarkCombinerAblation(b *testing.B) {
+	in := benchInput(100_000, 2_000)
+	cl := DefaultCluster()
+	b.Run("without", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := Run(Config{Cluster: cl}, in, IdentityMapper, foldSum{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Metrics.ShuffleRecords), "shuffle-recs/op")
+		}
+	})
+	b.Run("with", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := Run(Config{Cluster: cl, Combiner: foldSum{}}, in, IdentityMapper, foldSum{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Metrics.ShuffleRecords), "shuffle-recs/op")
+		}
+	})
+}
+
+// BenchmarkShuffleThroughput is the raw per-record engine cost.
+func BenchmarkShuffleThroughput(b *testing.B) {
+	in := benchInput(100_000, 50_000)
+	cl := DefaultCluster()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Cluster: cl}, in, IdentityMapper, FirstValue{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(in)) * 16)
+}

@@ -1,0 +1,53 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestCancelledContextAbortsJob(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(Config{Cluster: tinyCluster(), Context: ctx},
+		wcInput("a b", "c d"), wcMapper{}, wcReducer{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCancelMidJob(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel from inside the first map task: the job must stop at the next
+	// task boundary instead of completing.
+	fired := false
+	mapper := MapFunc(func(c *Context, kv KV) {
+		if !fired {
+			fired = true
+			cancel()
+		}
+		c.Emit(kv.Key, kv.Value)
+	})
+	_, err := Run(Config{Cluster: tinyCluster(), Context: ctx, MapTasks: 4},
+		wcInput("a", "b", "c", "d"), mapper, FirstValue{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPipelineInheritsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := NewPipeline("ctx", tinyCluster())
+	p.Context = ctx
+	_, err := p.Run(Config{Name: "stage"}, wcInput("a"), wcMapper{}, wcReducer{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNilContextMeansNoCancellation(t *testing.T) {
+	if _, err := Run(Config{Cluster: tinyCluster()}, wcInput("a"), wcMapper{}, wcReducer{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counters is a thread-safe named counter set, mirroring Hadoop job
+// counters. Tasks increment local counters which the engine merges into the
+// job result.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Inc adds delta to the named counter.
+func (c *Counters) Inc(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the current value of the named counter (0 when absent).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Merge folds other into c.
+func (c *Counters) Merge(other *Counters) {
+	other.mu.Lock()
+	snapshot := make(map[string]int64, len(other.m))
+	for k, v := range other.m {
+		snapshot[k] = v
+	}
+	other.mu.Unlock()
+	c.mu.Lock()
+	for k, v := range snapshot {
+		c.m[k] += v
+	}
+	c.mu.Unlock()
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders counters sorted by name, one per line.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%s=%d\n", k, snap[k])
+	}
+	return b.String()
+}

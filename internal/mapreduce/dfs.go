@@ -1,0 +1,67 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DFS is a tiny in-memory stand-in for HDFS: a named store for side data
+// that jobs publish and later stages load in their setup hooks (the paper's
+// ordering job writes the global order to HDFS; the filter job's setup loads
+// it). It exists so drivers mirror the paper's job structure instead of
+// passing Go values through closures.
+type DFS struct {
+	mu    sync.RWMutex
+	files map[string]any
+}
+
+// NewDFS returns an empty store.
+func NewDFS() *DFS { return &DFS{files: make(map[string]any)} }
+
+// Write stores value under path, replacing any previous file.
+func (d *DFS) Write(path string, value any) {
+	d.mu.Lock()
+	d.files[path] = value
+	d.mu.Unlock()
+}
+
+// Read loads the file at path.
+func (d *DFS) Read(path string) (any, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	v, ok := d.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	return v, nil
+}
+
+// MustRead loads the file at path and panics when absent — for setup hooks
+// whose missing input is a driver bug, not a runtime condition.
+func (d *DFS) MustRead(path string) any {
+	v, err := d.Read(path)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Delete removes the file at path if present.
+func (d *DFS) Delete(path string) {
+	d.mu.Lock()
+	delete(d.files, path)
+	d.mu.Unlock()
+}
+
+// List returns all stored paths in sorted order.
+func (d *DFS) List() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.files))
+	for p := range d.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

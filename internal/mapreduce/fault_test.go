@@ -1,0 +1,105 @@
+package mapreduce
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// flakyMapper panics on its first failUntil attempts of each task, then
+// behaves like wcMapper — the classic transient-task-failure scenario.
+type flakyMapper struct {
+	attempts  map[int]int
+	failUntil int
+}
+
+func (f *flakyMapper) Map(ctx *Context, kv KV) {
+	if f.attempts[ctx.TaskID] < f.failUntil {
+		f.attempts[ctx.TaskID]++
+		panic("injected map failure")
+	}
+	for _, w := range strings.Fields(kv.Value.(string)) {
+		ctx.Emit(w, int64(1))
+	}
+}
+
+func TestTransientMapFailureRetried(t *testing.T) {
+	input := wcInput("a b a", "b c")
+	flaky := &flakyMapper{attempts: map[int]int{}, failUntil: 2}
+	res, err := Run(Config{Cluster: tinyCluster(), MaxAttempts: 4}, input, flaky, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(Config{Cluster: tinyCluster()}, input, wcMapper{}, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, want.Output) {
+		t.Fatalf("retried job output differs: %v vs %v", res.Output, want.Output)
+	}
+	if res.Counters.Get("mapreduce.task.retries") == 0 {
+		t.Fatal("no retries counted")
+	}
+}
+
+func TestPermanentMapFailureAborts(t *testing.T) {
+	flaky := &flakyMapper{attempts: map[int]int{}, failUntil: 1 << 30}
+	_, err := Run(Config{Cluster: tinyCluster(), MaxAttempts: 3}, wcInput("a"), flaky, wcReducer{})
+	if err == nil {
+		t.Fatal("permanently failing task did not abort the job")
+	}
+	if !strings.Contains(err.Error(), "injected map failure") {
+		t.Fatalf("error lost the cause: %v", err)
+	}
+}
+
+// flakyReducer panics on its first attempt of every task.
+type flakyReducer struct {
+	attempts map[int]int
+}
+
+func (f *flakyReducer) Reduce(ctx *Context, key string, values []any) {
+	if f.attempts[ctx.TaskID] == 0 {
+		f.attempts[ctx.TaskID]++
+		panic("injected reduce failure")
+	}
+	var n int64
+	for _, v := range values {
+		n += v.(int64)
+	}
+	ctx.Emit(key, n)
+}
+
+func TestTransientReduceFailureRetried(t *testing.T) {
+	input := wcInput("x y x", "y z")
+	res, err := Run(Config{Cluster: tinyCluster()}, input, wcMapper{}, &flakyReducer{attempts: map[int]int{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(Config{Cluster: tinyCluster()}, input, wcMapper{}, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, want.Output) {
+		t.Fatal("reduce retry changed output")
+	}
+}
+
+func TestRetriesDoNotDuplicateEmissions(t *testing.T) {
+	// A task that emits before panicking must not leak its partial output.
+	calls := 0
+	mapper := MapFunc(func(ctx *Context, kv KV) {
+		ctx.Emit("k", int64(1))
+		if calls == 0 {
+			calls++
+			panic("after emit")
+		}
+	})
+	res, err := Run(Config{Cluster: tinyCluster(), MapTasks: 1}, wcInput("only"), mapper, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0].Value.(int64) != 1 {
+		t.Fatalf("partial emissions leaked: %v", res.Output)
+	}
+}

@@ -1,0 +1,612 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Mapper consumes one input pair and emits zero or more intermediate pairs
+// through the context.
+type Mapper interface {
+	Map(ctx *Context, kv KV)
+}
+
+// Reducer consumes one key group and emits zero or more output pairs.
+type Reducer interface {
+	Reduce(ctx *Context, key string, values []any)
+}
+
+// Setupper is an optional lifecycle hook run once per task before records,
+// mirroring Hadoop's setup(). The paper's Algorithm 1 loads the global
+// ordering and selects pivots in setup.
+type Setupper interface {
+	Setup(ctx *Context)
+}
+
+// Cleanupper is an optional lifecycle hook run once per task after records.
+type Cleanupper interface {
+	Cleanup(ctx *Context)
+}
+
+// MapFunc adapts a function to Mapper.
+type MapFunc func(ctx *Context, kv KV)
+
+// Map implements Mapper.
+func (f MapFunc) Map(ctx *Context, kv KV) { f(ctx, kv) }
+
+// ReduceFunc adapts a function to Reducer.
+type ReduceFunc func(ctx *Context, key string, values []any)
+
+// Reduce implements Reducer.
+func (f ReduceFunc) Reduce(ctx *Context, key string, values []any) { f(ctx, key, values) }
+
+// Folder is an optional fast path for combiners whose reduction is an
+// associative fold (sums, counts). When a Config.Combiner implements
+// Folder, the engine folds values pairwise during map output collection
+// instead of materialising per-key value lists, which removes most of the
+// combine phase's allocation cost. Fold must return the merged value; it
+// may mutate and return acc.
+type Folder interface {
+	Fold(acc, v any) any
+}
+
+// FoldingReducer is the analogous fast path for reduce: when the job's
+// reducer implements it, the shuffle folds each key's values as they arrive
+// instead of building per-key value lists, and the reduce phase calls
+// FinishFold once per key with the folded accumulator. Reduce is never
+// called on such a job but must behave equivalently (it documents the
+// semantics and serves any generic caller).
+type FoldingReducer interface {
+	Reducer
+	Folder
+	// FinishFold emits the output for one key from its folded accumulator.
+	FinishFold(ctx *Context, key string, acc any)
+}
+
+// IdentityMapper forwards its input unchanged.
+var IdentityMapper Mapper = MapFunc(func(ctx *Context, kv KV) { ctx.Emit(kv.Key, kv.Value) })
+
+// FirstValue is a dedup reducer: each key is emitted once with its first
+// value. It implements the folding fast path.
+type FirstValue struct{}
+
+// Reduce implements Reducer.
+func (FirstValue) Reduce(ctx *Context, key string, values []any) { ctx.Emit(key, values[0]) }
+
+// Fold implements Folder by keeping the first value.
+func (FirstValue) Fold(acc, v any) any { return acc }
+
+// FinishFold implements FoldingReducer.
+func (FirstValue) FinishFold(ctx *Context, key string, acc any) { ctx.Emit(key, acc) }
+
+// Config describes one MapReduce job.
+type Config struct {
+	// Name labels the job in metrics output.
+	Name string
+	// MapTasks is the number of map tasks; 0 means one per cluster slot.
+	MapTasks int
+	// ReduceTasks is the number of reduce tasks; 0 means 3 × nodes, the
+	// paper's setting. Ignored for map-only jobs.
+	ReduceTasks int
+	// Partitioner routes keys to reduce tasks; nil means FNV-1a hashing.
+	Partitioner func(key string, reducers int) int
+	// Combiner, when non-nil, runs over each map task's output to shrink
+	// shuffle volume (map-side aggregation).
+	Combiner Reducer
+	// Cluster is the cost model; nil means DefaultCluster().
+	Cluster *Cluster
+	// MaxAttempts is how many times a failing (panicking) task is retried
+	// before the job aborts, mirroring Hadoop's task-level fault
+	// tolerance; 0 means 4, Hadoop's default.
+	MaxAttempts int
+	// Context, when non-nil, is checked at task boundaries: a cancelled
+	// context aborts the job with the context's error. Long joins remain
+	// cancellable without cooperative checks inside user map/reduce code.
+	Context context.Context
+	// Parallelism is the number of tasks executed concurrently on the
+	// local machine; 0 or 1 means sequential (the default, which also
+	// gives the most accurate per-task CPU measurements for the cost
+	// model). Values > 1 require the mapper, combiner and reducer to be
+	// safe for concurrent use (the Context emit surface is always
+	// per-task).
+	Parallelism int
+}
+
+// cancelled reports the context's error once it is done.
+func (c Config) cancelled() error {
+	if c.Context == nil {
+		return nil
+	}
+	select {
+	case <-c.Context.Done():
+		return c.Context.Err()
+	default:
+		return nil
+	}
+}
+
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts <= 0 {
+		return 4
+	}
+	return c.MaxAttempts
+}
+
+func (c Config) cluster() *Cluster {
+	if c.Cluster != nil {
+		return c.Cluster
+	}
+	return DefaultCluster()
+}
+
+// Context is the per-task emit/counter surface handed to mappers, combiners
+// and reducers.
+type Context struct {
+	// TaskID is the index of the running task within its phase.
+	TaskID int
+	// Job exposes the job configuration to tasks.
+	Job Config
+
+	out      []KV
+	counters *Counters
+	local    map[string]int64
+}
+
+// Emit appends an output pair.
+func (c *Context) Emit(key string, value any) {
+	c.out = append(c.out, KV{Key: key, Value: value})
+}
+
+// Inc adds delta to a job counter. Increments accumulate task-locally and
+// are merged into the job counters when the task finishes.
+func (c *Context) Inc(counter string, delta int64) {
+	if c.local == nil {
+		c.local = make(map[string]int64, 8)
+	}
+	c.local[counter] += delta
+}
+
+// flushCounters merges task-local counters into the job counters.
+func (c *Context) flushCounters() {
+	for k, v := range c.local {
+		c.counters.Inc(k, v)
+	}
+	c.local = nil
+}
+
+// Metrics records everything measured while running a job, plus the
+// simulated cluster makespan.
+type Metrics struct {
+	Job               string
+	MapTasks          int
+	ReduceTasks       int
+	MapInputRecords   int64
+	MapOutputRecords  int64
+	MapOutputBytes    int64
+	ShuffleRecords    int64 // after combiner
+	ShuffleBytes      int64 // after combiner
+	ReduceInputGroups int64
+	OutputRecords     int64
+	OutputBytes       int64
+	PerReduceRecords  []int64
+	PerReduceBytes    []int64
+	MapTaskTime       []time.Duration
+	ReduceTaskTime    []time.Duration
+	// GroupSpillTime is the per-reduce-task external-memory charge for key
+	// groups exceeding the reducer memory (see Cluster.ReducerMemoryBytes).
+	GroupSpillTime     []time.Duration
+	SimulatedMapTime   time.Duration
+	SimulatedShuffle   time.Duration
+	SimulatedReduce    time.Duration
+	SimulatedTotalTime time.Duration
+	WallTime           time.Duration
+}
+
+// LoadImbalance returns max/mean of per-reducer shuffle bytes — 1.0 is a
+// perfectly balanced reduce phase. Returns 0 when there was no reduce input.
+func (m *Metrics) LoadImbalance() float64 {
+	var sum, max int64
+	for _, b := range m.PerReduceBytes {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 || len(m.PerReduceBytes) == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(m.PerReduceBytes))
+	return float64(max) / mean
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Output holds all reducer (or mapper, for map-only jobs) emissions in
+	// deterministic order: by reduce task, then key, then emission order.
+	Output []KV
+	// Counters are the merged user counters.
+	Counters *Counters
+	// Metrics are the measured and simulated execution statistics.
+	Metrics Metrics
+}
+
+// DefaultPartitioner hashes the key with FNV-1a.
+func DefaultPartitioner(key string, reducers int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(reducers))
+}
+
+// Run executes one MapReduce job over the input. A nil reducer makes the
+// job map-only. Execution is sequential per task (tasks themselves run in
+// deterministic index order) so that per-task CPU measurements are not
+// distorted by local core contention; distribution is reintroduced by the
+// cluster cost model.
+func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error) {
+	if mapper == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no mapper", cfg.Name)
+	}
+	cl := cfg.cluster()
+	mapTasks := cfg.MapTasks
+	if mapTasks <= 0 {
+		mapTasks = cl.Slots()
+	}
+	if mapTasks > len(input) {
+		mapTasks = len(input)
+	}
+	if mapTasks < 1 {
+		mapTasks = 1
+	}
+	reduceTasks := cfg.ReduceTasks
+	if reduceTasks <= 0 {
+		reduceTasks = 3 * cl.Nodes
+	}
+	if reduceTasks < 1 {
+		reduceTasks = 1
+	}
+	part := cfg.Partitioner
+	if part == nil {
+		part = DefaultPartitioner
+	}
+
+	res := &Result{Counters: NewCounters()}
+	m := &res.Metrics
+	m.Job = cfg.Name
+	m.MapTasks = mapTasks
+	m.ReduceTasks = reduceTasks
+	m.MapInputRecords = int64(len(input))
+	wallStart := time.Now()
+
+	// ---- Map phase ----
+	splits := splitInput(input, mapTasks)
+	mapOutputs := make([][]KV, mapTasks)
+	m.MapTaskTime = make([]time.Duration, mapTasks)
+	mapErr := runPhase(cfg.Parallelism, mapTasks, func(t int) error {
+		if err := cfg.cancelled(); err != nil {
+			return fmt.Errorf("mapreduce: job %q: %w", cfg.Name, err)
+		}
+		var ctx *Context
+		start := time.Now()
+		err := withRetries(cfg, res.Counters, func() error {
+			ctx = &Context{TaskID: t, Job: cfg, counters: res.Counters}
+			ctx.out = make([]KV, 0, len(splits[t])+16)
+			return guard(func() {
+				runTask(ctx, splits[t], mapper)
+				if cfg.Combiner != nil {
+					ctx.out = combine(cfg, ctx, cfg.Combiner, res.Counters)
+				}
+			})
+		})
+		if err != nil {
+			return fmt.Errorf("mapreduce: job %q map task %d: %w", cfg.Name, t, err)
+		}
+		m.MapTaskTime[t] = time.Since(start)
+		ctx.flushCounters()
+		mapOutputs[t] = ctx.out
+		return nil
+	})
+	if mapErr != nil {
+		return nil, mapErr
+	}
+	for _, out := range mapOutputs {
+		for _, kv := range out {
+			m.ShuffleRecords++
+			m.ShuffleBytes += int64(kvBytes(kv))
+		}
+	}
+	m.MapOutputRecords = m.ShuffleRecords
+	m.MapOutputBytes = m.ShuffleBytes
+
+	if reducer == nil {
+		// Map-only job: concatenate map outputs in task order.
+		for _, out := range mapOutputs {
+			res.Output = append(res.Output, out...)
+		}
+		m.OutputRecords = int64(len(res.Output))
+		for _, kv := range res.Output {
+			m.OutputBytes += int64(kvBytes(kv))
+		}
+		m.ReduceTasks = 0
+		m.SimulatedMapTime = simPhase(cl, m.MapTaskTime)
+		m.SimulatedTotalTime = m.SimulatedMapTime
+		m.WallTime = time.Since(wallStart)
+		return res, nil
+	}
+
+	// ---- Shuffle: partition, group, sort ----
+	foldingReducer, folding := reducer.(FoldingReducer)
+	groups := make([]map[string][]any, reduceTasks) // list path
+	folded := make([]map[string]any, reduceTasks)   // fold path
+	order := make([][]string, reduceTasks)          // first-seen key order, sorted later
+	groupBytes := make([]map[string]int64, reduceTasks)
+	m.PerReduceRecords = make([]int64, reduceTasks)
+	m.PerReduceBytes = make([]int64, reduceTasks)
+	for t := 0; t < reduceTasks; t++ {
+		if folding {
+			folded[t] = make(map[string]any)
+		} else {
+			groups[t] = make(map[string][]any)
+		}
+		groupBytes[t] = make(map[string]int64)
+	}
+	for _, out := range mapOutputs {
+		for _, kv := range out {
+			r := part(kv.Key, reduceTasks)
+			if r < 0 || r >= reduceTasks {
+				return nil, fmt.Errorf("mapreduce: job %q partitioner returned %d for %d reducers", cfg.Name, r, reduceTasks)
+			}
+			if folding {
+				if acc, seen := folded[r][kv.Key]; seen {
+					folded[r][kv.Key] = foldingReducer.Fold(acc, kv.Value)
+				} else {
+					order[r] = append(order[r], kv.Key)
+					folded[r][kv.Key] = kv.Value
+				}
+			} else {
+				vs, seen := groups[r][kv.Key]
+				if !seen {
+					order[r] = append(order[r], kv.Key)
+				}
+				groups[r][kv.Key] = append(vs, kv.Value)
+			}
+			m.PerReduceRecords[r]++
+			b := int64(kvBytes(kv))
+			m.PerReduceBytes[r] += b
+			groupBytes[r][kv.Key] += b
+		}
+	}
+	mapOutputs = nil
+
+	// ---- Reduce phase ----
+	m.ReduceTaskTime = make([]time.Duration, reduceTasks)
+	m.GroupSpillTime = make([]time.Duration, reduceTasks)
+	reduceOuts := make([][]KV, reduceTasks)
+	reduceErr := runPhase(cfg.Parallelism, reduceTasks, func(t int) error {
+		if err := cfg.cancelled(); err != nil {
+			return fmt.Errorf("mapreduce: job %q: %w", cfg.Name, err)
+		}
+		keys := order[t]
+		sort.Strings(keys)
+		var ctx *Context
+		start := time.Now()
+		err := withRetries(cfg, res.Counters, func() error {
+			ctx = &Context{TaskID: t, Job: cfg, counters: res.Counters}
+			return guard(func() {
+				if s, ok := reducer.(Setupper); ok {
+					s.Setup(ctx)
+				}
+				if folding {
+					for _, k := range keys {
+						foldingReducer.FinishFold(ctx, k, folded[t][k])
+					}
+				} else {
+					for _, k := range keys {
+						reducer.Reduce(ctx, k, groups[t][k])
+					}
+				}
+				if c, ok := reducer.(Cleanupper); ok {
+					c.Cleanup(ctx)
+				}
+			})
+		})
+		if err != nil {
+			return fmt.Errorf("mapreduce: job %q reduce task %d: %w", cfg.Name, t, err)
+		}
+		m.ReduceTaskTime[t] = time.Since(start)
+		ctx.flushCounters()
+		reduceOuts[t] = ctx.out
+		for _, b := range groupBytes[t] {
+			m.GroupSpillTime[t] += cl.groupSpillTime(b)
+		}
+		if folding {
+			folded[t] = nil
+		} else {
+			groups[t] = nil
+		}
+		groupBytes[t] = nil
+		return nil
+	})
+	if reduceErr != nil {
+		return nil, reduceErr
+	}
+	for t := 0; t < reduceTasks; t++ {
+		m.ReduceInputGroups += int64(len(order[t]))
+		res.Output = append(res.Output, reduceOuts[t]...)
+	}
+	m.OutputRecords = int64(len(res.Output))
+	for _, kv := range res.Output {
+		m.OutputBytes += int64(kvBytes(kv))
+	}
+
+	// ---- Cost model ----
+	m.SimulatedMapTime = simPhase(cl, m.MapTaskTime)
+	m.SimulatedShuffle = cl.spillTime(m.MapOutputBytes, mapTasks)
+	reduceDurs := make([]time.Duration, reduceTasks)
+	for t := range reduceDurs {
+		// Each reduce task fetches its own shuffle share (skewed reducers
+		// stall the phase), pays its measured CPU, and any external-merge
+		// passes for oversized groups.
+		reduceDurs[t] = cl.fetchTime(m.PerReduceBytes[t]) + cl.scaleCPU(m.ReduceTaskTime[t]) +
+			cl.TaskOverhead + m.GroupSpillTime[t]
+	}
+	m.SimulatedReduce = cl.makespan(reduceDurs)
+	m.SimulatedTotalTime = m.SimulatedMapTime + m.SimulatedShuffle + m.SimulatedReduce
+	m.WallTime = time.Since(wallStart)
+	return res, nil
+}
+
+// runPhase executes n independent tasks, sequentially or on a bounded
+// worker pool; the output slots are per-task, so results assemble in task
+// order regardless of completion order. The first error wins.
+func runPhase(parallelism, n int, work func(t int) error) error {
+	if parallelism <= 1 || n <= 1 {
+		for t := 0; t < n; t++ {
+			if err := work(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, parallelism)
+	for t := 0; t < n; t++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := work(t); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(t)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// guard converts a task panic into an error, Hadoop-style task isolation.
+func guard(task func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("task failed: %v", r)
+		}
+	}()
+	task()
+	return nil
+}
+
+// withRetries re-attempts a failing task up to the job's MaxAttempts,
+// counting retries in the "mapreduce.task.retries" counter. Tasks are
+// deterministic, so a retried attempt recomputes the same output.
+func withRetries(cfg Config, counters *Counters, attempt func() error) error {
+	var err error
+	for a := 0; a < cfg.maxAttempts(); a++ {
+		if a > 0 {
+			counters.Inc("mapreduce.task.retries", 1)
+		}
+		if err = attempt(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// runTask feeds one split through a mapper with lifecycle hooks.
+func runTask(ctx *Context, split []KV, mapper Mapper) {
+	if s, ok := mapper.(Setupper); ok {
+		s.Setup(ctx)
+	}
+	for _, kv := range split {
+		mapper.Map(ctx, kv)
+	}
+	if c, ok := mapper.(Cleanupper); ok {
+		c.Cleanup(ctx)
+	}
+}
+
+// combine runs the combiner over one map task's output, preserving key
+// first-appearance order for determinism. Combiners implementing Folder use
+// an allocation-light pairwise fold.
+func combine(cfg Config, mapCtx *Context, combiner Reducer, counters *Counters) []KV {
+	if f, ok := combiner.(Folder); ok {
+		return foldCombine(mapCtx.out, f)
+	}
+	grouped := make(map[string][]any, len(mapCtx.out)/2+1)
+	order := make([]string, 0, len(mapCtx.out)/2+1)
+	for _, kv := range mapCtx.out {
+		vs, seen := grouped[kv.Key]
+		if !seen {
+			order = append(order, kv.Key)
+		}
+		grouped[kv.Key] = append(vs, kv.Value)
+	}
+	cctx := &Context{TaskID: mapCtx.TaskID, Job: cfg, counters: counters}
+	cctx.out = make([]KV, 0, len(order))
+	if s, ok := combiner.(Setupper); ok {
+		s.Setup(cctx)
+	}
+	for _, k := range order {
+		combiner.Reduce(cctx, k, grouped[k])
+	}
+	if c, ok := combiner.(Cleanupper); ok {
+		c.Cleanup(cctx)
+	}
+	cctx.flushCounters()
+	return cctx.out
+}
+
+// foldCombine merges one map task's output with a pairwise fold, keeping
+// key first-appearance order.
+func foldCombine(out []KV, f Folder) []KV {
+	slot := make(map[string]int, len(out)/2+1)
+	merged := make([]KV, 0, len(out)/2+1)
+	for _, kv := range out {
+		if i, ok := slot[kv.Key]; ok {
+			merged[i].Value = f.Fold(merged[i].Value, kv.Value)
+			continue
+		}
+		slot[kv.Key] = len(merged)
+		merged = append(merged, kv)
+	}
+	return merged
+}
+
+// simPhase converts measured task times into a simulated phase makespan.
+func simPhase(cl *Cluster, taskTimes []time.Duration) time.Duration {
+	if len(taskTimes) == 0 {
+		return 0
+	}
+	durs := make([]time.Duration, len(taskTimes))
+	for i, d := range taskTimes {
+		durs[i] = cl.scaleCPU(d) + cl.TaskOverhead
+	}
+	return cl.makespan(durs)
+}
+
+// splitInput slices input into n contiguous, near-equal splits.
+func splitInput(input []KV, n int) [][]KV {
+	splits := make([][]KV, n)
+	base, rem := len(input)/n, len(input)%n
+	off := 0
+	for i := 0; i < n; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		splits[i] = input[off : off+sz]
+		off += sz
+	}
+	return splits
+}

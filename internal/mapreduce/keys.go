@@ -1,0 +1,34 @@
+package mapreduce
+
+import "encoding/binary"
+
+// Key-encoding helpers. Keys are binary strings; encoding integers
+// big-endian makes lexicographic key order equal numeric order, which keeps
+// reducer iteration deterministic and meaningful.
+
+// U32Key encodes a uint32 as a 4-byte big-endian key.
+func U32Key(x uint32) string {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], x)
+	return string(b[:])
+}
+
+// DecodeU32Key decodes a key produced by U32Key.
+func DecodeU32Key(k string) uint32 {
+	return binary.BigEndian.Uint32([]byte(k))
+}
+
+// PairKey encodes an ordered pair of uint32s as an 8-byte key — used for
+// (rid, rid) candidate-pair keys in verification jobs.
+func PairKey(a, b uint32) string {
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[:4], a)
+	binary.BigEndian.PutUint32(buf[4:], b)
+	return string(buf[:])
+}
+
+// DecodePairKey decodes a key produced by PairKey.
+func DecodePairKey(k string) (a, b uint32) {
+	bs := []byte(k)
+	return binary.BigEndian.Uint32(bs[:4]), binary.BigEndian.Uint32(bs[4:])
+}

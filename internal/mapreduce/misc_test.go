@@ -1,0 +1,159 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestU32KeyRoundTripAndOrder(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ka, kb := U32Key(a), U32Key(b)
+		if DecodeU32Key(ka) != a {
+			return false
+		}
+		// Lexicographic key order must equal numeric order.
+		return (a < b) == (ka < kb) || a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairKeyRoundTrip(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := DecodePairKey(PairKey(a, b))
+		return x == a && y == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersMergeAndSnapshot(t *testing.T) {
+	a, b := NewCounters(), NewCounters()
+	a.Inc("x", 2)
+	b.Inc("x", 3)
+	b.Inc("y", 1)
+	a.Merge(b)
+	if a.Get("x") != 5 || a.Get("y") != 1 {
+		t.Fatalf("merge wrong: %v", a.Snapshot())
+	}
+	snap := a.Snapshot()
+	a.Inc("x", 1)
+	if snap["x"] != 5 {
+		t.Fatal("snapshot not isolated")
+	}
+	if !strings.Contains(a.String(), "x=6") {
+		t.Fatalf("String() = %q", a.String())
+	}
+}
+
+func TestCountersGetMissing(t *testing.T) {
+	c := NewCounters()
+	if c.Get("nope") != 0 {
+		t.Fatal("missing counter not zero")
+	}
+}
+
+func TestDFS(t *testing.T) {
+	d := NewDFS()
+	d.Write("a/b", 42)
+	v, err := d.Read("a/b")
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("Read = %v, %v", v, err)
+	}
+	if _, err := d.Read("missing"); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+	d.Write("a/a", "x")
+	if got := d.List(); len(got) != 2 || got[0] != "a/a" {
+		t.Fatalf("List = %v", got)
+	}
+	d.Delete("a/b")
+	if _, err := d.Read("a/b"); err == nil {
+		t.Fatal("deleted file still readable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRead on missing file did not panic")
+		}
+	}()
+	d.MustRead("gone")
+}
+
+func TestSizeOf(t *testing.T) {
+	cases := []struct {
+		v    any
+		want int
+	}{
+		{nil, 0},
+		{"abc", 3},
+		{[]byte{1, 2}, 2},
+		{int64(1), 8},
+		{int32(1), 4},
+		{true, 1},
+		{[]uint32{1, 2, 3}, 12},
+		{[]string{"ab", "c"}, 11},
+		{struct{}{}, 16}, // unknown: conservative flat cost
+	}
+	for _, c := range cases {
+		if got := sizeOf(c.v); got != c.want {
+			t.Errorf("sizeOf(%T) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+type sized struct{ n int }
+
+func (s sized) SizeBytes() int { return s.n }
+
+func TestSizeOfSized(t *testing.T) {
+	if sizeOf(sized{n: 99}) != 99 {
+		t.Fatal("Sized not honoured")
+	}
+}
+
+func TestPipelineAggregation(t *testing.T) {
+	p := NewPipeline("test", tinyCluster())
+	in := wcInput("a b", "b c c")
+	r1, err := p.Run(Config{Name: "first"}, in, wcMapper{}, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(Config{Name: "second"}, r1.Output, IdentityMapper, FirstValue{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stages()) != 2 {
+		t.Fatalf("stages = %d", len(p.Stages()))
+	}
+	if p.TotalShuffleRecords() != r1.Metrics.ShuffleRecords+int64(len(r1.Output)) {
+		t.Fatal("shuffle records not aggregated")
+	}
+	if p.StageTime("first") <= 0 || p.StageTime("missing") != 0 {
+		t.Fatal("StageTime wrong")
+	}
+	if p.TotalSimulatedTime() < p.StageTime("first") {
+		t.Fatal("total below stage")
+	}
+	if !strings.Contains(p.Report(), "pipeline test") {
+		t.Fatal("report missing name")
+	}
+	if p.MaxLoadImbalance() < 1.0 {
+		t.Fatalf("MaxLoadImbalance = %v", p.MaxLoadImbalance())
+	}
+}
+
+func TestPipelineCounter(t *testing.T) {
+	p := NewPipeline("c", tinyCluster())
+	mapper := MapFunc(func(ctx *Context, kv KV) {
+		ctx.Inc("n", 2)
+		ctx.Emit(kv.Key, kv.Value)
+	})
+	if _, err := p.Run(Config{Name: "j"}, wcInput("a"), mapper, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Counter("n") != 2 {
+		t.Fatalf("Counter = %d", p.Counter("n"))
+	}
+}

@@ -1,0 +1,72 @@
+package mapreduce
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestParallelMatchesSequential: any parallelism level produces exactly the
+// sequential output (per-task output slots assemble in task order).
+func TestParallelMatchesSequential(t *testing.T) {
+	input := wcInput("a b a c d", "d e f a", "b b c", "x y z a")
+	want, err := Run(Config{Cluster: tinyCluster()}, input, wcMapper{}, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 16} {
+		got, err := Run(Config{Cluster: tinyCluster(), Parallelism: par}, input, wcMapper{}, wcReducer{})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(got.Output, want.Output) {
+			t.Fatalf("parallelism %d output differs", par)
+		}
+		if got.Counters.Get("seen") != want.Counters.Get("seen") {
+			t.Fatalf("parallelism %d counters differ", par)
+		}
+		if got.Metrics.ShuffleRecords != want.Metrics.ShuffleRecords {
+			t.Fatalf("parallelism %d metrics differ", par)
+		}
+	}
+}
+
+// alwaysPanic is a stateless (concurrency-safe) permanently failing mapper.
+type alwaysPanic struct{}
+
+func (alwaysPanic) Map(ctx *Context, kv KV) { panic("permanent failure") }
+
+func TestParallelPropagatesErrors(t *testing.T) {
+	_, err := Run(Config{Cluster: tinyCluster(), Parallelism: 4, MaxAttempts: 2, MapTasks: 4},
+		wcInput("a", "b", "c", "d"), alwaysPanic{}, wcReducer{})
+	if err == nil {
+		t.Fatal("parallel phase swallowed the error")
+	}
+}
+
+func TestRunPhaseProperty(t *testing.T) {
+	// runPhase must call work exactly once per index, any parallelism.
+	f := func(n, par uint8) bool {
+		count := int(n % 40)
+		seen := make([]int, count)
+		var mu chan struct{} = make(chan struct{}, 1)
+		err := runPhase(int(par%8), count, func(t int) error {
+			mu <- struct{}{}
+			seen[t]++
+			<-mu
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		for _, s := range seen {
+			if s != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

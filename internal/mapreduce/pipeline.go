@@ -1,0 +1,137 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Pipeline chains MapReduce jobs, feeding each job's output into the next
+// and accumulating per-job metrics — the shape of every algorithm in this
+// repository (ordering job → filter job → verification job).
+type Pipeline struct {
+	// Name labels the pipeline in reports.
+	Name string
+	// Cluster is the shared cost model for all stages; nil means default.
+	Cluster *Cluster
+	// Context, when non-nil, is inherited by every stage that does not set
+	// its own; cancellation aborts the pipeline at the next task boundary.
+	Context context.Context
+
+	stages []stageResult
+}
+
+type stageResult struct {
+	metrics  Metrics
+	counters map[string]int64
+}
+
+// NewPipeline returns a pipeline with the given name and cluster model.
+func NewPipeline(name string, cluster *Cluster) *Pipeline {
+	return &Pipeline{Name: name, Cluster: cluster}
+}
+
+// Run executes one stage, recording its metrics. The stage inherits the
+// pipeline's cluster unless cfg already set one.
+func (p *Pipeline) Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error) {
+	if cfg.Cluster == nil {
+		cfg.Cluster = p.Cluster
+	}
+	if cfg.Context == nil {
+		cfg.Context = p.Context
+	}
+	res, err := Run(cfg, input, mapper, reducer)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline %s: %w", p.Name, err)
+	}
+	p.stages = append(p.stages, stageResult{metrics: res.Metrics, counters: res.Counters.Snapshot()})
+	return res, nil
+}
+
+// Stages returns the metrics of every executed stage in order.
+func (p *Pipeline) Stages() []Metrics {
+	out := make([]Metrics, len(p.stages))
+	for i, s := range p.stages {
+		out[i] = s.metrics
+	}
+	return out
+}
+
+// StageTime returns the simulated time of the named stage (0 if absent).
+func (p *Pipeline) StageTime(name string) time.Duration {
+	for _, s := range p.stages {
+		if s.metrics.Job == name {
+			return s.metrics.SimulatedTotalTime
+		}
+	}
+	return 0
+}
+
+// TotalSimulatedTime sums the simulated makespans of all stages — the
+// pipeline's modelled end-to-end cluster time.
+func (p *Pipeline) TotalSimulatedTime() time.Duration {
+	var t time.Duration
+	for _, s := range p.stages {
+		t += s.metrics.SimulatedTotalTime
+	}
+	return t
+}
+
+// TotalShuffleBytes sums shuffle volume over all stages.
+func (p *Pipeline) TotalShuffleBytes() int64 {
+	var b int64
+	for _, s := range p.stages {
+		b += s.metrics.ShuffleBytes
+	}
+	return b
+}
+
+// TotalShuffleRecords sums shuffled record counts over all stages.
+func (p *Pipeline) TotalShuffleRecords() int64 {
+	var n int64
+	for _, s := range p.stages {
+		n += s.metrics.ShuffleRecords
+	}
+	return n
+}
+
+// Counter sums the named user counter over all stages.
+func (p *Pipeline) Counter(name string) int64 {
+	var n int64
+	for _, s := range p.stages {
+		n += s.counters[name]
+	}
+	return n
+}
+
+// MaxLoadImbalance returns the worst reduce-phase load imbalance across
+// stages (see Metrics.LoadImbalance).
+func (p *Pipeline) MaxLoadImbalance() float64 {
+	var worst float64
+	for _, s := range p.stages {
+		m := s.metrics
+		if li := m.LoadImbalance(); li > worst {
+			worst = li
+		}
+	}
+	return worst
+}
+
+// Report renders a per-stage summary table.
+func (p *Pipeline) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline %s\n", p.Name)
+	fmt.Fprintf(&b, "%-24s %12s %14s %12s %12s %8s\n",
+		"stage", "map-out", "shuffle-bytes", "groups", "output", "sim-time")
+	for _, s := range p.stages {
+		m := s.metrics
+		fmt.Fprintf(&b, "%-24s %12d %14d %12d %12d %8.1fs\n",
+			m.Job, m.MapOutputRecords, m.ShuffleBytes, m.ReduceInputGroups,
+			m.OutputRecords, m.SimulatedTotalTime.Seconds())
+	}
+	fmt.Fprintf(&b, "%-24s %12d %14d %12s %12s %8.1fs\n",
+		"TOTAL", p.TotalShuffleRecords(), p.TotalShuffleBytes(), "", "",
+		p.TotalSimulatedTime().Seconds())
+	return b.String()
+}

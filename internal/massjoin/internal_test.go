@@ -1,0 +1,121 @@
+package massjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+func TestSegBoundsCoverEvenly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		l := rng.Intn(100) + 1
+		m := rng.Intn(l) + 1
+		b := segBounds(l, m)
+		if len(b) != m+1 || b[0] != 0 || b[m] != l {
+			t.Fatalf("bounds malformed: l=%d m=%d b=%v", l, m, b)
+		}
+		for i := 0; i < m; i++ {
+			sz := b[i+1] - b[i]
+			if sz < l/m || sz > l/m+1 {
+				t.Fatalf("uneven segment %d: size %d for l=%d m=%d", i, sz, l, m)
+			}
+		}
+	}
+}
+
+func TestMaxSymDiffSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	fn := similarity.Jaccard
+	for trial := 0; trial < 3000; trial++ {
+		ls := rng.Intn(40) + 1
+		lt := rng.Intn(40) + 1
+		theta := float64(rng.Intn(9)+1) / 10
+		k := maxSymDiff(fn, theta, ls, lt)
+		// For any c meeting the threshold, the symmetric difference
+		// ls+lt−2c must be ≤ k.
+		for c := 0; c <= ls && c <= lt; c++ {
+			if fn.AtLeast(c, ls, lt, theta) && ls+lt-2*c > k {
+				t.Fatalf("similar pair exceeds K: ls=%d lt=%d c=%d k=%d θ=%v", ls, lt, c, k, theta)
+			}
+		}
+	}
+}
+
+func TestSegmentsForBounds(t *testing.T) {
+	fn := similarity.Jaccard
+	for _, theta := range []float64{0.5, 0.8, 0.95} {
+		for l := 1; l <= 200; l++ {
+			m := segmentsFor(fn, theta, l)
+			if m < 1 || m > l {
+				t.Fatalf("segments %d out of [1,%d] (θ=%v)", m, l, theta)
+			}
+		}
+	}
+	// Lower thresholds need more segments (larger K).
+	if segmentsFor(fn, 0.5, 100) <= segmentsFor(fn, 0.9, 100) {
+		t.Fatal("segment count not decreasing in theta")
+	}
+}
+
+func TestSigKeyDistinguishes(t *testing.T) {
+	a := sigKey(10, 0, hashTokens([]tokens.ID{1, 2}))
+	b := sigKey(10, 1, hashTokens([]tokens.ID{1, 2}))
+	c := sigKey(11, 0, hashTokens([]tokens.ID{1, 2}))
+	d := sigKey(10, 0, hashTokens([]tokens.ID{1, 3}))
+	keys := map[string]bool{a: true, b: true, c: true, d: true}
+	if len(keys) != 4 {
+		t.Fatalf("sig keys collide: %d distinct of 4", len(keys))
+	}
+}
+
+func TestHashTokensOrderSensitive(t *testing.T) {
+	// Contiguous substrings are compared as sequences, so order matters.
+	if hashTokens([]tokens.ID{1, 2}) == hashTokens([]tokens.ID{2, 1}) {
+		t.Fatal("hash ignores order")
+	}
+	if hashTokens(nil) != hashTokens([]tokens.ID{}) {
+		t.Fatal("empty hash unstable")
+	}
+}
+
+func TestLightVectorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		a := randomSet(rng, 30, 100)
+		b := randomSet(rng, 30, 100)
+		bound := lightOverlapBound(lightVector(a), lightVector(b))
+		if c := tokens.Intersect(a, b); bound < c {
+			t.Fatalf("light bound %d < true %d", bound, c)
+		}
+	}
+}
+
+func randomSet(rng *rand.Rand, maxLen, vocab int) []tokens.ID {
+	r := tokens.NewRecord(0, func() []tokens.ID {
+		n := rng.Intn(maxLen) + 1
+		ids := make([]tokens.ID, n)
+		for i := range ids {
+			ids[i] = tokens.ID(rng.Intn(vocab))
+		}
+		return ids
+	}())
+	return r.Tokens
+}
+
+func TestVariantString(t *testing.T) {
+	if Merge.String() != "merge" || MergeLight.String() != "merge+light" {
+		t.Fatal("variant names wrong")
+	}
+}
+
+func TestInvalidTheta(t *testing.T) {
+	c := &tokens.Collection{}
+	for _, theta := range []float64{0, 1.2} {
+		if _, err := SelfJoin(c, Options{Theta: theta}); err == nil {
+			t.Errorf("theta=%v accepted", theta)
+		}
+	}
+}

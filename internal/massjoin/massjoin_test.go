@@ -1,0 +1,88 @@
+package massjoin
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fsjoin/internal/bruteforce"
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/result"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+func testCollection(n, vocab, maxLen int, seed int64) *tokens.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	c := &tokens.Collection{}
+	for i := 0; i < n; i++ {
+		if i > 0 && rng.Intn(3) == 0 {
+			base := c.Records[rng.Intn(i)]
+			ids := append([]tokens.ID{}, base.Tokens...)
+			if len(ids) > 1 && rng.Intn(2) == 0 {
+				ids = ids[:len(ids)-1]
+			}
+			ids = append(ids, tokens.ID(rng.Intn(vocab)))
+			c.Records = append(c.Records, tokens.NewRecord(int32(i), ids))
+			continue
+		}
+		l := rng.Intn(maxLen) + 1
+		ids := make([]tokens.ID, l)
+		for j := range ids {
+			ids[j] = tokens.ID(rng.Intn(vocab))
+		}
+		c.Records = append(c.Records, tokens.NewRecord(int32(i), ids))
+	}
+	return c
+}
+
+func small() *mapreduce.Cluster {
+	cl := mapreduce.DefaultCluster()
+	cl.Nodes = 3
+	return cl
+}
+
+func TestMassJoinMatchesOracle(t *testing.T) {
+	c := testCollection(90, 50, 18, 3)
+	for _, theta := range []float64{0.6, 0.8, 0.9} {
+		want := bruteforce.SelfJoin(c, similarity.Jaccard, theta)
+		for _, variant := range []Variant{Merge, MergeLight} {
+			res, err := SelfJoin(c, Options{Theta: theta, Variant: variant, Cluster: small()})
+			if err != nil {
+				t.Fatalf("SelfJoin(theta=%v, %v): %v", theta, variant, err)
+			}
+			if diffs := result.Diff(res.Pairs, want, 8); len(diffs) != 0 {
+				t.Errorf("theta=%v %v: got %d want %d:", theta, variant, len(res.Pairs), len(want))
+				for _, d := range diffs {
+					t.Errorf("  %s", d)
+				}
+			}
+		}
+	}
+}
+
+func TestMassJoinBudget(t *testing.T) {
+	c := testCollection(60, 40, 15, 4)
+	_, err := SelfJoin(c, Options{Theta: 0.6, Cluster: small(), MaxSignatures: 10})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+func TestLightFilterNeverPrunesSimilarPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 2000; trial++ {
+		la := rng.Intn(20) + 1
+		a := make([]tokens.ID, la)
+		for i := range a {
+			a[i] = tokens.ID(rng.Intn(40))
+		}
+		ra := tokens.NewRecord(0, a)
+		rb := tokens.NewRecord(1, append(append([]tokens.ID{}, ra.Tokens...), tokens.ID(rng.Intn(40))))
+		c := tokens.Intersect(ra.Tokens, rb.Tokens)
+		bound := lightOverlapBound(lightVector(ra.Tokens), lightVector(rb.Tokens))
+		if bound < c {
+			t.Fatalf("light bound %d below true overlap %d", bound, c)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package massjoin
+
+import (
+	"fmt"
+	"sort"
+
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/order"
+	"fsjoin/internal/result"
+	"fsjoin/internal/tokens"
+)
+
+// SelfJoin runs the four-job MassJoin pipeline: ordering, signatures →
+// candidates, candidate distribution (records shipped to partners), and
+// verification.
+func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
+	if opt.Theta <= 0 || opt.Theta > 1 {
+		return nil, fmt.Errorf("massjoin: theta %v outside (0, 1]", opt.Theta)
+	}
+	if opt.Cluster == nil {
+		opt.Cluster = mapreduce.DefaultCluster()
+	}
+	p := mapreduce.NewPipeline("massjoin-"+opt.Variant.String(), opt.Cluster)
+	p.Context = opt.Ctx
+
+	// Job 1: global ordering (token frequency).
+	o, err := order.Compute(p, c)
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := o.Apply(c)
+	if err != nil {
+		return nil, err
+	}
+
+	// Job 2: signatures → deduplicated candidate pairs (shorter rid is the
+	// "indexed" side).
+	sigRes, err := p.Run(mapreduce.Config{Name: "signatures"},
+		order.RecordsToKV(ordered),
+		&sigMapper{opt: opt},
+		&sigReducer{opt: opt})
+	if err != nil {
+		return nil, err
+	}
+	if dropped := sigRes.Counters.Get("massjoin.sig.dropped"); dropped > 0 {
+		return nil, fmt.Errorf("%w (budget %d, dropped %d signatures)",
+			ErrBudgetExceeded, opt.MaxSignatures, dropped)
+	}
+	candRes, err := p.Run(mapreduce.Config{Name: "candidates"},
+		sigRes.Output, mapreduce.IdentityMapper, candDedup{})
+	if err != nil {
+		return nil, err
+	}
+
+	// Job 3 (Merge): group candidates by the indexed rid, attach that
+	// record once, and ship it to every partner — the record-duplication
+	// step the paper criticises.
+	distIn := make([]mapreduce.KV, 0, len(candRes.Output)+len(ordered.Records))
+	for _, rec := range ordered.Records {
+		distIn = append(distIn, mapreduce.KV{
+			Key:   mapreduce.U32Key(uint32(rec.RID)),
+			Value: recPayload{rid: rec.RID, toks: rec.Tokens},
+		})
+	}
+	for _, kv := range candRes.Output {
+		a, b := mapreduce.DecodePairKey(kv.Key)
+		// Route the candidate to the indexed side a; value is partner b.
+		distIn = append(distIn, mapreduce.KV{Key: mapreduce.U32Key(a), Value: ridList{rids: []int32{int32(b)}}})
+	}
+	distRes, err := p.Run(mapreduce.Config{Name: "distribute"},
+		distIn, mapreduce.IdentityMapper,
+		mapreduce.ReduceFunc(func(ctx *mapreduce.Context, key string, values []any) {
+			var rec recPayload
+			var partners []int32
+			for _, v := range values {
+				switch x := v.(type) {
+				case recPayload:
+					rec = x
+				case ridList:
+					partners = append(partners, x.rids...)
+				}
+			}
+			if rec.toks == nil {
+				return
+			}
+			sort.Slice(partners, func(i, j int) bool { return partners[i] < partners[j] })
+			for _, t := range partners {
+				ctx.Inc("massjoin.records.shipped", 1)
+				ctx.Emit(mapreduce.U32Key(uint32(t)), rec)
+			}
+		}))
+	if err != nil {
+		return nil, err
+	}
+
+	// Job 4: verification — each partner receives its own record plus all
+	// shipped candidates and computes exact similarities.
+	verifyIn := make([]mapreduce.KV, 0, len(distRes.Output)+len(ordered.Records))
+	for _, rec := range ordered.Records {
+		verifyIn = append(verifyIn, mapreduce.KV{
+			Key:   mapreduce.U32Key(uint32(rec.RID)),
+			Value: recPayload{rid: rec.RID, toks: rec.Tokens},
+		})
+	}
+	verifyIn = append(verifyIn, distRes.Output...)
+	verifyRes, err := p.Run(mapreduce.Config{Name: "verify"},
+		verifyIn, mapreduce.IdentityMapper, &verifyReducer{opt: opt})
+	if err != nil {
+		return nil, err
+	}
+
+	pairs := make([]result.Pair, 0, len(verifyRes.Output))
+	for _, kv := range verifyRes.Output {
+		a, b := mapreduce.DecodePairKey(kv.Key)
+		sv := kv.Value.(simPair)
+		pairs = append(pairs, result.Pair{A: int32(a), B: int32(b), Common: int(sv.c), Sim: sv.sim})
+	}
+	result.Sort(pairs)
+	return &Result{Pairs: pairs, Pipeline: p}, nil
+}
+
+// candDedup collapses duplicate candidate pairs (fold fast path).
+type candDedup struct{}
+
+// Reduce implements mapreduce.Reducer.
+func (candDedup) Reduce(ctx *mapreduce.Context, key string, values []any) {
+	ctx.Inc("massjoin.candidates", 1)
+	ctx.Emit(key, candValue{})
+}
+
+// Fold implements mapreduce.Folder.
+func (candDedup) Fold(acc, v any) any { return acc }
+
+// FinishFold implements mapreduce.FoldingReducer.
+func (candDedup) FinishFold(ctx *mapreduce.Context, key string, acc any) {
+	ctx.Inc("massjoin.candidates", 1)
+	ctx.Emit(key, candValue{})
+}
+
+// simPair is a verified pair's payload.
+type simPair struct {
+	c   int32
+	sim float64
+}
+
+// SizeBytes implements mapreduce.Sized.
+func (simPair) SizeBytes() int { return 12 }
+
+// verifyReducer distinguishes the reducer's own record (matching rid) from
+// shipped candidate records and verifies each candidate exactly.
+type verifyReducer struct {
+	opt Options
+}
+
+// Reduce implements mapreduce.Reducer.
+func (r *verifyReducer) Reduce(ctx *mapreduce.Context, key string, values []any) {
+	rid := int32(mapreduce.DecodeU32Key(key))
+	var own recPayload
+	var cands []recPayload
+	for _, v := range values {
+		p := v.(recPayload)
+		if p.rid == rid {
+			own = p
+		} else {
+			cands = append(cands, p)
+		}
+	}
+	if own.toks == nil {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].rid < cands[j].rid })
+	for _, cand := range cands {
+		ctx.Inc("massjoin.verifications", 1)
+		c := tokens.Intersect(own.toks, cand.toks)
+		if !r.opt.Fn.AtLeast(c, len(own.toks), len(cand.toks), r.opt.Theta) {
+			continue
+		}
+		a, b := cand.rid, own.rid
+		if a > b {
+			a, b = b, a
+		}
+		ctx.Emit(mapreduce.PairKey(uint32(a), uint32(b)),
+			simPair{c: int32(c), sim: r.opt.Fn.Sim(c, len(own.toks), len(cand.toks))})
+	}
+}

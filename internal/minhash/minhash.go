@@ -1,0 +1,324 @@
+// Package minhash implements the approximate set-similarity self-join the
+// paper lists as future work ("we plan to extend our methods to approximate
+// approaches"): MinHash signatures with locality-sensitive banding, run as
+// MapReduce jobs on the same engine as the exact algorithms.
+//
+// Each record is summarised by k minimum hash values; the signature is cut
+// into b bands of r rows (k = b·r). Two records land in the same candidate
+// bucket when any band hashes identically, which happens with probability
+// 1 − (1 − J^r)^b for Jaccard similarity J — the classic S-curve whose
+// steep part is positioned around the threshold by the band shape chosen in
+// Params. Candidates are then verified exactly, so the join has perfect
+// precision and recall governed by the S-curve.
+package minhash
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/order"
+	"fsjoin/internal/result"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+// Params configures the approximate join.
+type Params struct {
+	// Theta is the Jaccard threshold candidates are verified against.
+	Theta float64
+	// Bands and Rows shape the LSH S-curve; Bands·Rows hash functions are
+	// evaluated per record. Zero values select a shape whose 50%-recall
+	// point sits just below Theta (see Auto).
+	Bands int
+	Rows  int
+	// Seed derives the hash family.
+	Seed uint64
+	// Cluster is the cost model (default: the paper's 10-node cluster).
+	Cluster *mapreduce.Cluster
+	// Ctx, when non-nil, cancels the pipeline at the next task boundary.
+	Ctx context.Context
+}
+
+// Auto fills Bands and Rows so the S-curve's steep section brackets theta:
+// the similarity at which a pair becomes a candidate with probability 50%
+// is (1/b)^(1/r) ≈ theta − margin.
+func Auto(theta float64) (bands, rows int) {
+	best := math.Inf(1)
+	bands, rows = 16, 4
+	target := theta * 0.9
+	for r := 2; r <= 12; r++ {
+		for b := 4; b <= 64; b++ {
+			mid := math.Pow(1/float64(b), 1/float64(r))
+			if d := math.Abs(mid - target); d < best {
+				best = d
+				bands, rows = b, r
+			}
+		}
+	}
+	return bands, rows
+}
+
+// Result carries the approximate join's output and diagnostics.
+type Result struct {
+	// Pairs are the verified similar pairs found, sorted canonically.
+	Pairs []result.Pair
+	// Candidates is the number of distinct candidate pairs verified.
+	Candidates int64
+	// Pipeline exposes per-stage metrics.
+	Pipeline *mapreduce.Pipeline
+}
+
+// sigValue ships a record's id, length and one band signature.
+type sigValue struct {
+	rid int32
+	l   int32
+}
+
+// SizeBytes implements mapreduce.Sized.
+func (sigValue) SizeBytes() int { return 8 }
+
+// recValue ships a full record for verification.
+type recValue struct {
+	rec tokens.Record
+}
+
+// SizeBytes implements mapreduce.Sized.
+func (v recValue) SizeBytes() int { return 4 + 4*len(v.rec.Tokens) }
+
+// SelfJoin runs the two-job approximate pipeline: banding (map: signatures,
+// reduce: bucket pair enumeration + dedup) and verification (records
+// shipped to candidate pairs, exact Jaccard check).
+func SelfJoin(c *tokens.Collection, p Params) (*Result, error) {
+	if p.Theta <= 0 || p.Theta > 1 {
+		return nil, fmt.Errorf("minhash: theta %v outside (0, 1]", p.Theta)
+	}
+	if p.Bands <= 0 || p.Rows <= 0 {
+		p.Bands, p.Rows = Auto(p.Theta)
+	}
+	if p.Cluster == nil {
+		p.Cluster = mapreduce.DefaultCluster()
+	}
+	pipe := mapreduce.NewPipeline("minhash-lsh", p.Cluster)
+	pipe.Context = p.Ctx
+
+	// Job 1: band signatures → candidate pairs.
+	hashes := newFamily(p.Seed, p.Bands*p.Rows)
+	bandRes, err := pipe.Run(mapreduce.Config{Name: "banding"},
+		order.RecordsToKV(c),
+		mapreduce.MapFunc(func(ctx *mapreduce.Context, kv mapreduce.KV) {
+			rec := order.KVRecord(kv)
+			if rec.Len() == 0 {
+				return
+			}
+			sig := hashes.signature(rec.Tokens)
+			for b := 0; b < p.Bands; b++ {
+				key := bandKey(b, sig[b*p.Rows:(b+1)*p.Rows])
+				ctx.Emit(key, sigValue{rid: rec.RID, l: int32(rec.Len())})
+			}
+		}),
+		&bucketJoiner{theta: p.Theta})
+	if err != nil {
+		return nil, err
+	}
+	dedup, err := pipe.Run(mapreduce.Config{Name: "candidates"},
+		bandRes.Output, mapreduce.IdentityMapper, mapreduce.FirstValue{})
+	if err != nil {
+		return nil, err
+	}
+
+	// Job 2: verification with shipped records (Merge-style routing).
+	verifyIn := make([]mapreduce.KV, 0, len(dedup.Output)*2+c.Len())
+	for _, rec := range c.Records {
+		verifyIn = append(verifyIn, mapreduce.KV{
+			Key:   mapreduce.U32Key(uint32(rec.RID)),
+			Value: recValue{rec: rec},
+		})
+	}
+	for _, kv := range dedup.Output {
+		a, b := mapreduce.DecodePairKey(kv.Key)
+		verifyIn = append(verifyIn, mapreduce.KV{Key: mapreduce.U32Key(a), Value: partner(b)})
+	}
+	verRes, err := pipe.Run(mapreduce.Config{Name: "verify"},
+		verifyIn, mapreduce.IdentityMapper, &verifier{theta: p.Theta, byRID: indexRecords(c)})
+	if err != nil {
+		return nil, err
+	}
+
+	pairs := make([]result.Pair, 0, len(verRes.Output))
+	for _, kv := range verRes.Output {
+		a, b := mapreduce.DecodePairKey(kv.Key)
+		v := kv.Value.(verified)
+		pairs = append(pairs, result.Pair{A: int32(a), B: int32(b), Common: int(v.c), Sim: v.sim})
+	}
+	result.Sort(pairs)
+	return &Result{
+		Pairs:      pairs,
+		Candidates: int64(len(dedup.Output)),
+		Pipeline:   pipe,
+	}, nil
+}
+
+// family is a seeded multiply-shift hash family over token ids.
+type family struct {
+	a, b []uint64
+}
+
+func newFamily(seed uint64, k int) *family {
+	f := &family{a: make([]uint64, k), b: make([]uint64, k)}
+	state := seed*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < k; i++ {
+		f.a[i] = next() | 1 // odd multiplier
+		f.b[i] = next()
+	}
+	return f
+}
+
+// signature returns the k min-hash values of a token set.
+func (f *family) signature(ts []tokens.ID) []uint64 {
+	sig := make([]uint64, len(f.a))
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+	for _, t := range ts {
+		x := uint64(t)
+		for i := range f.a {
+			h := f.a[i]*x + f.b[i]
+			if h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+// bandKey hashes one band's rows into a bucket key.
+func bandKey(band int, rows []uint64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(band))
+	_, _ = h.Write(buf[:])
+	for _, r := range rows {
+		binary.BigEndian.PutUint64(buf[:], r)
+		_, _ = h.Write(buf[:])
+	}
+	var out [10]byte
+	binary.BigEndian.PutUint16(out[:2], uint16(band))
+	binary.BigEndian.PutUint64(out[2:], h.Sum64())
+	return string(out[:])
+}
+
+// bucketJoiner enumerates pairs within one band bucket, length-filtered.
+type bucketJoiner struct {
+	theta float64
+}
+
+// Reduce implements mapreduce.Reducer.
+func (j *bucketJoiner) Reduce(ctx *mapreduce.Context, key string, values []any) {
+	ps := make([]sigValue, len(values))
+	for i, v := range values {
+		ps[i] = v.(sigValue)
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].rid < ps[b].rid })
+	fn := similarity.Jaccard
+	for i := range ps {
+		for k := i + 1; k < len(ps); k++ {
+			a, b := ps[i], ps[k]
+			if a.rid == b.rid {
+				continue
+			}
+			la, lb := int(a.l), int(b.l)
+			if la > lb {
+				la, lb = lb, la
+			}
+			if la < fn.MinLen(j.theta, lb) {
+				ctx.Inc("minhash.pruned.length", 1)
+				continue
+			}
+			ctx.Inc("minhash.bucket.pairs", 1)
+			ctx.Emit(mapreduce.PairKey(uint32(a.rid), uint32(b.rid)), candMark{})
+		}
+	}
+}
+
+// candMark is the zero-size candidate marker deduplicated by FirstValue.
+type candMark struct{}
+
+// SizeBytes implements mapreduce.Sized.
+func (candMark) SizeBytes() int { return 0 }
+
+// partner marks a candidate partner id in the verification job.
+type partner int32
+
+// SizeBytes implements mapreduce.Sized.
+func (partner) SizeBytes() int { return 4 }
+
+// verified is an accepted pair's payload.
+type verified struct {
+	c   int32
+	sim float64
+}
+
+// SizeBytes implements mapreduce.Sized.
+func (verified) SizeBytes() int { return 12 }
+
+// verifier resolves candidate partners against its routed record and checks
+// the exact similarity. Like MassJoin's Merge, partner records are looked
+// up from the driver-shared index while the candidate list arrives through
+// the shuffle; the routed record itself travels as a recValue so shuffle
+// accounting includes it.
+type verifier struct {
+	theta float64
+	byRID map[int32]tokens.Record
+}
+
+// Reduce implements mapreduce.Reducer.
+func (v *verifier) Reduce(ctx *mapreduce.Context, key string, values []any) {
+	rid := int32(mapreduce.DecodeU32Key(key))
+	var own tokens.Record
+	var partners []int32
+	for _, val := range values {
+		switch x := val.(type) {
+		case recValue:
+			own = x.rec
+		case partner:
+			partners = append(partners, int32(x))
+		}
+	}
+	if own.Tokens == nil {
+		return
+	}
+	sort.Slice(partners, func(i, j int) bool { return partners[i] < partners[j] })
+	fn := similarity.Jaccard
+	for _, p := range partners {
+		other, ok := v.byRID[p]
+		if !ok {
+			continue
+		}
+		ctx.Inc("minhash.verifications", 1)
+		c := tokens.Intersect(own.Tokens, other.Tokens)
+		if fn.AtLeast(c, own.Len(), other.Len(), v.theta) {
+			ctx.Emit(mapreduce.PairKey(uint32(rid), uint32(p)),
+				verified{c: int32(c), sim: fn.Sim(c, own.Len(), other.Len())})
+		}
+	}
+}
+
+// indexRecords builds the verification-side record lookup.
+func indexRecords(c *tokens.Collection) map[int32]tokens.Record {
+	m := make(map[int32]tokens.Record, c.Len())
+	for _, r := range c.Records {
+		m[r.RID] = r
+	}
+	return m
+}

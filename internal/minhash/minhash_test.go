@@ -1,0 +1,125 @@
+package minhash
+
+import (
+	"math"
+	"testing"
+
+	"fsjoin/internal/bruteforce"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/testutil"
+)
+
+func TestApproxJoinHighRecallPerfectPrecision(t *testing.T) {
+	c := testutil.RandomCollection(150, 60, 25, 5)
+	for _, theta := range []float64{0.7, 0.85} {
+		want := bruteforce.SelfJoin(c, similarity.Jaccard, theta)
+		res, err := SelfJoin(c, Params{Theta: theta, Cluster: testutil.SmallCluster(), Bands: 48, Rows: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Perfect precision: every returned pair is verified similar.
+		wantKeys := map[uint64]bool{}
+		for _, p := range want {
+			wantKeys[p.Key()] = true
+		}
+		for _, p := range res.Pairs {
+			if !wantKeys[p.Key()] {
+				t.Fatalf("theta=%v: false positive %v", theta, p)
+			}
+		}
+		// High recall with a generous band shape (48 bands of 3 rows put
+		// the 50% point at ~0.27, so recall at θ≥0.7 should be ≈ 1).
+		if len(want) > 0 {
+			recall := float64(len(res.Pairs)) / float64(len(want))
+			if recall < 0.95 {
+				t.Fatalf("theta=%v: recall %.2f (%d/%d)", theta, recall, len(res.Pairs), len(want))
+			}
+		}
+	}
+}
+
+func TestApproxJoinDeterministic(t *testing.T) {
+	c := testutil.RandomCollection(80, 40, 15, 6)
+	a, err := SelfJoin(c, Params{Theta: 0.8, Seed: 3, Cluster: testutil.SmallCluster()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelfJoin(c, Params{Theta: 0.8, Seed: 3, Cluster: testutil.SmallCluster()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pairs) != len(b.Pairs) || a.Candidates != b.Candidates {
+		t.Fatal("same seed, different outcome")
+	}
+}
+
+func TestAutoBandShape(t *testing.T) {
+	for _, theta := range []float64{0.5, 0.7, 0.9} {
+		b, r := Auto(theta)
+		if b < 1 || r < 1 {
+			t.Fatalf("degenerate shape %d×%d", b, r)
+		}
+		mid := math.Pow(1/float64(b), 1/float64(r))
+		if mid > theta {
+			t.Fatalf("theta=%v: 50%% point %.3f above threshold", theta, mid)
+		}
+		if mid < theta*0.5 {
+			t.Fatalf("theta=%v: 50%% point %.3f too loose", theta, mid)
+		}
+	}
+}
+
+func TestSignatureProperties(t *testing.T) {
+	f := newFamily(1, 64)
+	a := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	sigA := f.signature(a)
+	// Identical sets → identical signatures.
+	sigA2 := f.signature(append([]uint32{}, a...))
+	for i := range sigA {
+		if sigA[i] != sigA2[i] {
+			t.Fatal("signature not deterministic")
+		}
+	}
+	// Signature of a superset can only keep or lower each min-hash.
+	super := append(append([]uint32{}, a...), 100, 101)
+	sigS := f.signature(super)
+	for i := range sigA {
+		if sigS[i] > sigA[i] {
+			t.Fatal("superset raised a min-hash")
+		}
+	}
+}
+
+func TestMinhashEstimatesJaccard(t *testing.T) {
+	// The fraction of agreeing min-hash positions estimates Jaccard.
+	f := newFamily(7, 512)
+	a := make([]uint32, 0, 60)
+	b := make([]uint32, 0, 60)
+	for i := uint32(0); i < 40; i++ {
+		a = append(a, i)
+		b = append(b, i)
+	}
+	for i := uint32(100); i < 120; i++ {
+		a = append(a, i)
+		b = append(b, i+1000)
+	}
+	// |a∩b| = 40, |a∪b| = 80 → J = 0.5.
+	sa, sb := f.signature(a), f.signature(b)
+	agree := 0
+	for i := range sa {
+		if sa[i] == sb[i] {
+			agree++
+		}
+	}
+	est := float64(agree) / float64(len(sa))
+	if math.Abs(est-0.5) > 0.08 {
+		t.Fatalf("minhash estimate %.3f far from 0.5", est)
+	}
+}
+
+func TestInvalidTheta(t *testing.T) {
+	c := testutil.RandomCollection(5, 10, 5, 1)
+	if _, err := SelfJoin(c, Params{Theta: 0}); err == nil {
+		t.Fatal("theta 0 accepted")
+	}
+}

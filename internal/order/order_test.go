@@ -1,0 +1,181 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/tokens"
+)
+
+func pipeline() *mapreduce.Pipeline {
+	cl := mapreduce.DefaultCluster()
+	cl.Nodes = 2
+	return mapreduce.NewPipeline("order-test", cl)
+}
+
+func randomCollection(n, vocab, maxLen int, seed int64) *tokens.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	c := &tokens.Collection{}
+	for i := 0; i < n; i++ {
+		l := rng.Intn(maxLen) + 1
+		ids := make([]tokens.ID, l)
+		for j := range ids {
+			ids[j] = tokens.ID(rng.Intn(vocab))
+		}
+		c.Records = append(c.Records, tokens.NewRecord(int32(i), ids))
+	}
+	return c
+}
+
+func TestComputeAscendingFrequency(t *testing.T) {
+	c := randomCollection(200, 50, 20, 1)
+	o, err := Compute(pipeline(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(o.FreqByRank); i++ {
+		if o.FreqByRank[i-1] > o.FreqByRank[i] {
+			t.Fatalf("frequency not ascending at rank %d: %d > %d",
+				i, o.FreqByRank[i-1], o.FreqByRank[i])
+		}
+	}
+	// Frequencies must match a direct count.
+	counts := map[tokens.ID]int64{}
+	for _, r := range c.Records {
+		for _, tok := range r.Tokens {
+			counts[tok]++
+		}
+	}
+	if len(counts) != o.Domain() {
+		t.Fatalf("domain %d != distinct %d", o.Domain(), len(counts))
+	}
+	var total int64
+	for rank, tok := range o.TokenAt {
+		if counts[tok] != o.FreqByRank[rank] {
+			t.Fatalf("token %d freq %d != counted %d", tok, o.FreqByRank[rank], counts[tok])
+		}
+		total += o.FreqByRank[rank]
+	}
+	if total != o.TotalFreq {
+		t.Fatalf("TotalFreq %d != %d", o.TotalFreq, total)
+	}
+}
+
+func TestRankBijection(t *testing.T) {
+	c := randomCollection(100, 40, 15, 2)
+	o, err := Compute(pipeline(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, tok := range o.TokenAt {
+		if o.RankOf[tok] != uint32(rank) {
+			t.Fatalf("RankOf[TokenAt[%d]] = %d", rank, o.RankOf[tok])
+		}
+	}
+}
+
+func TestApplyPreservesSetsAndIntersections(t *testing.T) {
+	c := randomCollection(80, 40, 15, 3)
+	o, err := Compute(pipeline(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := o.Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Records {
+		if oc.Records[i].Len() != c.Records[i].Len() {
+			t.Fatalf("record %d length changed", i)
+		}
+	}
+	// Re-encoding is a bijection on tokens, so intersections are preserved.
+	for i := 0; i < 30; i++ {
+		a, b := &c.Records[i], &c.Records[i+30]
+		oa, ob := &oc.Records[i], &oc.Records[i+30]
+		if tokens.Intersect(a.Tokens, b.Tokens) != tokens.Intersect(oa.Tokens, ob.Tokens) {
+			t.Fatalf("intersection changed for pair %d", i)
+		}
+	}
+}
+
+func TestApplyRejectsUnknownToken(t *testing.T) {
+	c := randomCollection(20, 10, 5, 4)
+	o, err := Compute(pipeline(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &tokens.Collection{Records: []tokens.Record{tokens.NewRecord(0, []tokens.ID{9999})}}
+	if _, err := o.Apply(bad); err == nil {
+		t.Fatal("unknown token accepted")
+	}
+}
+
+func TestComputeEmptyCollection(t *testing.T) {
+	o, err := Compute(pipeline(), &tokens.Collection{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Domain() != 0 || o.TotalFreq != 0 {
+		t.Fatalf("empty collection: domain=%d freq=%d", o.Domain(), o.TotalFreq)
+	}
+}
+
+func TestTiesBrokenByTokenID(t *testing.T) {
+	// Two tokens with equal frequency: the smaller id ranks first.
+	c := &tokens.Collection{Records: []tokens.Record{
+		tokens.NewRecord(0, []tokens.ID{5, 9}),
+		tokens.NewRecord(1, []tokens.ID{5, 9}),
+	}}
+	o, err := Compute(pipeline(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.TokenAt[0] != 5 || o.TokenAt[1] != 9 {
+		t.Fatalf("tie order wrong: %v", o.TokenAt)
+	}
+}
+
+func TestRecordsToKVRoundTrip(t *testing.T) {
+	c := randomCollection(10, 10, 5, 5)
+	kvs := RecordsToKV(c)
+	if len(kvs) != c.Len() {
+		t.Fatalf("kv count %d", len(kvs))
+	}
+	for i, kv := range kvs {
+		rec := KVRecord(kv)
+		if rec.RID != c.Records[i].RID || rec.Len() != c.Records[i].Len() {
+			t.Fatalf("record %d mangled", i)
+		}
+	}
+}
+
+func TestOrderingKinds(t *testing.T) {
+	c := randomCollection(150, 40, 15, 9)
+	desc, err := ComputeKind(pipeline(), c, FreqDescending)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(desc.FreqByRank); i++ {
+		if desc.FreqByRank[i-1] < desc.FreqByRank[i] {
+			t.Fatalf("descending order not descending at %d", i)
+		}
+	}
+	lex, err := ComputeKind(pipeline(), c, Lexicographic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(lex.TokenAt); i++ {
+		if lex.TokenAt[i-1] >= lex.TokenAt[i] {
+			t.Fatalf("lexicographic order not by token id at %d", i)
+		}
+	}
+	if FreqAscending.String() != "freq-asc" || FreqDescending.String() != "freq-desc" ||
+		Lexicographic.String() != "lexicographic" {
+		t.Fatal("Kind names wrong")
+	}
+}

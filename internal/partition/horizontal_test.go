@@ -1,0 +1,149 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsjoin/internal/similarity"
+)
+
+func TestSelectLengthPivotsSpacing(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		theta := float64(rng.Intn(4)+6) / 10 // 0.6..0.9
+		lengths := make([]int, 500)
+		for i := range lengths {
+			lengths[i] = rng.Intn(300) + 1
+		}
+		pivots := SelectLengthPivots(similarity.Jaccard, theta, lengths, rng.Intn(20)+1)
+		for i := 1; i < len(pivots); i++ {
+			if pivots[i] <= pivots[i-1] {
+				t.Fatalf("pivots not increasing: %v", pivots)
+			}
+			if similarity.Jaccard.MinLen(theta, pivots[i]) < pivots[i-1] {
+				t.Fatalf("pivots too close for θ=%v: %v", theta, pivots)
+			}
+		}
+	}
+}
+
+func TestSelectLengthPivotsEmpty(t *testing.T) {
+	if p := SelectLengthPivots(similarity.Jaccard, 0.8, nil, 5); p != nil {
+		t.Fatalf("pivots from empty lengths: %v", p)
+	}
+	if p := SelectLengthPivots(similarity.Jaccard, 0.8, []int{5, 6}, 0); p != nil {
+		t.Fatalf("pivots with maxPivots=0: %v", p)
+	}
+}
+
+func TestNewHorizontalDropsViolators(t *testing.T) {
+	// 10 and 11 are far closer than 1/θ apart at θ=0.8.
+	h := NewHorizontal(similarity.Jaccard, 0.8, []int{10, 11, 50})
+	p := h.Pivots()
+	if len(p) != 2 || p[0] != 10 || p[1] != 50 {
+		t.Fatalf("pivots = %v, want [10 50]", p)
+	}
+}
+
+func TestPartitionCounts(t *testing.T) {
+	h := NewHorizontal(similarity.Jaccard, 0.8, []int{10, 100})
+	if h.Regions() != 3 || h.Partitions() != 5 {
+		t.Fatalf("regions=%d partitions=%d", h.Regions(), h.Partitions())
+	}
+	n := NoHorizontal(similarity.Jaccard, 0.8)
+	if n.Partitions() != 1 || n.Regions() != 1 {
+		t.Fatal("NoHorizontal not degenerate")
+	}
+	if got := n.Assign(17); len(got) != 1 || got[0].Partition != 0 || got[0].Role != RoleRegion {
+		t.Fatalf("NoHorizontal.Assign = %v", got)
+	}
+}
+
+func TestAssignRegionsAndBoundaries(t *testing.T) {
+	theta := 0.8
+	h := NewHorizontal(similarity.Jaccard, theta, []int{10, 100})
+	// Length 5: region 0 only (too short for boundary of pivot 10? 5 <
+	// MinLen(0.8,10)=8).
+	a := h.Assign(5)
+	if len(a) != 1 || a[0] != (Assignment{Partition: 0, Role: RoleRegion}) {
+		t.Fatalf("Assign(5) = %v", a)
+	}
+	// Length 9: region 0 + small side of boundary for pivot 10 (partition
+	// t+1+0 = 3).
+	a = h.Assign(9)
+	if len(a) != 2 || a[1] != (Assignment{Partition: 3, Role: RoleSmall}) {
+		t.Fatalf("Assign(9) = %v", a)
+	}
+	// Length 12: region 1 + large side of boundary 10 (12 ≤ 10/0.8).
+	a = h.Assign(12)
+	if len(a) != 2 || a[1] != (Assignment{Partition: 3, Role: RoleLarge}) {
+		t.Fatalf("Assign(12) = %v", a)
+	}
+	// Length 0: nothing.
+	if got := h.Assign(0); got != nil {
+		t.Fatalf("Assign(0) = %v", got)
+	}
+}
+
+func TestJoinable(t *testing.T) {
+	if !Joinable(RoleRegion, RoleRegion) {
+		t.Error("region pairs must join")
+	}
+	if !Joinable(RoleSmall, RoleLarge) || !Joinable(RoleLarge, RoleSmall) {
+		t.Error("cross boundary pairs must join")
+	}
+	if Joinable(RoleSmall, RoleSmall) || Joinable(RoleLarge, RoleLarge) {
+		t.Error("same-side boundary pairs must not join")
+	}
+	if Joinable(RoleRegion, RoleSmall) || Joinable(RoleLarge, RoleRegion) {
+		t.Error("region × boundary roles must not join")
+	}
+}
+
+// TestEverySimilarPairMeetsExactlyOnce is the horizontal partitioning
+// correctness property: for any two lengths that could belong to a similar
+// pair, there is exactly one (partition, role-pair) where they join — no
+// misses, no duplicate results.
+func TestEverySimilarPairMeetsExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		theta := float64(rng.Intn(5)+5) / 10
+		fn := similarity.Jaccard
+		lengths := make([]int, 300)
+		for i := range lengths {
+			lengths[i] = rng.Intn(400) + 1
+		}
+		h := NewHorizontal(fn, theta, SelectLengthPivots(fn, theta, lengths, rng.Intn(12)+1))
+		for pair := 0; pair < 300; pair++ {
+			ls := rng.Intn(400) + 1
+			lt := rng.Intn(400) + 1
+			// Only pairs that could be similar must meet.
+			lo, hi := ls, lt
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			compatible := lo >= fn.MinLen(theta, hi)
+			meets := 0
+			for _, as := range h.Assign(ls) {
+				for _, at := range h.Assign(lt) {
+					if as.Partition == at.Partition && Joinable(as.Role, at.Role) {
+						meets++
+					}
+				}
+			}
+			if compatible && meets != 1 {
+				t.Fatalf("θ=%v pivots=%v: lengths (%d,%d) meet %d times, want 1",
+					theta, h.Pivots(), ls, lt, meets)
+			}
+			if !compatible && meets > 1 {
+				t.Fatalf("θ=%v: incompatible lengths (%d,%d) meet %d times", theta, ls, lt, meets)
+			}
+		}
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleRegion.String() != "region" || RoleSmall.String() != "small" || RoleLarge.String() != "large" {
+		t.Fatal("role names wrong")
+	}
+}

@@ -1,0 +1,188 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/order"
+	"fsjoin/internal/tokens"
+)
+
+// buildOrder computes a real global ordering over a random collection.
+func buildOrder(t *testing.T, n, vocab, maxLen int, seed int64) (*order.Order, *tokens.Collection) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := &tokens.Collection{}
+	for i := 0; i < n; i++ {
+		l := rng.Intn(maxLen) + 1
+		ids := make([]tokens.ID, l)
+		for j := range ids {
+			ids[j] = tokens.ID(rng.Intn(vocab))
+		}
+		c.Records = append(c.Records, tokens.NewRecord(int32(i), ids))
+	}
+	p := mapreduce.NewPipeline("t", mapreduce.DefaultCluster())
+	o, err := order.Compute(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := o.Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, oc
+}
+
+func checkPivots(t *testing.T, pivots []uint32, domain, np int, label string) {
+	t.Helper()
+	if len(pivots) > np {
+		t.Fatalf("%s: %d pivots, asked %d", label, len(pivots), np)
+	}
+	for i, p := range pivots {
+		if p == 0 || int(p) >= domain {
+			t.Fatalf("%s: pivot %d out of (0,%d)", label, p, domain)
+		}
+		if i > 0 && pivots[i-1] >= p {
+			t.Fatalf("%s: pivots not strictly increasing: %v", label, pivots)
+		}
+	}
+}
+
+func TestSelectPivotsAllMethods(t *testing.T) {
+	o, _ := buildOrder(t, 200, 150, 20, 1)
+	for _, m := range []PivotMethod{Random, EvenInterval, EvenTF} {
+		for _, np := range []int{1, 5, 29} {
+			pivots := SelectPivots(m, o, np, 42)
+			checkPivots(t, pivots, o.Domain(), np, m.String())
+		}
+	}
+}
+
+func TestSelectPivotsDegenerate(t *testing.T) {
+	o, _ := buildOrder(t, 10, 5, 3, 2)
+	if got := SelectPivots(EvenTF, o, 0, 1); got != nil {
+		t.Fatalf("0 pivots: got %v", got)
+	}
+	// More pivots than domain: clamped.
+	pivots := SelectPivots(EvenInterval, o, 100, 1)
+	checkPivots(t, pivots, o.Domain(), o.Domain()-1, "clamped")
+}
+
+func TestSelectPivotsRandomDeterministicPerSeed(t *testing.T) {
+	o, _ := buildOrder(t, 100, 80, 15, 3)
+	a := SelectPivots(Random, o, 7, 99)
+	b := SelectPivots(Random, o, 7, 99)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different pivot count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different pivots")
+		}
+	}
+}
+
+// TestEvenTFBalancesFragmentMass: Even-TF fragments hold near-equal term
+// frequency; Even-Interval fragments hold near-equal distinct-token counts.
+func TestEvenTFBalancesFragmentMass(t *testing.T) {
+	o, _ := buildOrder(t, 400, 120, 30, 4)
+	const np = 9
+	pivots := SelectPivots(EvenTF, o, np, 1)
+	sp := NewSplitter(pivots)
+	mass := make([]int64, sp.Fragments())
+	for rank, f := range o.FreqByRank {
+		mass[sp.FragmentOf(uint32(rank))] += f
+	}
+	target := o.TotalFreq / int64(len(mass))
+	for i, m := range mass {
+		// Individual token frequencies are lumpy; allow 3× headroom.
+		if m > 3*target+int64(o.FreqByRank[o.Domain()-1]) {
+			t.Errorf("fragment %d mass %d ≫ target %d", i, m, target)
+		}
+	}
+}
+
+func TestSplitterSplitInvariants(t *testing.T) {
+	o, oc := buildOrder(t, 150, 90, 25, 5)
+	for _, m := range []PivotMethod{Random, EvenInterval, EvenTF} {
+		sp := NewSplitter(SelectPivots(m, o, 7, 3))
+		for _, rec := range oc.Records {
+			segs := sp.Split(rec)
+			// Segments reassemble the record exactly, in order.
+			var rebuilt []tokens.ID
+			prevFrag := -1
+			for _, seg := range segs {
+				if len(seg.Tokens) == 0 {
+					t.Fatalf("empty segment emitted")
+				}
+				if seg.Fragment <= prevFrag {
+					t.Fatalf("fragments not strictly increasing")
+				}
+				prevFrag = seg.Fragment
+				if seg.StrLen != rec.Len() {
+					t.Fatalf("StrLen %d != %d", seg.StrLen, rec.Len())
+				}
+				if seg.Head != len(rebuilt) {
+					t.Fatalf("Head %d != position %d", seg.Head, len(rebuilt))
+				}
+				rebuilt = append(rebuilt, seg.Tokens...)
+				if seg.Tail != rec.Len()-len(rebuilt) {
+					t.Fatalf("Tail %d wrong", seg.Tail)
+				}
+				// Every token belongs to the declared fragment.
+				for _, tok := range seg.Tokens {
+					if sp.FragmentOf(tok) != seg.Fragment {
+						t.Fatalf("token %d in wrong fragment %d", tok, seg.Fragment)
+					}
+				}
+			}
+			if len(rebuilt) != rec.Len() {
+				t.Fatalf("segments lose tokens: %d vs %d", len(rebuilt), rec.Len())
+			}
+			for i, tok := range rebuilt {
+				if tok != rec.Tokens[i] {
+					t.Fatalf("segment order broken at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitEmptyRecord(t *testing.T) {
+	sp := NewSplitter([]uint32{5})
+	if segs := sp.Split(tokens.NewRecord(0, nil)); segs != nil {
+		t.Fatalf("empty record produced segments: %v", segs)
+	}
+}
+
+func TestFragmentOfBoundaries(t *testing.T) {
+	sp := NewSplitter([]uint32{3, 7})
+	cases := []struct {
+		rank uint32
+		want int
+	}{{0, 0}, {2, 0}, {3, 1}, {6, 1}, {7, 2}, {100, 2}}
+	for _, c := range cases {
+		if got := sp.FragmentOf(c.rank); got != c.want {
+			t.Errorf("FragmentOf(%d) = %d, want %d", c.rank, got, c.want)
+		}
+	}
+	if sp.Fragments() != 3 {
+		t.Fatalf("Fragments = %d", sp.Fragments())
+	}
+}
+
+func TestNoPivotsSingleFragment(t *testing.T) {
+	sp := NewSplitter(nil)
+	rec := tokens.NewRecord(1, []tokens.ID{1, 5, 9})
+	segs := sp.Split(rec)
+	if len(segs) != 1 || segs[0].Fragment != 0 || len(segs[0].Tokens) != 3 {
+		t.Fatalf("no-pivot split wrong: %+v", segs)
+	}
+}
+
+func TestPivotMethodString(t *testing.T) {
+	if Random.String() != "random" || EvenInterval.String() != "even-interval" || EvenTF.String() != "even-tf" {
+		t.Fatal("method names wrong")
+	}
+}

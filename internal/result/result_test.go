@@ -1,0 +1,60 @@
+package result
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSort(t *testing.T) {
+	ps := []Pair{{A: 2, B: 1}, {A: 1, B: 9}, {A: 1, B: 2}}
+	Sort(ps)
+	want := []Pair{{A: 1, B: 2}, {A: 1, B: 9}, {A: 2, B: 1}}
+	if !reflect.DeepEqual(ps, want) {
+		t.Fatalf("sorted = %v", ps)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := []Pair{{A: 1, B: 2, Common: 3}, {A: 4, B: 5, Common: 6}}
+	if d := Diff(a, a, 10); len(d) != 0 {
+		t.Fatalf("identical sets diff: %v", d)
+	}
+}
+
+func TestDiffFindsAll(t *testing.T) {
+	got := []Pair{{A: 1, B: 2, Common: 3}, {A: 7, B: 8, Common: 1}}
+	want := []Pair{{A: 1, B: 2, Common: 4}, {A: 4, B: 5, Common: 6}}
+	d := Diff(got, want, 10)
+	if len(d) != 3 {
+		t.Fatalf("diff = %v", d)
+	}
+	joined := strings.Join(d, "\n")
+	for _, frag := range []string{"common 3, want 4", "unexpected", "missing"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("diff missing %q: %v", frag, d)
+		}
+	}
+}
+
+func TestDiffLimit(t *testing.T) {
+	var got []Pair
+	var want []Pair
+	for i := int32(0); i < 20; i++ {
+		want = append(want, Pair{A: i, B: i + 1})
+	}
+	if d := Diff(got, want, 5); len(d) != 5 {
+		t.Fatalf("limit ignored: %d", len(d))
+	}
+}
+
+func TestKeyAndString(t *testing.T) {
+	p := Pair{A: 1, B: 2, Common: 3, Sim: 0.5}
+	q := Pair{A: 1, B: 3}
+	if p.Key() == q.Key() {
+		t.Fatal("keys collide")
+	}
+	if !strings.Contains(p.String(), "(1,2") {
+		t.Fatalf("String = %q", p.String())
+	}
+}

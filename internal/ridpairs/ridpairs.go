@@ -1,0 +1,271 @@
+// Package ridpairs implements the RIDPairsPPJoin baseline (Vernica, Carey,
+// Li — SIGMOD 2010) the paper compares against: a signature-based MapReduce
+// join that keys records by their prefix tokens. Each record is duplicated
+// once per prefix token (the duplication the paper's Figure 1 criticises),
+// groups are joined with PPJoin-style length and positional filters plus
+// early-terminating verification, and a final job deduplicates pairs
+// discovered under multiple prefix tokens. Both self-joins and R-S joins
+// are supported, as in Vernica et al.'s original system.
+package ridpairs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/order"
+	"fsjoin/internal/result"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+// Options configures a RIDPairsPPJoin run.
+type Options struct {
+	// Fn and Theta define the similarity predicate.
+	Fn    similarity.Func
+	Theta float64
+	// Cluster is the cost model (default: the paper's 10-node cluster).
+	Cluster *mapreduce.Cluster
+	// Ctx, when non-nil, cancels the pipeline at the next task boundary.
+	Ctx context.Context
+}
+
+// Result carries the join output and pipeline metrics.
+type Result struct {
+	// Pairs are the similar pairs, sorted canonically.
+	Pairs []result.Pair
+	// Pipeline exposes per-stage metrics.
+	Pipeline *mapreduce.Pipeline
+}
+
+// prefixValue is the shuffled record copy: origin tag plus the full ordered
+// token set (the whole record travels once per prefix token).
+type prefixValue struct {
+	rec    tokens.Record
+	origin uint8
+}
+
+// SizeBytes implements mapreduce.Sized.
+func (v prefixValue) SizeBytes() int { return 5 + 4*len(v.rec.Tokens) }
+
+// simValue carries an exact verified similarity across the dedup job.
+type simValue struct {
+	c      int32
+	la, lb int32
+}
+
+// SizeBytes implements mapreduce.Sized.
+func (simValue) SizeBytes() int { return 12 }
+
+// SelfJoin runs the three-stage RIDPairsPPJoin pipeline over one
+// collection.
+func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
+	return run(c, nil, opt)
+}
+
+// Join runs the R-S variant; result pairs carry the R-side id first.
+func Join(r, s *tokens.Collection, opt Options) (*Result, error) {
+	if s == nil {
+		return nil, fmt.Errorf("ridpairs: nil S collection")
+	}
+	return run(r, s, opt)
+}
+
+func run(r, s *tokens.Collection, opt Options) (*Result, error) {
+	if opt.Theta <= 0 || opt.Theta > 1 {
+		return nil, fmt.Errorf("ridpairs: theta %v outside (0, 1]", opt.Theta)
+	}
+	if opt.Cluster == nil {
+		opt.Cluster = mapreduce.DefaultCluster()
+	}
+	rs := s != nil
+	p := mapreduce.NewPipeline("ridpairs-ppjoin", opt.Cluster)
+	p.Context = opt.Ctx
+
+	// Stage 1: global ordering (same job as FS-Join's) over the union.
+	union := r
+	if rs {
+		union = &tokens.Collection{Records: append(append([]tokens.Record{}, r.Records...), s.Records...)}
+	}
+	o, err := order.Compute(p, union)
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := o.Apply(r)
+	if err != nil {
+		return nil, err
+	}
+	input := tagInput(ordered, 0)
+	if rs {
+		orderedS, err := o.Apply(s)
+		if err != nil {
+			return nil, err
+		}
+		input = append(input, tagInput(orderedS, 1)...)
+	}
+
+	// Stage 2: RIDPairs kernel — duplicate per prefix token, join groups.
+	kernelRes, err := p.Run(mapreduce.Config{Name: "rid-pairs"},
+		input,
+		&prefixMapper{fn: opt.Fn, theta: opt.Theta},
+		&groupJoiner{fn: opt.Fn, theta: opt.Theta, rs: rs})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3: deduplicate pairs found under several common prefix tokens.
+	dedupRes, err := p.Run(mapreduce.Config{Name: "dedup"},
+		kernelRes.Output, mapreduce.IdentityMapper, mapreduce.FirstValue{})
+	if err != nil {
+		return nil, err
+	}
+
+	pairs := make([]result.Pair, 0, len(dedupRes.Output))
+	for _, kv := range dedupRes.Output {
+		a, b := mapreduce.DecodePairKey(kv.Key)
+		sv := kv.Value.(simValue)
+		pairs = append(pairs, result.Pair{
+			A: int32(a), B: int32(b), Common: int(sv.c),
+			Sim: opt.Fn.Sim(int(sv.c), int(sv.la), int(sv.lb)),
+		})
+	}
+	result.Sort(pairs)
+	return &Result{Pairs: pairs, Pipeline: p}, nil
+}
+
+// tagInput converts a collection into kernel input pairs.
+func tagInput(c *tokens.Collection, origin uint8) []mapreduce.KV {
+	kvs := make([]mapreduce.KV, 0, len(c.Records))
+	for _, rec := range c.Records {
+		kvs = append(kvs, mapreduce.KV{
+			Key:   mapreduce.U32Key(uint32(rec.RID)),
+			Value: prefixValue{rec: rec, origin: origin},
+		})
+	}
+	return kvs
+}
+
+// prefixMapper emits one full record copy per prefix token — the
+// signature-duplication scheme of Figure 1.
+type prefixMapper struct {
+	fn    similarity.Func
+	theta float64
+}
+
+// Map implements mapreduce.Mapper.
+func (m *prefixMapper) Map(ctx *mapreduce.Context, kv mapreduce.KV) {
+	pv := kv.Value.(prefixValue)
+	if pv.rec.Len() == 0 {
+		return
+	}
+	plen := m.fn.ProbePrefixLen(m.theta, pv.rec.Len())
+	ctx.Inc("ridpairs.duplicates", int64(plen))
+	for _, t := range pv.rec.Tokens[:plen] {
+		ctx.Emit(mapreduce.U32Key(t), pv)
+	}
+}
+
+// groupJoiner joins all records sharing one prefix token using the PPJoin
+// length and positional filters and early-terminating verification,
+// emitting exact similarities. A pair is emitted in every group it appears
+// in; stage 3 dedups. Pruning inside a group is safe because the group of
+// the pair's smallest common token always passes the positional bound.
+type groupJoiner struct {
+	fn    similarity.Func
+	theta float64
+	rs    bool
+}
+
+// Reduce implements mapreduce.Reducer.
+func (g *groupJoiner) Reduce(ctx *mapreduce.Context, key string, values []any) {
+	w := mapreduce.DecodeU32Key(key)
+	recs := make([]prefixValue, len(values))
+	pos := make([]int, len(values))
+	for i, v := range values {
+		recs[i] = v.(prefixValue)
+		pos[i] = tokenPos(recs[i].rec.Tokens, w)
+	}
+	for i := range recs {
+		for j := i + 1; j < len(recs); j++ {
+			a, b := &recs[i], &recs[j]
+			if g.rs {
+				if a.origin == b.origin {
+					continue
+				}
+			} else if a.rec.RID == b.rec.RID {
+				continue
+			}
+			ctx.Inc("ridpairs.comparisons", 1)
+			la, lb := a.rec.Len(), b.rec.Len()
+			lmin, lmax := la, lb
+			if lmin > lmax {
+				lmin, lmax = lmax, lmin
+			}
+			if lmin < g.fn.MinLen(g.theta, lmax) {
+				ctx.Inc("ridpairs.pruned.length", 1)
+				continue
+			}
+			required := g.fn.MinOverlap(g.theta, la, lb)
+			// PPJoin positional filter: all common tokens are ≥ w, so at
+			// most 1 + min(remaining after w) can match.
+			if bound := 1 + min(la-pos[i]-1, lb-pos[j]-1); bound < required {
+				ctx.Inc("ridpairs.pruned.positional", 1)
+				continue
+			}
+			c, ok := verifyOverlap(a.rec.Tokens, b.rec.Tokens, required)
+			if !ok || !g.fn.AtLeast(c, la, lb, g.theta) {
+				continue
+			}
+			x, y := a, b
+			if g.rs {
+				if a.origin != 0 {
+					x, y = b, a
+				}
+			} else if a.rec.RID > b.rec.RID {
+				x, y = b, a
+			}
+			ctx.Emit(mapreduce.PairKey(uint32(x.rec.RID), uint32(y.rec.RID)),
+				simValue{c: int32(c), la: int32(x.rec.Len()), lb: int32(y.rec.Len())})
+		}
+	}
+}
+
+// tokenPos locates w in a sorted token set.
+func tokenPos(ts []tokens.ID, w uint32) int {
+	return sort.Search(len(ts), func(i int) bool { return ts[i] >= w })
+}
+
+// verifyOverlap merges two sorted token sets, aborting early when the
+// remaining tokens cannot reach the required overlap (PPJoin's
+// early-termination verification). ok is false when the bound was missed.
+func verifyOverlap(a, b []tokens.ID, required int) (int, bool) {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		rem := len(a) - i
+		if r2 := len(b) - j; r2 < rem {
+			rem = r2
+		}
+		if c+rem < required {
+			return c, false
+		}
+		switch {
+		case a[i] == b[j]:
+			c++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return c, c >= required
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+package ridpairs
+
+import (
+	"testing"
+
+	"fsjoin/internal/bruteforce"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/testutil"
+)
+
+func TestRIDPairsMatchesOracle(t *testing.T) {
+	c := testutil.RandomCollection(130, 60, 24, 11)
+	for _, theta := range []float64{0.5, 0.7, 0.85, 0.95} {
+		want := bruteforce.SelfJoin(c, similarity.Jaccard, theta)
+		res, err := SelfJoin(c, Options{Theta: theta, Cluster: testutil.SmallCluster()})
+		if err != nil {
+			t.Fatalf("SelfJoin(theta=%v): %v", theta, err)
+		}
+		testutil.AssertSameResults(t, "ridpairs", res.Pairs, want)
+	}
+}
+
+func TestRIDPairsDuplicationGrowsAsThetaFalls(t *testing.T) {
+	c := testutil.RandomCollection(200, 80, 30, 12)
+	var prev int64 = -1
+	for _, theta := range []float64{0.9, 0.75, 0.6} {
+		res, err := SelfJoin(c, Options{Theta: theta, Cluster: testutil.SmallCluster()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dups := res.Pipeline.Counter("ridpairs.duplicates")
+		if dups <= prev {
+			t.Errorf("theta=%v: duplicates %d did not grow (prev %d)", theta, dups, prev)
+		}
+		prev = dups
+	}
+}
+
+func TestRIDPairsInvalidTheta(t *testing.T) {
+	c := testutil.RandomCollection(5, 10, 5, 1)
+	for _, theta := range []float64{0, -1, 1.5} {
+		if _, err := SelfJoin(c, Options{Theta: theta}); err == nil {
+			t.Errorf("theta=%v: want error", theta)
+		}
+	}
+}
+
+func TestVerifyOverlapEarlyTermination(t *testing.T) {
+	a := []uint32{1, 2, 3, 4, 5}
+	b := []uint32{6, 7, 8, 9, 10}
+	if c, ok := verifyOverlap(a, b, 3); ok {
+		t.Errorf("disjoint sets reported ok with c=%d", c)
+	}
+	c, ok := verifyOverlap(a, a, 5)
+	if !ok || c != 5 {
+		t.Errorf("identical sets: got c=%d ok=%v", c, ok)
+	}
+	if c, ok := verifyOverlap(a, []uint32{1, 2, 9, 10, 11}, 3); ok {
+		t.Errorf("overlap 2 passed required 3 (c=%d)", c)
+	}
+}
+
+func TestRIDPairsRSJoinMatchesOracle(t *testing.T) {
+	r := testutil.RandomCollection(70, 40, 18, 51)
+	s := testutil.RandomCollection(80, 40, 18, 52)
+	for _, theta := range []float64{0.6, 0.85} {
+		want := bruteforce.Join(r, s, similarity.Jaccard, theta)
+		res, err := Join(r, s, Options{Theta: theta, Cluster: testutil.SmallCluster()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.AssertSameResults(t, "ridpairs-rs", res.Pairs, want)
+	}
+}
+
+func TestRIDPairsRSNilS(t *testing.T) {
+	if _, err := Join(testutil.RandomCollection(3, 5, 3, 1), nil, Options{Theta: 0.5}); err == nil {
+		t.Fatal("nil S accepted")
+	}
+}
+
+func TestPositionalFilterActiveAndSafe(t *testing.T) {
+	c := testutil.RandomCollection(250, 90, 30, 53)
+	res, err := SelfJoin(c, Options{Theta: 0.85, Cluster: testutil.SmallCluster()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pipeline.Counter("ridpairs.pruned.positional") == 0 {
+		t.Fatal("positional filter never fired")
+	}
+	want := bruteforce.SelfJoin(c, similarity.Jaccard, 0.85)
+	testutil.AssertSameResults(t, "positional", res.Pairs, want)
+}

@@ -1,0 +1,59 @@
+package similarity
+
+import "testing"
+
+func TestMaxLenDegenerateTheta(t *testing.T) {
+	if Jaccard.MaxLen(0, 10) < 1<<30 {
+		t.Fatal("theta 0 must impose no upper bound")
+	}
+}
+
+func TestPrefixLenZeroLength(t *testing.T) {
+	if Jaccard.ProbePrefixLen(0.8, 0) != 0 || Jaccard.IndexPrefixLen(0.8, 0) != 0 {
+		t.Fatal("empty record must have empty prefixes")
+	}
+}
+
+func TestUnknownFuncPanics(t *testing.T) {
+	cases := []func(){
+		func() { Func(42).Sim(1, 2, 2) },
+		func() { Func(42).MinOverlapReal(0.5, 2, 2) },
+		func() { Func(42).MinLen(0.5, 2) },
+		func() { Func(42).MaxLen(0.5, 2) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: unknown Func did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDiceCosineLengthBoundsKnownValues(t *testing.T) {
+	// Dice: lt ≥ θ·ls/(2−θ); θ=1 → lt ≥ ls.
+	if got := Dice.MinLen(1.0, 10); got != 10 {
+		t.Fatalf("Dice.MinLen(1,10) = %d", got)
+	}
+	// Cosine: lt ≥ θ²·ls; θ=0.5 → lt ≥ 2.5 → 3.
+	if got := Cosine.MinLen(0.5, 10); got != 3 {
+		t.Fatalf("Cosine.MinLen(0.5,10) = %d", got)
+	}
+	// Cosine MaxLen: ls/θ²; θ=0.5 → 40.
+	if got := Cosine.MaxLen(0.5, 10); got != 40 {
+		t.Fatalf("Cosine.MaxLen(0.5,10) = %d", got)
+	}
+	// Dice MaxLen: (2−θ)ls/θ; θ=1 → 10.
+	if got := Dice.MaxLen(1.0, 10); got != 10 {
+		t.Fatalf("Dice.MaxLen(1,10) = %d", got)
+	}
+}
+
+func TestMinOverlapFloor(t *testing.T) {
+	if Jaccard.MinOverlap(0.0001, 1, 1) < 0 {
+		t.Fatal("negative overlap bound")
+	}
+}

@@ -1,0 +1,183 @@
+// Package similarity centralises the set-similarity algebra used by every
+// join implementation in this repository: the Jaccard, Dice and Cosine
+// functions, their threshold-equivalent overlap bounds, the length-filter
+// bounds, and prefix-length computations.
+//
+// Every algorithm (FS-Join, the three baselines, and the brute-force oracle)
+// decides "is this pair a result?" through exactly one function — AtLeast —
+// so floating-point tie handling is identical across implementations.
+package similarity
+
+import (
+	"fmt"
+	"math"
+)
+
+// eps absorbs floating-point noise in threshold comparisons: a pair counts
+// as similar when sim ≥ θ − eps. All implementations share this definition
+// through AtLeast.
+const eps = 1e-9
+
+// Func identifies a set-similarity function.
+type Func int
+
+// The supported similarity functions. The paper's experiments use Jaccard;
+// its verification phase also supports Dice and Cosine (Section V-B).
+const (
+	Jaccard Func = iota
+	Dice
+	Cosine
+)
+
+// String implements fmt.Stringer.
+func (f Func) String() string {
+	switch f {
+	case Jaccard:
+		return "jaccard"
+	case Dice:
+		return "dice"
+	case Cosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("Func(%d)", int(f))
+	}
+}
+
+// Sim returns the similarity of two sets given their intersection size c and
+// lengths ls, lt. Empty inputs yield 0.
+func (f Func) Sim(c, ls, lt int) float64 {
+	if ls == 0 || lt == 0 {
+		return 0
+	}
+	switch f {
+	case Jaccard:
+		return float64(c) / float64(ls+lt-c)
+	case Dice:
+		return 2 * float64(c) / float64(ls+lt)
+	case Cosine:
+		return float64(c) / math.Sqrt(float64(ls)*float64(lt))
+	default:
+		panic("similarity: unknown function")
+	}
+}
+
+// AtLeast reports whether sets with intersection c and lengths ls, lt meet
+// threshold theta. This is the paper's Section V-B verification: the exact
+// score is derived from the aggregated common-token count alone, never from
+// the original strings.
+func (f Func) AtLeast(c, ls, lt int, theta float64) bool {
+	return f.Sim(c, ls, lt) >= theta-eps
+}
+
+// MinOverlapReal returns the real-valued lower bound on |s∩t| implied by
+// sim(s,t) ≥ θ: the paper's θ/(1+θ)·(|s|+|t|) for Jaccard, and the
+// analogous bounds for Dice and Cosine. Filters compare against this value
+// directly; verification uses MinOverlap (its integer ceiling).
+func (f Func) MinOverlapReal(theta float64, ls, lt int) float64 {
+	switch f {
+	case Jaccard:
+		return theta / (1 + theta) * float64(ls+lt)
+	case Dice:
+		return theta / 2 * float64(ls+lt)
+	case Cosine:
+		return theta * math.Sqrt(float64(ls)*float64(lt))
+	default:
+		panic("similarity: unknown function")
+	}
+}
+
+// MinOverlap returns the smallest integer intersection size that can satisfy
+// the threshold for lengths ls, lt.
+func (f Func) MinOverlap(theta float64, ls, lt int) int {
+	h := int(math.Ceil(f.MinOverlapReal(theta, ls, lt) - eps))
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// MinLen returns the smallest partner length a record of length l can form a
+// result with (Lemma 1's length filter; |t| ≥ θ|s| for Jaccard).
+func (f Func) MinLen(theta float64, l int) int {
+	var lo float64
+	switch f {
+	case Jaccard:
+		lo = theta * float64(l)
+	case Dice:
+		// 2c/(ls+lt) ≥ θ with c ≤ lt gives lt ≥ θ·ls/(2−θ).
+		lo = theta * float64(l) / (2 - theta)
+	case Cosine:
+		// c/√(ls·lt) ≥ θ with c ≤ lt gives lt ≥ θ²·ls.
+		lo = theta * theta * float64(l)
+	default:
+		panic("similarity: unknown function")
+	}
+	m := int(math.Ceil(lo - eps))
+	if m < 1 {
+		return 1
+	}
+	return m
+}
+
+// MaxLen returns the largest partner length a record of length l can form a
+// result with (|t| ≤ |s|/θ for Jaccard).
+func (f Func) MaxLen(theta float64, l int) int {
+	if theta <= 0 {
+		return math.MaxInt32
+	}
+	var hi float64
+	switch f {
+	case Jaccard:
+		hi = float64(l) / theta
+	case Dice:
+		hi = (2 - theta) * float64(l) / theta
+	case Cosine:
+		hi = float64(l) / (theta * theta)
+	default:
+		panic("similarity: unknown function")
+	}
+	return int(math.Floor(hi + eps))
+}
+
+// MinOverlapAnyPartner returns the smallest possible required overlap over
+// all partner lengths admitted by the length filter — i.e. the value of
+// MinOverlapReal at lt = MinLen. For Jaccard this equals θ·|s|, the bound
+// used to derive lossless segment prefixes (DESIGN.md §3). MinOverlapReal is
+// increasing in lt for all three functions, so the minimum is at MinLen.
+func (f Func) MinOverlapAnyPartner(theta float64, ls int) float64 {
+	return f.MinOverlapReal(theta, ls, f.MinLen(theta, ls))
+}
+
+// ProbePrefixLen returns the probing prefix length |s| − ⌈θ·|s|⌉ + 1 (for
+// Jaccard): any partner within the length bounds that reaches the threshold
+// shares a token inside this prefix. Used by RIDPairsPPJoin signatures.
+func (f Func) ProbePrefixLen(theta float64, l int) int {
+	if l == 0 {
+		return 0
+	}
+	p := l - int(math.Ceil(f.MinOverlapAnyPartner(theta, l)-eps)) + 1
+	if p < 1 {
+		p = 1
+	}
+	if p > l {
+		p = l
+	}
+	return p
+}
+
+// IndexPrefixLen returns the shorter indexing prefix usable for self-joins:
+// |s| − ⌈2θ/(1+θ)·|s|⌉ + 1 for Jaccard (overlap bound at lt = ls). PPJoin
+// indexes this prefix and probes with ProbePrefixLen.
+func (f Func) IndexPrefixLen(theta float64, l int) int {
+	if l == 0 {
+		return 0
+	}
+	p := l - f.MinOverlap(theta, l, l) + 1
+	if p < 1 {
+		p = 1
+	}
+	if p > l {
+		p = l
+	}
+	return p
+}

@@ -1,0 +1,225 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allFuncs = []Func{Jaccard, Dice, Cosine}
+
+func TestSimKnownValues(t *testing.T) {
+	cases := []struct {
+		fn        Func
+		c, ls, lt int
+		want      float64
+	}{
+		{Jaccard, 3, 4, 5, 3.0 / 6.0},
+		{Jaccard, 4, 4, 4, 1.0},
+		{Jaccard, 0, 4, 4, 0.0},
+		{Dice, 3, 4, 5, 6.0 / 9.0},
+		{Dice, 4, 4, 4, 1.0},
+		{Cosine, 2, 4, 4, 0.5},
+		{Cosine, 4, 4, 4, 1.0},
+	}
+	for _, c := range cases {
+		if got := c.fn.Sim(c.c, c.ls, c.lt); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v.Sim(%d,%d,%d) = %v, want %v", c.fn, c.c, c.ls, c.lt, got, c.want)
+		}
+	}
+	if Jaccard.Sim(0, 0, 5) != 0 {
+		t.Error("empty set similarity must be 0")
+	}
+}
+
+func TestAtLeastBoundaryExact(t *testing.T) {
+	// 3/6 = 0.5 exactly: must count as ≥ 0.5 despite float noise.
+	if !Jaccard.AtLeast(3, 4, 5, 0.5) {
+		t.Error("exact boundary rejected")
+	}
+	if Jaccard.AtLeast(2, 4, 5, 0.5) {
+		t.Error("2/7 accepted at 0.5")
+	}
+}
+
+// TestMinOverlapTight verifies MinOverlap is the tight bound: c =
+// MinOverlap satisfies the threshold and c−1 does not, whenever such c is
+// feasible.
+func TestMinOverlapTight(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3000; trial++ {
+		fn := allFuncs[rng.Intn(len(allFuncs))]
+		ls := rng.Intn(50) + 1
+		lt := rng.Intn(50) + 1
+		theta := float64(rng.Intn(9)+1) / 10
+		h := fn.MinOverlap(theta, ls, lt)
+		min := ls
+		if lt < min {
+			min = lt
+		}
+		if h <= min && h > 0 {
+			if !fn.AtLeast(h, ls, lt, theta) {
+				t.Fatalf("%v: c=MinOverlap=%d rejected (ls=%d lt=%d θ=%v)", fn, h, ls, lt, theta)
+			}
+			if fn.AtLeast(h-1, ls, lt, theta) {
+				t.Fatalf("%v: c=MinOverlap−1=%d accepted (ls=%d lt=%d θ=%v)", fn, h-1, ls, lt, theta)
+			}
+		}
+	}
+}
+
+// TestLengthBoundsSound verifies no partner outside [MinLen, MaxLen] can
+// reach the threshold, and the extreme inside lengths can (with c = full
+// overlap of the shorter set).
+func TestLengthBoundsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 3000; trial++ {
+		fn := allFuncs[rng.Intn(len(allFuncs))]
+		l := rng.Intn(60) + 1
+		theta := float64(rng.Intn(9)+1) / 10
+		lo, hi := fn.MinLen(theta, l), fn.MaxLen(theta, l)
+		if lo < 1 {
+			t.Fatalf("MinLen < 1")
+		}
+		// Below the bound: even a full-containment partner fails.
+		if lo > 1 {
+			bad := lo - 1
+			c := bad
+			if l < c {
+				c = l
+			}
+			if fn.AtLeast(c, l, bad, theta) {
+				t.Fatalf("%v: partner %d below MinLen(%v,%d)=%d reaches θ", fn, bad, theta, l, lo)
+			}
+		}
+		// Above the bound: fails even with c = l.
+		if fn.AtLeast(l, l, hi+1, theta) {
+			t.Fatalf("%v: partner %d above MaxLen(%v,%d)=%d reaches θ", fn, hi+1, theta, l, hi)
+		}
+		// At the bounds: best case reaches θ.
+		cLo := lo
+		if l < cLo {
+			cLo = l
+		}
+		if !fn.AtLeast(cLo, l, lo, theta) {
+			t.Fatalf("%v: best case at MinLen fails (l=%d θ=%v lo=%d)", fn, l, theta, lo)
+		}
+	}
+}
+
+// TestMinOverlapAnyPartnerIsMinimum checks the any-partner bound really is
+// the minimum of MinOverlapReal over admissible partner lengths.
+func TestMinOverlapAnyPartnerIsMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 1000; trial++ {
+		fn := allFuncs[rng.Intn(len(allFuncs))]
+		l := rng.Intn(60) + 1
+		theta := float64(rng.Intn(9)+1) / 10
+		bound := fn.MinOverlapAnyPartner(theta, l)
+		for lt := fn.MinLen(theta, l); lt <= fn.MaxLen(theta, l) && lt < l+80; lt++ {
+			if v := fn.MinOverlapReal(theta, l, lt); v < bound-1e-9 {
+				t.Fatalf("%v: partner %d has overlap bound %v < any-partner %v (l=%d θ=%v)",
+					fn, lt, v, bound, l, theta)
+			}
+		}
+	}
+}
+
+// TestProbePrefixComplete is the prefix-filter theorem end-to-end: any two
+// sets meeting the threshold share a token within both probe prefixes.
+func TestProbePrefixComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 4000; trial++ {
+		theta := float64(rng.Intn(5)+5) / 10 // 0.5..0.9
+		// Build a similar pair: shared core plus noise.
+		core := rng.Intn(20) + 5
+		a := seq(0, core+rng.Intn(3))
+		b := seq(0, core)
+		b = append(b, seq(1000, rng.Intn(3))...)
+		c := intersectCount(a, b)
+		if !Jaccard.AtLeast(c, len(a), len(b), theta) {
+			continue
+		}
+		pa := Jaccard.ProbePrefixLen(theta, len(a))
+		pb := Jaccard.ProbePrefixLen(theta, len(b))
+		if intersectCount(a[:pa], b[:pb]) == 0 {
+			t.Fatalf("similar pair shares no probe-prefix token (θ=%v |a|=%d |b|=%d c=%d pa=%d pb=%d)",
+				theta, len(a), len(b), c, pa, pb)
+		}
+	}
+}
+
+func TestIndexPrefixShorterThanProbe(t *testing.T) {
+	for _, theta := range []float64{0.5, 0.7, 0.9} {
+		for l := 1; l <= 100; l++ {
+			ip := Jaccard.IndexPrefixLen(theta, l)
+			pp := Jaccard.ProbePrefixLen(theta, l)
+			if ip > pp {
+				t.Fatalf("index prefix %d > probe prefix %d (l=%d θ=%v)", ip, pp, l, theta)
+			}
+			if ip < 1 || pp > l {
+				t.Fatalf("prefix out of range (l=%d θ=%v)", l, theta)
+			}
+		}
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	if Jaccard.String() != "jaccard" || Dice.String() != "dice" || Cosine.String() != "cosine" {
+		t.Fatal("String() names wrong")
+	}
+	if Func(42).String() == "" {
+		t.Fatal("unknown Func must still render")
+	}
+}
+
+// TestSimMonotoneInC: similarity increases with the intersection size.
+func TestSimMonotoneInC(t *testing.T) {
+	f := func(ls, lt uint8) bool {
+		l1, l2 := int(ls%40)+2, int(lt%40)+2
+		for _, fn := range allFuncs {
+			prev := -1.0
+			max := l1
+			if l2 < max {
+				max = l2
+			}
+			for c := 0; c <= max; c++ {
+				s := fn.Sim(c, l1, l2)
+				if s < prev {
+					return false
+				}
+				prev = s
+			}
+			if prev > 1.0+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seq(start, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(start + i)
+	}
+	return out
+}
+
+func intersectCount(a, b []uint32) int {
+	set := make(map[uint32]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	n := 0
+	for _, x := range b {
+		if set[x] {
+			n++
+		}
+	}
+	return n
+}

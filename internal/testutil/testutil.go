@@ -1,0 +1,64 @@
+// Package testutil provides shared helpers for the correctness tests:
+// deterministic random collections with frequent overlaps (so joins return
+// non-trivial results) and a small cluster model to keep task counts low.
+package testutil
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/result"
+	"fsjoin/internal/tokens"
+)
+
+// RandomCollection builds n records over a vocab-sized token domain with
+// lengths in [1, maxLen]; about a third of the records are near-duplicates
+// of earlier ones so that similarity joins produce results.
+func RandomCollection(n, vocab, maxLen int, seed int64) *tokens.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	c := &tokens.Collection{}
+	for i := 0; i < n; i++ {
+		if i > 0 && rng.Intn(3) == 0 {
+			base := c.Records[rng.Intn(i)]
+			ids := append([]tokens.ID{}, base.Tokens...)
+			if len(ids) > 1 && rng.Intn(2) == 0 {
+				ids = ids[:len(ids)-1]
+			}
+			ids = append(ids, tokens.ID(rng.Intn(vocab)))
+			c.Records = append(c.Records, tokens.NewRecord(int32(i), ids))
+			continue
+		}
+		l := rng.Intn(maxLen) + 1
+		ids := make([]tokens.ID, l)
+		for j := range ids {
+			ids[j] = tokens.ID(rng.Intn(vocab))
+		}
+		c.Records = append(c.Records, tokens.NewRecord(int32(i), ids))
+	}
+	return c
+}
+
+// SmallCluster returns a 3-node cost model to keep per-job task counts low
+// in tests.
+func SmallCluster() *mapreduce.Cluster {
+	cl := mapreduce.DefaultCluster()
+	cl.Nodes = 3
+	return cl
+}
+
+// AssertSameResults fails the test when got differs from the oracle's want
+// (both need not be pre-sorted).
+func AssertSameResults(t *testing.T, label string, got, want []result.Pair) {
+	t.Helper()
+	g := append([]result.Pair{}, got...)
+	w := append([]result.Pair{}, want...)
+	result.Sort(g)
+	result.Sort(w)
+	if diffs := result.Diff(g, w, 10); len(diffs) != 0 {
+		t.Errorf("%s: got %d results, oracle %d; diffs:", label, len(g), len(w))
+		for _, d := range diffs {
+			t.Errorf("  %s", d)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package tokens
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenizer turns raw record text into a bag of string tokens. The bag may
+// contain duplicates; set semantics are applied during dictionary encoding.
+type Tokenizer interface {
+	// Tokenize splits text into tokens. Implementations must be pure.
+	Tokenize(text string) []string
+}
+
+// WordTokenizer splits on any non-alphanumeric rune and lower-cases tokens.
+// This matches the word-level tokenisation used for the paper's Email,
+// PubMed and Wiki datasets.
+type WordTokenizer struct{}
+
+// Tokenize implements Tokenizer.
+func (WordTokenizer) Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// QGramTokenizer produces overlapping character q-grams, the alternative
+// tokenisation common in set-similarity literature for short dirty strings.
+type QGramTokenizer struct {
+	// Q is the gram length; values < 1 are treated as 1.
+	Q int
+}
+
+// Tokenize implements Tokenizer.
+func (t QGramTokenizer) Tokenize(text string) []string {
+	q := t.Q
+	if q < 1 {
+		q = 1
+	}
+	runes := []rune(strings.ToLower(text))
+	if len(runes) < q {
+		if len(runes) == 0 {
+			return nil
+		}
+		return []string{string(runes)}
+	}
+	out := make([]string, 0, len(runes)-q+1)
+	for i := 0; i+q <= len(runes); i++ {
+		out = append(out, string(runes[i:i+q]))
+	}
+	return out
+}
+
+// Raw is a record still in text form.
+type Raw struct {
+	// RID identifies the record.
+	RID int32
+	// Text is the raw record content.
+	Text string
+}
+
+// Dictionary maps token strings to dense ids in first-seen order. The ids it
+// assigns are provisional: package order later re-ranks them by ascending
+// term frequency to form the global ordering.
+type Dictionary struct {
+	byString map[string]ID
+	byID     []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byString: make(map[string]ID)}
+}
+
+// Size returns the number of distinct tokens seen (|U| in the paper).
+func (d *Dictionary) Size() int { return len(d.byID) }
+
+// Intern returns the id of tok, allocating the next dense id on first sight.
+func (d *Dictionary) Intern(tok string) ID {
+	if id, ok := d.byString[tok]; ok {
+		return id
+	}
+	id := ID(len(d.byID))
+	d.byString[tok] = id
+	d.byID = append(d.byID, tok)
+	return id
+}
+
+// Lookup returns the id for tok and whether it is present.
+func (d *Dictionary) Lookup(tok string) (ID, bool) {
+	id, ok := d.byString[tok]
+	return id, ok
+}
+
+// Token returns the string for id; it panics on out-of-range ids, which can
+// only arise from a programming error.
+func (d *Dictionary) Token(id ID) string { return d.byID[id] }
+
+// Encode tokenizes and dictionary-encodes raw records into a canonical
+// Collection, interning unseen tokens.
+func (d *Dictionary) Encode(raws []Raw, tk Tokenizer) *Collection {
+	c := &Collection{Records: make([]Record, 0, len(raws))}
+	for _, raw := range raws {
+		toks := tk.Tokenize(raw.Text)
+		ids := make([]ID, len(toks))
+		for i, t := range toks {
+			ids[i] = d.Intern(t)
+		}
+		c.Records = append(c.Records, NewRecord(raw.RID, ids))
+	}
+	return c
+}

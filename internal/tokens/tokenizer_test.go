@@ -1,0 +1,106 @@
+package tokens
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWordTokenizer(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"a  b\tc\nd", []string{"a", "b", "c", "d"}},
+		{"", nil},
+		{"...---...", nil},
+		{"Set-Similarity JOINS 2017", []string{"set", "similarity", "joins", "2017"}},
+		{"naïve café", []string{"naïve", "café"}},
+	}
+	var tk WordTokenizer
+	for _, c := range cases {
+		got := tk.Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQGramTokenizer(t *testing.T) {
+	tk := QGramTokenizer{Q: 3}
+	got := tk.Tokenize("abcd")
+	want := []string{"abc", "bcd"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if got := tk.Tokenize("ab"); !reflect.DeepEqual(got, []string{"ab"}) {
+		t.Fatalf("short input: got %v", got)
+	}
+	if got := tk.Tokenize(""); got != nil {
+		t.Fatalf("empty input: got %v", got)
+	}
+	if got := (QGramTokenizer{Q: 0}).Tokenize("ab"); len(got) != 2 {
+		t.Fatalf("q=0 should behave as q=1, got %v", got)
+	}
+	// Unicode-aware grams.
+	if got := tk.Tokenize("héllo"); got[0] != "hél" {
+		t.Fatalf("unicode gram: %q", got[0])
+	}
+}
+
+func TestDictionaryIntern(t *testing.T) {
+	d := NewDictionary()
+	a := d.Intern("x")
+	b := d.Intern("y")
+	if a == b {
+		t.Fatal("distinct tokens share an id")
+	}
+	if again := d.Intern("x"); again != a {
+		t.Fatalf("re-intern changed id: %d vs %d", again, a)
+	}
+	if d.Size() != 2 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	if d.Token(a) != "x" || d.Token(b) != "y" {
+		t.Fatal("Token round-trip failed")
+	}
+	if id, ok := d.Lookup("y"); !ok || id != b {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := d.Lookup("zzz"); ok {
+		t.Fatal("Lookup invented a token")
+	}
+}
+
+func TestDictionaryEncode(t *testing.T) {
+	d := NewDictionary()
+	c := d.Encode([]Raw{
+		{RID: 0, Text: "b a b"},
+		{RID: 1, Text: "a c"},
+	}, WordTokenizer{})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Records[0].Len() != 2 { // set semantics: {a, b}
+		t.Fatalf("record 0 len = %d", c.Records[0].Len())
+	}
+	// "a" must map to the same id in both records.
+	aID, _ := d.Lookup("a")
+	found := 0
+	for _, rec := range c.Records {
+		for _, tok := range rec.Tokens {
+			if tok == aID {
+				found++
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("shared token appears %d times, want 2", found)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package tokens
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRecordCanonicalises(t *testing.T) {
+	r := NewRecord(7, []ID{5, 3, 5, 1, 3, 9})
+	want := []ID{1, 3, 5, 9}
+	if !reflect.DeepEqual(r.Tokens, want) {
+		t.Fatalf("tokens = %v, want %v", r.Tokens, want)
+	}
+	if r.RID != 7 {
+		t.Fatalf("rid = %d", r.RID)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRecordDoesNotAliasInput(t *testing.T) {
+	in := []ID{3, 1, 2}
+	r := NewRecord(0, in)
+	in[0] = 99
+	if r.Tokens[0] == 99 || r.Tokens[2] == 99 {
+		t.Fatal("record aliases caller slice")
+	}
+}
+
+func TestNewRecordEmpty(t *testing.T) {
+	r := NewRecord(1, nil)
+	if r.Len() != 0 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordValidateRejectsUnsorted(t *testing.T) {
+	r := Record{RID: 1, Tokens: []ID{2, 1}}
+	if r.Validate() == nil {
+		t.Fatal("unsorted record validated")
+	}
+	r = Record{RID: 1, Tokens: []ID{2, 2}}
+	if r.Validate() == nil {
+		t.Fatal("duplicated record validated")
+	}
+}
+
+func TestRecordCloneIndependent(t *testing.T) {
+	r := NewRecord(1, []ID{1, 2, 3})
+	c := r.Clone()
+	c.Tokens[0] = 42
+	if r.Tokens[0] == 42 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := NewRecord(3, []ID{2, 1})
+	if got := r.String(); got != "r3{1 2}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestIntersectMatchesMapOracle is a property test: Intersect on canonical
+// records equals the map-based intersection count.
+func TestIntersectMatchesMapOracle(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		ra := NewRecord(0, widen(a))
+		rb := NewRecord(1, widen(b))
+		set := make(map[ID]bool, len(ra.Tokens))
+		for _, x := range ra.Tokens {
+			set[x] = true
+		}
+		want := 0
+		for _, x := range rb.Tokens {
+			if set[x] {
+				want++
+			}
+		}
+		return Intersect(ra.Tokens, rb.Tokens) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func widen(xs []uint16) []ID {
+	out := make([]ID, len(xs))
+	for i, x := range xs {
+		out[i] = ID(x)
+	}
+	return out
+}
+
+func TestIntersectProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		a := randomTokens(rng, 30, 40)
+		b := randomTokens(rng, 30, 40)
+		ca, cb := Intersect(a, b), Intersect(b, a)
+		if ca != cb {
+			t.Fatalf("not symmetric: %d vs %d", ca, cb)
+		}
+		if self := Intersect(a, a); self != len(a) {
+			t.Fatalf("self intersection %d != %d", self, len(a))
+		}
+		if ca > len(a) || ca > len(b) {
+			t.Fatalf("intersection %d exceeds set sizes %d/%d", ca, len(a), len(b))
+		}
+	}
+}
+
+func randomTokens(rng *rand.Rand, maxLen, vocab int) []ID {
+	n := rng.Intn(maxLen)
+	ids := make([]ID, n)
+	for i := range ids {
+		ids[i] = ID(rng.Intn(vocab))
+	}
+	r := NewRecord(0, ids)
+	return r.Tokens
+}
+
+func TestCollectionStats(t *testing.T) {
+	c := &Collection{Records: []Record{
+		NewRecord(0, []ID{1, 2, 3}),
+		NewRecord(1, []ID{7}),
+		NewRecord(2, nil),
+	}}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.TotalTokens() != 4 {
+		t.Fatalf("TotalTokens = %d", c.TotalTokens())
+	}
+	if c.MaxToken() != 7 {
+		t.Fatalf("MaxToken = %d", c.MaxToken())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectionValidateRejectsDuplicateRID(t *testing.T) {
+	c := &Collection{Records: []Record{NewRecord(1, []ID{1}), NewRecord(1, []ID{2})}}
+	if c.Validate() == nil {
+		t.Fatal("duplicate rid validated")
+	}
+}
+
+func TestCollectionCloneDeep(t *testing.T) {
+	c := &Collection{Records: []Record{NewRecord(0, []ID{1, 2})}}
+	cl := c.Clone()
+	cl.Records[0].Tokens[0] = 9
+	if c.Records[0].Tokens[0] == 9 {
+		t.Fatal("clone shares record storage")
+	}
+}
+
+func TestDedupSortedProperty(t *testing.T) {
+	f := func(xs []uint16) bool {
+		ids := widen(xs)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out := dedupSorted(ids)
+		for i := 1; i < len(out); i++ {
+			if out[i-1] >= out[i] {
+				return false
+			}
+		}
+		seen := make(map[ID]bool)
+		for _, x := range widen(xs) {
+			seen[x] = true
+		}
+		return len(out) == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

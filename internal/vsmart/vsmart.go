@@ -1,0 +1,215 @@
+// Package vsmart implements the V-Smart-Join baseline (Metwally &
+// Faloutsos, VLDB 2012) in its Online-Aggregation variant, as described in
+// the paper's related work: the Join phase emits every token of every
+// record (building, in effect, a distributed inverted index) and enumerates
+// all record pairs inside each token's posting list; the Similarity phase
+// aggregates the per-token partial counts and applies the threshold. No
+// filtering is performed before the final aggregation — the drawback the
+// paper highlights.
+package vsmart
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/order"
+	"fsjoin/internal/result"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+// ErrBudgetExceeded reports that the pairwise enumeration exceeded
+// Options.MaxPairEmits — the in-process stand-in for the paper's
+// observation that V-Smart-Join "cannot run completely" on larger datasets.
+var ErrBudgetExceeded = errors.New("vsmart: pair-enumeration budget exceeded")
+
+// Options configures a V-Smart-Join run.
+type Options struct {
+	// Fn and Theta define the similarity predicate.
+	Fn    similarity.Func
+	Theta float64
+	// Cluster is the cost model (default: the paper's 10-node cluster).
+	Cluster *mapreduce.Cluster
+	// MaxPairEmits caps the number of (pair, partial) records the Join
+	// phase may emit; 0 means unlimited. When exceeded, SelfJoin returns
+	// ErrBudgetExceeded, mirroring the runs the paper reports as failures.
+	MaxPairEmits int64
+	// Ctx, when non-nil, cancels the pipeline at the next task boundary.
+	Ctx context.Context
+}
+
+// Result carries the join output and pipeline metrics.
+type Result struct {
+	// Pairs are the similar pairs, sorted canonically.
+	Pairs []result.Pair
+	// Pipeline exposes per-stage metrics.
+	Pipeline *mapreduce.Pipeline
+}
+
+// posting is one inverted-list entry: rid and record length.
+type posting struct {
+	rid int32
+	l   int32
+}
+
+// SizeBytes implements mapreduce.Sized.
+func (posting) SizeBytes() int { return 8 }
+
+// partial is a per-token pair contribution: one common token plus lengths.
+type partial struct {
+	c, la, lb int32
+}
+
+// SizeBytes implements mapreduce.Sized.
+func (partial) SizeBytes() int { return 12 }
+
+// SelfJoin runs the two-phase Online-Aggregation pipeline.
+func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
+	if opt.Theta <= 0 || opt.Theta > 1 {
+		return nil, fmt.Errorf("vsmart: theta %v outside (0, 1]", opt.Theta)
+	}
+	if opt.Cluster == nil {
+		opt.Cluster = mapreduce.DefaultCluster()
+	}
+	p := mapreduce.NewPipeline("v-smart-join", opt.Cluster)
+	p.Context = opt.Ctx
+
+	// Ordering is not required for correctness here, but running the same
+	// frequency job keeps the end-to-end comparison fair across methods.
+	o, err := order.Compute(p, c)
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := o.Apply(c)
+	if err != nil {
+		return nil, err
+	}
+
+	// Join phase: emit every token, enumerate pairs per posting list.
+	joinRes, err := p.Run(mapreduce.Config{Name: "join"},
+		order.RecordsToKV(ordered),
+		mapreduce.MapFunc(func(ctx *mapreduce.Context, kv mapreduce.KV) {
+			rec := order.KVRecord(kv)
+			for _, t := range rec.Tokens {
+				ctx.Emit(mapreduce.U32Key(t), posting{rid: rec.RID, l: int32(rec.Len())})
+			}
+		}),
+		&pairEnumerator{budget: opt.MaxPairEmits})
+	if err != nil {
+		return nil, err
+	}
+	if dropped := joinRes.Counters.Get("vsmart.pair.dropped"); dropped > 0 {
+		return nil, fmt.Errorf("%w (budget %d, dropped %d partials)",
+			ErrBudgetExceeded, opt.MaxPairEmits, dropped)
+	}
+
+	// Similarity phase: aggregate counts per pair, apply the threshold.
+	simRes, err := p.Run(mapreduce.Config{Name: "similarity", Combiner: sumPartials{}},
+		joinRes.Output, mapreduce.IdentityMapper,
+		&thresholdReducer{fn: opt.Fn, theta: opt.Theta})
+	if err != nil {
+		return nil, err
+	}
+
+	pairs := make([]result.Pair, 0, len(simRes.Output))
+	for _, kv := range simRes.Output {
+		a, b := mapreduce.DecodePairKey(kv.Key)
+		sv := kv.Value.(partial)
+		pairs = append(pairs, result.Pair{
+			A: int32(a), B: int32(b), Common: int(sv.c),
+			Sim: opt.Fn.Sim(int(sv.c), int(sv.la), int(sv.lb)),
+		})
+	}
+	result.Sort(pairs)
+	return &Result{Pairs: pairs, Pipeline: p}, nil
+}
+
+// pairEnumerator emits a partial for every pair of records in one token's
+// posting list — quadratic per list, with no filtering (the algorithm's
+// defining drawback). Emission stops once the budget is exhausted so the
+// process stays bounded; the driver then reports the failure. The engine
+// runs reduce tasks sequentially on one reducer instance, so the running
+// count is a plain field.
+type pairEnumerator struct {
+	budget  int64
+	emitted int64
+}
+
+// Reduce implements mapreduce.Reducer.
+func (e *pairEnumerator) Reduce(ctx *mapreduce.Context, key string, values []any) {
+	ps := make([]posting, len(values))
+	for i, v := range values {
+		ps[i] = v.(posting)
+	}
+	for i := range ps {
+		for j := i + 1; j < len(ps); j++ {
+			a, b := ps[i], ps[j]
+			if a.rid == b.rid {
+				continue
+			}
+			if a.rid > b.rid {
+				a, b = b, a
+			}
+			if e.budget > 0 && e.emitted >= e.budget {
+				ctx.Inc("vsmart.pair.dropped", 1)
+				continue
+			}
+			e.emitted++
+			ctx.Inc("vsmart.pair.emits", 1)
+			ctx.Emit(mapreduce.PairKey(uint32(a.rid), uint32(b.rid)),
+				partial{c: 1, la: a.l, lb: b.l})
+		}
+	}
+}
+
+// sumPartials is the Similarity phase's combiner (fold fast path).
+type sumPartials struct{}
+
+// Reduce implements mapreduce.Reducer.
+func (s sumPartials) Reduce(ctx *mapreduce.Context, key string, values []any) {
+	acc := values[0]
+	for _, v := range values[1:] {
+		acc = s.Fold(acc, v)
+	}
+	ctx.Emit(key, acc)
+}
+
+// Fold implements mapreduce.Folder.
+func (sumPartials) Fold(acc, v any) any {
+	a := acc.(partial)
+	a.c += v.(partial).c
+	return a
+}
+
+// thresholdReducer aggregates per-pair counts and applies the threshold,
+// using the engine's fold fast path.
+type thresholdReducer struct {
+	fn    similarity.Func
+	theta float64
+}
+
+// Reduce implements mapreduce.Reducer.
+func (r *thresholdReducer) Reduce(ctx *mapreduce.Context, key string, values []any) {
+	acc := values[0]
+	for _, v := range values[1:] {
+		acc = r.Fold(acc, v)
+	}
+	r.FinishFold(ctx, key, acc)
+}
+
+// Fold implements mapreduce.Folder.
+func (r *thresholdReducer) Fold(acc, v any) any {
+	a := acc.(partial)
+	a.c += v.(partial).c
+	return a
+}
+
+// FinishFold implements mapreduce.FoldingReducer.
+func (r *thresholdReducer) FinishFold(ctx *mapreduce.Context, key string, acc any) {
+	sum := acc.(partial)
+	if r.fn.AtLeast(int(sum.c), int(sum.la), int(sum.lb), r.theta) {
+		ctx.Emit(key, sum)
+	}
+}

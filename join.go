@@ -1,0 +1,212 @@
+package fsjoin
+
+import (
+	"errors"
+	"fmt"
+
+	"fsjoin/internal/core"
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/massjoin"
+	"fsjoin/internal/minhash"
+	"fsjoin/internal/result"
+	"fsjoin/internal/ridpairs"
+	"fsjoin/internal/tokens"
+	"fsjoin/internal/vsmart"
+)
+
+// ErrSelfJoinOnly is returned when an R-S join is requested with an
+// algorithm that only supports self-joins (V-Smart-Join, MassJoin,
+// ApproxLSHJoin — the forms the paper evaluates).
+var ErrSelfJoinOnly = errors.New("fsjoin: algorithm supports self-joins only (use FSJoin, FSJoinV or RIDPairsPPJoin)")
+
+// Collection is a prepared set of records ready to join. Building a
+// Collection once lets several joins share the tokenisation work.
+type Collection struct {
+	c *Dictionary
+	t *tokens.Collection
+}
+
+// Dictionary interns token strings; collections joined together must share
+// one. The zero value is not usable; use NewDictionary.
+type Dictionary struct {
+	d *tokens.Dictionary
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary { return &Dictionary{d: tokens.NewDictionary()} }
+
+// NewCollection encodes pre-tokenised records (one string slice per record)
+// against the dictionary. Record i gets id i.
+func (d *Dictionary) NewCollection(sets [][]string) *Collection {
+	c := &tokens.Collection{Records: make([]tokens.Record, 0, len(sets))}
+	for i, set := range sets {
+		ids := make([]tokens.ID, len(set))
+		for j, tok := range set {
+			ids[j] = d.d.Intern(tok)
+		}
+		c.Records = append(c.Records, tokens.NewRecord(int32(i), ids))
+	}
+	return &Collection{c: d, t: c}
+}
+
+// NewTextCollection tokenises raw texts with the word tokenizer (lower-
+// cased, split on non-alphanumerics) and encodes them. Record i gets id i.
+func (d *Dictionary) NewTextCollection(texts []string) *Collection {
+	raws := make([]tokens.Raw, len(texts))
+	for i, t := range texts {
+		raws[i] = tokens.Raw{RID: int32(i), Text: t}
+	}
+	return &Collection{c: d, t: d.d.Encode(raws, tokens.WordTokenizer{})}
+}
+
+// Len returns the number of records.
+func (c *Collection) Len() int { return c.t.Len() }
+
+// SelfJoinSets joins pre-tokenised records against themselves.
+func SelfJoinSets(sets [][]string, opt Options) (*Result, error) {
+	return NewDictionary().NewCollection(sets).SelfJoin(opt)
+}
+
+// SelfJoinStrings tokenises texts with the word tokenizer and self-joins.
+func SelfJoinStrings(texts []string, opt Options) (*Result, error) {
+	return NewDictionary().NewTextCollection(texts).SelfJoin(opt)
+}
+
+// SelfJoin runs the configured algorithm over the collection.
+func (c *Collection) SelfJoin(opt Options) (*Result, error) {
+	fn, err := opt.Function.internal()
+	if err != nil {
+		return nil, err
+	}
+	cl := opt.cluster()
+	switch opt.Algorithm {
+	case FSJoin, FSJoinV:
+		hp := opt.HorizontalPivots
+		if opt.Algorithm == FSJoinV {
+			hp = 0
+		} else if hp == 0 {
+			hp = 10
+		}
+		res, err := core.SelfJoin(c.t, core.Options{
+			Fn:                 fn,
+			Theta:              opt.Threshold,
+			PivotMethod:        opt.PivotSelection.internal(),
+			VerticalPartitions: opt.VerticalPartitions,
+			HorizontalPivots:   hp,
+			JoinMethod:         opt.JoinMethod.internal(),
+			Cluster:            cl,
+			Seed:               opt.Seed,
+			Ctx:                opt.Context,
+			LocalParallelism:   opt.LocalParallelism,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return publish(res.Pairs, res.Pipeline, res.FilterOutputRecords), nil
+	case RIDPairsPPJoin:
+		res, err := ridpairs.SelfJoin(c.t, ridpairs.Options{Fn: fn, Theta: opt.Threshold, Cluster: cl, Ctx: opt.Context})
+		if err != nil {
+			return nil, err
+		}
+		return publish(res.Pairs, res.Pipeline, res.Pipeline.Counter("ridpairs.comparisons")), nil
+	case VSmartJoin:
+		res, err := vsmart.SelfJoin(c.t, vsmart.Options{
+			Fn: fn, Theta: opt.Threshold, Cluster: cl, MaxPairEmits: opt.WorkBudget,
+			Ctx: opt.Context,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return publish(res.Pairs, res.Pipeline, res.Pipeline.Counter("vsmart.pair.emits")), nil
+	case ApproxLSHJoin:
+		if opt.Function != Jaccard {
+			return nil, errors.New("fsjoin: ApproxLSHJoin supports Jaccard only")
+		}
+		res, err := minhash.SelfJoin(c.t, minhash.Params{
+			Theta: opt.Threshold, Seed: uint64(opt.Seed), Cluster: cl,
+			Ctx: opt.Context,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return publish(res.Pairs, res.Pipeline, res.Candidates), nil
+	case MassJoinMerge, MassJoinMergeLight:
+		variant := massjoin.Merge
+		if opt.Algorithm == MassJoinMergeLight {
+			variant = massjoin.MergeLight
+		}
+		res, err := massjoin.SelfJoin(c.t, massjoin.Options{
+			Fn: fn, Theta: opt.Threshold, Variant: variant, Cluster: cl,
+			MaxSignatures: opt.WorkBudget, Ctx: opt.Context,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return publish(res.Pairs, res.Pipeline, res.Pipeline.Counter("massjoin.candidates")), nil
+	default:
+		return nil, fmt.Errorf("fsjoin: unknown algorithm %d", int(opt.Algorithm))
+	}
+}
+
+// Join runs an R-S join between two collections sharing a dictionary. Only
+// FSJoin and FSJoinV support R-S joins.
+func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
+	if c.c != s.c {
+		return nil, errors.New("fsjoin: collections must share a Dictionary")
+	}
+	fn, err := opt.Function.internal()
+	if err != nil {
+		return nil, err
+	}
+	switch opt.Algorithm {
+	case FSJoin, FSJoinV:
+	case RIDPairsPPJoin:
+		res, err := ridpairs.Join(c.t, s.t, ridpairs.Options{
+			Fn: fn, Theta: opt.Threshold, Cluster: opt.cluster(), Ctx: opt.Context,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return publish(res.Pairs, res.Pipeline, res.Pipeline.Counter("ridpairs.comparisons")), nil
+	default:
+		return nil, ErrSelfJoinOnly
+	}
+	hp := opt.HorizontalPivots
+	if opt.Algorithm == FSJoinV {
+		hp = 0
+	} else if hp == 0 {
+		hp = 10
+	}
+	res, err := core.Join(c.t, s.t, core.Options{
+		Fn:                 fn,
+		Theta:              opt.Threshold,
+		PivotMethod:        opt.PivotSelection.internal(),
+		VerticalPartitions: opt.VerticalPartitions,
+		HorizontalPivots:   hp,
+		JoinMethod:         opt.JoinMethod.internal(),
+		Cluster:            opt.cluster(),
+		Seed:               opt.Seed,
+		Ctx:                opt.Context,
+		LocalParallelism:   opt.LocalParallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return publish(res.Pairs, res.Pipeline, res.FilterOutputRecords), nil
+}
+
+// publish converts internal results into the public form.
+func publish(pairs []result.Pair, p *mapreduce.Pipeline, candidates int64) *Result {
+	out := &Result{Pairs: make([]Pair, len(pairs))}
+	for i, pr := range pairs {
+		out.Pairs[i] = Pair{A: int(pr.A), B: int(pr.B), Common: pr.Common, Similarity: pr.Sim}
+	}
+	out.Stats = Stats{
+		SimulatedTime:  p.TotalSimulatedTime(),
+		ShuffleRecords: p.TotalShuffleRecords(),
+		ShuffleBytes:   p.TotalShuffleBytes(),
+		LoadImbalance:  p.MaxLoadImbalance(),
+		Candidates:     candidates,
+	}
+	return out
+}
