@@ -1,0 +1,32 @@
+# Standard developer entry points; CI runs build+vet+race (see
+# .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test vet race bench bench-report all
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector, including the
+# sequential-vs-parallel equivalence property tests.
+race:
+	$(GO) test -race ./...
+
+# bench runs the perf-regression subset benchreport records.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkShuffleThroughput' -benchmem ./internal/mapreduce/
+	$(GO) test -run '^$$' -bench 'BenchmarkKernels' -benchmem ./internal/fragjoin/
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelSpeedup|BenchmarkFig7' .
+
+# bench-report regenerates BENCH_PR1.json.
+bench-report:
+	$(GO) run ./cmd/benchreport -o BENCH_PR1.json

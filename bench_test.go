@@ -322,6 +322,36 @@ func BenchmarkTable4Filters(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSpeedup measures the wall-clock win of the parallel data
+// path on a Figure 7-class end-to-end join: the same FS-Join run
+// sequentially (LocalParallelism 1, the cost-model-faithful setting) and
+// with one worker per core. Output is identical; only wall clock changes.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	c := benchCollection(b, dataset.Wiki())
+	for _, cfg := range []struct {
+		name string
+		par  int
+	}{
+		{"sequential", 1},
+		{"parallel", mapreduce.AutoParallelism},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := fsOpts(0.8)
+				opt.LocalParallelism = cfg.par
+				res, err := core.SelfJoin(c, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Pairs) == 0 {
+					b.Fatal("no pairs")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkExperimentSuite smoke-runs the full experiment driver at tiny
 // scale — the end-to-end path of cmd/experiments.
 func BenchmarkExperimentSuite(b *testing.B) {

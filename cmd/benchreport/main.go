@@ -1,0 +1,143 @@
+// Command benchreport runs the performance-regression benchmark subset —
+// engine shuffle throughput, the fragment-join kernels against their legacy
+// map-based baselines, and the Figure 7-class end-to-end joins sequential
+// vs parallel — and writes a machine-readable JSON report (BENCH_PR1.json)
+// with the derived speedup and allocation ratios.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport [-o BENCH_PR1.json] [-benchtime 5x]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+}
+
+// report is the emitted JSON document.
+type report struct {
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	CPUs       int                `json:"cpus"`
+	Note       string             `json:"note,omitempty"`
+	Benchmarks []result           `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:.*?\s(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// runBench executes one `go test -bench` invocation and parses its output.
+func runBench(benchtime, pattern, pkg string, mem bool) ([]result, error) {
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchtime", benchtime, pkg}
+	if mem {
+		args = append(args, "-benchmem")
+	}
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, out)
+	}
+	var rs []result
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(out), -1) {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := result{Name: m[1]}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		rs = append(rs, r)
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("go %v: no benchmark lines in output:\n%s", args, out)
+	}
+	return rs, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR1.json", "output file")
+	benchtime := flag.String("benchtime", "5x", "per-benchmark -benchtime")
+	flag.Parse()
+
+	suites := []struct {
+		pattern, pkg string
+		mem          bool
+	}{
+		{"BenchmarkShuffleThroughput", "./internal/mapreduce/", true},
+		{"BenchmarkKernels", "./internal/fragjoin/", true},
+		{"BenchmarkParallelSpeedup|BenchmarkFig7/.*/fs-join", ".", false},
+	}
+	var all []result
+	for _, s := range suites {
+		fmt.Fprintf(os.Stderr, "benchreport: running %s in %s\n", s.pattern, s.pkg)
+		rs, err := runBench(*benchtime, s.pattern, s.pkg, s.mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		all = append(all, rs...)
+	}
+
+	ns := map[string]float64{}
+	allocs := map[string]float64{}
+	for _, r := range all {
+		ns[r.Name] = r.NsPerOp
+		allocs[r.Name] = float64(r.AllocsPerOp)
+	}
+	derived := map[string]float64{}
+	ratio := func(key, num, den string, m map[string]float64) {
+		if m[den] != 0 && m[num] != 0 {
+			derived[key] = m[num] / m[den]
+		}
+	}
+	ratio("kernel_index_alloc_ratio", "BenchmarkKernels/index/legacy", "BenchmarkKernels/index/new", allocs)
+	ratio("kernel_prefix_alloc_ratio", "BenchmarkKernels/prefix/legacy", "BenchmarkKernels/prefix/new", allocs)
+	ratio("kernel_index_speedup_x", "BenchmarkKernels/index/legacy", "BenchmarkKernels/index/new", ns)
+	ratio("kernel_prefix_speedup_x", "BenchmarkKernels/prefix/legacy", "BenchmarkKernels/prefix/new", ns)
+	ratio("kernel_loop_speedup_x", "BenchmarkKernels/loop/legacy", "BenchmarkKernels/loop/new", ns)
+	ratio("parallel_speedup_x", "BenchmarkParallelSpeedup/sequential", "BenchmarkParallelSpeedup/parallel", ns)
+
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		Benchmarks: all,
+		Derived:    derived,
+	}
+	if rep.CPUs == 1 {
+		rep.Note = "single-CPU machine: parallel and sequential runs share one core, " +
+			"so parallel_speedup_x degenerates to ~1.0 here; the parallel data path " +
+			"scales with GOMAXPROCS on multi-core hosts"
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmarks)\n", *out, len(all))
+}

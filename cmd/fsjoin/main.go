@@ -34,6 +34,7 @@ func main() {
 		nodes  = flag.Int("nodes", 10, "simulated cluster nodes")
 		stats  = flag.Bool("stats", false, "print simulated execution statistics")
 		budget = flag.Int64("budget", 0, "work budget for vsmart/massjoin (0 = unlimited)")
+		par    = flag.Int("par", 0, "local task parallelism (0 = one worker per core, 1 = sequential)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 || flag.NArg() > 2 {
@@ -42,7 +43,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := fsjoin.Options{Threshold: *theta, Nodes: *nodes, WorkBudget: *budget}
+	opt := fsjoin.Options{Threshold: *theta, Nodes: *nodes, WorkBudget: *budget, LocalParallelism: *par}
 	switch *fn {
 	case "jaccard":
 		opt.Function = fsjoin.Jaccard

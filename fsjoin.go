@@ -183,9 +183,12 @@ type Options struct {
 	// Context, when non-nil, cancels the join at the next task boundary
 	// with the context's error.
 	Context context.Context
-	// LocalParallelism runs that many simulated tasks concurrently on the
-	// local machine (FS-Join algorithms only); 0 or 1 is sequential, which
-	// also gives the most faithful simulated-time measurements.
+	// LocalParallelism is the number of simulated tasks run concurrently on
+	// the local machine, for every algorithm. 0 (the default) uses one
+	// worker per CPU core; 1 forces sequential execution, which gives the
+	// most faithful simulated-time measurements; larger values cap the
+	// worker pool. Results, counters and shuffle metrics are identical at
+	// every setting — only wall-clock time changes.
 	LocalParallelism int
 }
 
@@ -195,6 +198,15 @@ func (o Options) cluster() *mapreduce.Cluster {
 		cl.Nodes = o.Nodes
 	}
 	return cl
+}
+
+// localParallelism resolves Options.LocalParallelism for the engine: the
+// zero value selects one worker per core (mapreduce.AutoParallelism).
+func (o Options) localParallelism() int {
+	if o.LocalParallelism == 0 {
+		return mapreduce.AutoParallelism
+	}
+	return o.LocalParallelism
 }
 
 // Pair is one join result.

@@ -55,7 +55,9 @@ type Options struct {
 	// Ctx, when non-nil, cancels the pipeline at the next task boundary.
 	Ctx context.Context
 	// LocalParallelism runs that many engine tasks concurrently on the
-	// local machine; 0 or 1 is sequential (best cost-model fidelity).
+	// local machine; 0 or 1 is sequential (best cost-model fidelity) and a
+	// negative value (mapreduce.AutoParallelism) uses one worker per core.
+	// Results and all shuffle metrics are identical at any setting.
 	LocalParallelism int
 }
 
@@ -140,6 +142,7 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	rs := s != nil
 	p := mapreduce.NewPipeline("fs-join", opt.Cluster)
 	p.Context = opt.Ctx
+	p.Parallelism = opt.LocalParallelism // inherited by all three stages
 
 	// ---- Phase 1: Ordering (one MR job over the union) ----
 	union := r
@@ -194,8 +197,7 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 		PaperPrefix: opt.PaperPrefix,
 	}
 	filterRes, err := p.Run(mapreduce.Config{
-		Name:        "filtering",
-		Parallelism: opt.LocalParallelism,
+		Name: "filtering",
 		// Fragments are routed round-robin to reducers, the paper's
 		// fragment-per-node layout.
 		Partitioner: func(key string, reducers int) int {
@@ -209,9 +211,8 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 
 	// ---- Phase 3: Verification (aggregate partial counts) ----
 	verifyRes, err := p.Run(mapreduce.Config{
-		Name:        "verification",
-		Parallelism: opt.LocalParallelism,
-		Combiner:    sumPartials{},
+		Name:     "verification",
+		Combiner: sumPartials{},
 	}, filterRes.Output, mapreduce.IdentityMapper, &verifyReducer{fn: opt.Fn, theta: opt.Theta})
 	if err != nil {
 		return nil, err

@@ -117,7 +117,10 @@ func (c cell) String() string {
 	return fmt.Sprintf("%.1f", c.seconds)
 }
 
-// fsOptions returns the paper's default FS-Join configuration.
+// fsOptions returns the paper's default FS-Join configuration. Experiments
+// pin LocalParallelism to 1: the cluster cost model scales *measured*
+// per-task CPU times, and concurrent local tasks would contend for cores
+// and distort those measurements (results would be identical either way).
 func fsOptions(theta float64, nodes int) core.Options {
 	return core.Options{
 		Fn:                 similarity.Jaccard,
@@ -129,6 +132,7 @@ func fsOptions(theta float64, nodes int) core.Options {
 		Filters:            filters.All,
 		Cluster:            cluster(nodes),
 		Seed:               7,
+		LocalParallelism:   1,
 	}
 }
 

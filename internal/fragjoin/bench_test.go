@@ -1,0 +1,253 @@
+package fragjoin
+
+// Kernel regression benchmarks: the slice-based kernels against verbatim
+// copies of the map-based kernels they replaced. The legacy implementation
+// is kept here (test-only) as the allocs/op and ns/op baseline recorded in
+// BENCH_PR1.json; TestLegacyKernelEquivalence pins the two to identical
+// output.
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"fsjoin/internal/filters"
+	"fsjoin/internal/partition"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+// legacyJoin is the pre-optimisation kernel: inverted lists as
+// map[tokens.ID][]int, candidate counts as map[int]int, candidate index
+// slices reallocated per probe round, every intersection a sorted merge.
+func legacyJoin(segs []Seg, p Params, emit Emit) {
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Origin != segs[j].Origin {
+			return segs[i].Origin < segs[j].Origin
+		}
+		return segs[i].RID < segs[j].RID
+	})
+	j := &legacyJoiner{p: p, emit: emit}
+	switch p.Method {
+	case Loop:
+		j.loop(segs)
+	case Index:
+		j.index(segs)
+	case Prefix:
+		j.prefix(segs)
+	}
+}
+
+type legacyJoiner struct {
+	p    Params
+	emit Emit
+}
+
+func (j *legacyJoiner) pairable(a, b *Seg) bool {
+	if j.p.RS {
+		if a.Origin == b.Origin {
+			return false
+		}
+	} else if a.RID == b.RID {
+		return false
+	}
+	return partition.Joinable(a.Role, b.Role)
+}
+
+func (j *legacyJoiner) lengthPrune(a, b *Seg) bool {
+	if j.p.Filters.Has(filters.StrL) && filters.StrLPrune(j.p.Fn, j.p.Theta, int(a.StrLen), int(b.StrLen)) {
+		return true
+	}
+	if j.p.Filters.Has(filters.SegL) && filters.SegLPrune(j.p.Fn, j.p.Theta, a.Meta(), b.Meta()) {
+		return true
+	}
+	return false
+}
+
+func (j *legacyJoiner) finish(a, b *Seg, c int) {
+	if c == 0 {
+		return
+	}
+	if j.p.Filters.Has(filters.SegI) && filters.SegIPrune(j.p.Fn, j.p.Theta, c, a.Meta(), b.Meta()) {
+		return
+	}
+	if j.p.Filters.Has(filters.SegD) && filters.SegDPrune(j.p.Fn, j.p.Theta, c, a.Meta(), b.Meta()) {
+		return
+	}
+	x, y := orient(a, b)
+	j.emit(x, y, c)
+}
+
+func (j *legacyJoiner) loop(segs []Seg) {
+	for i := range segs {
+		for k := i + 1; k < len(segs); k++ {
+			a, b := &segs[i], &segs[k]
+			if !j.pairable(a, b) {
+				continue
+			}
+			if j.lengthPrune(a, b) {
+				continue
+			}
+			j.finish(a, b, tokens.Intersect(a.Tokens, b.Tokens))
+		}
+	}
+}
+
+func (j *legacyJoiner) index(segs []Seg) {
+	inv := make(map[tokens.ID][]int)
+	counts := make(map[int]int)
+	for k := range segs {
+		b := &segs[k]
+		clear(counts)
+		for _, t := range b.Tokens {
+			for _, i := range inv[t] {
+				counts[i]++
+			}
+		}
+		j.drain(segs, counts, k, nil)
+		for _, t := range b.Tokens {
+			inv[t] = append(inv[t], k)
+		}
+	}
+}
+
+func (j *legacyJoiner) prefix(segs []Seg) {
+	inv := make(map[tokens.ID][]int)
+	seen := make(map[int]int)
+	for k := range segs {
+		b := &segs[k]
+		var plen int
+		if j.p.PaperPrefix {
+			plen = filters.SegPrefixLenNaive(j.p.Theta, b.Meta())
+		} else {
+			plen = filters.SegPrefixLen(j.p.Fn, j.p.Theta, b.Meta())
+		}
+		clear(seen)
+		for _, t := range b.Tokens[:plen] {
+			for _, i := range inv[t] {
+				seen[i]++
+			}
+		}
+		j.drain(segs, seen, k, func(a, b *Seg) int { return tokens.Intersect(a.Tokens, b.Tokens) })
+		for _, t := range b.Tokens[:plen] {
+			inv[t] = append(inv[t], k)
+		}
+	}
+}
+
+func (j *legacyJoiner) drain(segs []Seg, counts map[int]int, k int, intersect func(a, b *Seg) int) {
+	if len(counts) == 0 {
+		return
+	}
+	idxs := make([]int, 0, len(counts))
+	for i := range counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	b := &segs[k]
+	for _, i := range idxs {
+		a := &segs[i]
+		if !j.pairable(a, b) {
+			continue
+		}
+		if j.lengthPrune(a, b) {
+			continue
+		}
+		c := counts[i]
+		if intersect != nil {
+			c = intersect(a, b)
+		}
+		j.finish(a, b, c)
+	}
+}
+
+// benchFragment builds one realistic fragment: n segments whose tokens are
+// dense dictionary ranks confined to a vertical range of the given span.
+func benchFragment(n, span int, seed int64) []Seg {
+	rng := rand.New(rand.NewSource(seed))
+	segs := make([]Seg, 0, n)
+	for i := 0; i < n; i++ {
+		segLen := rng.Intn(12) + 2
+		seen := map[tokens.ID]bool{}
+		toks := make([]tokens.ID, 0, segLen)
+		for len(toks) < segLen {
+			t := tokens.ID(rng.Intn(span))
+			if !seen[t] {
+				seen[t] = true
+				toks = append(toks, t)
+			}
+		}
+		sort.Slice(toks, func(a, b int) bool { return toks[a] < toks[b] })
+		head, tail := rng.Intn(12), rng.Intn(12)
+		segs = append(segs, Seg{
+			RID:    int32(i),
+			StrLen: int32(segLen + head + tail),
+			Head:   int32(head),
+			Tail:   int32(tail),
+			Tokens: toks,
+		})
+	}
+	return segs
+}
+
+func benchParams(m Method) Params {
+	return Params{Fn: similarity.Jaccard, Theta: 0.8, Filters: filters.All, Method: m}
+}
+
+// TestLegacyKernelEquivalence pins the optimised kernels to the map-based
+// originals they replaced: identical pairs, identical counts, all methods.
+func TestLegacyKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		segs := randomFragment(rng, rng.Intn(40)+2, trial%2 == 1)
+		for _, m := range []Method{Loop, Index, Prefix} {
+			p := benchParams(m)
+			p.RS = trial%2 == 1
+			got := collect(segs, p)
+			cp := make([]Seg, len(segs))
+			copy(cp, segs)
+			var want []emitted
+			legacyJoin(cp, p, func(a, b *Seg, c int) {
+				want = append(want, emitted{a.RID, b.RID, c})
+			})
+			sort.Slice(want, func(i, j int) bool {
+				if want[i].a != want[j].a {
+					return want[i].a < want[j].a
+				}
+				return want[i].b < want[j].b
+			})
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d method %v: %d pairs vs legacy %d", trial, m, len(got), len(want))
+			}
+		}
+	}
+}
+
+// BenchmarkKernels compares the slice-based kernels against the legacy
+// map-based versions on the same fragment; allocs/op is the headline.
+func BenchmarkKernels(b *testing.B) {
+	segs := benchFragment(600, 4096, 1)
+	for _, m := range []Method{Index, Prefix, Loop} {
+		m := m
+		p := benchParams(m)
+		sink := 0
+		emit := func(a, bs *Seg, c int) { sink += c }
+		b.Run(m.String()+"/new", func(b *testing.B) {
+			b.ReportAllocs()
+			cp := make([]Seg, len(segs))
+			for i := 0; i < b.N; i++ {
+				copy(cp, segs)
+				Join(nil, cp, p, emit)
+			}
+		})
+		b.Run(m.String()+"/legacy", func(b *testing.B) {
+			b.ReportAllocs()
+			cp := make([]Seg, len(segs))
+			for i := 0; i < b.N; i++ {
+				copy(cp, segs)
+				legacyJoin(cp, p, emit)
+			}
+		})
+	}
+}

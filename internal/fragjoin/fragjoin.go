@@ -9,11 +9,20 @@
 // exactness of the final join: every fragment of a similar pair is still
 // counted exactly, and dropped partials can only lower the aggregate of
 // pairs that are already below the threshold.
+//
+// The kernels are allocation-lean: posting lists live in a flat slice
+// indexed by token offset (token ids are dense dictionary ranks confined to
+// the fragment's vertical range), candidate overlap counts use
+// generation-stamped sparse counters, and candidate buffers are reused
+// across segments. Exact intersections of short-span segments take a
+// word-packed bitmap AND+popcount fast path (per Sandes et al.'s Bitmap
+// Filter) instead of a merge.
 package fragjoin
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"fsjoin/internal/filters"
 	"fsjoin/internal/mapreduce"
@@ -26,7 +35,7 @@ import (
 type Method int
 
 const (
-	// Loop compares every qualifying segment pair with a merge intersect.
+	// Loop compares every qualifying segment pair with an exact intersect.
 	Loop Method = iota
 	// Index builds an inverted list over all segment tokens and counts
 	// overlaps through posting lists.
@@ -114,20 +123,24 @@ const (
 // nil (counters are then skipped). Segments are processed in a canonical
 // (Origin, RID) order so output is deterministic.
 func Join(ctx *mapreduce.Context, segs []Seg, p Params, emit Emit) {
-	sort.Slice(segs, func(i, j int) bool {
-		if segs[i].Origin != segs[j].Origin {
-			return segs[i].Origin < segs[j].Origin
+	slices.SortFunc(segs, func(a, b Seg) int {
+		if a.Origin != b.Origin {
+			return int(a.Origin) - int(b.Origin)
 		}
-		return segs[i].RID < segs[j].RID
+		return int(a.RID) - int(b.RID)
 	})
-	j := &joiner{ctx: ctx, p: p, emit: emit}
+	j := &joiner{ctx: ctx, p: p, emit: emit, segs: segs}
 	switch p.Method {
 	case Loop:
-		j.loop(segs)
+		j.bitmaps = make([]segBitmap, len(segs))
+		j.loop()
 	case Index:
-		j.index(segs)
+		j.initScratch()
+		j.index()
 	case Prefix:
-		j.prefix(segs)
+		j.initScratch()
+		j.bitmaps = make([]segBitmap, len(segs))
+		j.prefix()
 	default:
 		panic("fragjoin: unknown method")
 	}
@@ -137,6 +150,26 @@ type joiner struct {
 	ctx  *mapreduce.Context
 	p    Params
 	emit Emit
+	segs []Seg
+
+	// Generation-stamped sparse counters: counts[i] is segment i's running
+	// overlap with the probing segment, valid only while stamp[i] == gen.
+	// Bumping gen invalidates every counter at once, so nothing is cleared
+	// between probe rounds; cands collects the touched indexes and is
+	// reused round after round.
+	counts []int32
+	stamp  []uint32
+	gen    uint32
+	cands  []int32
+
+	// bitmaps are the lazily built word-packed token sets for the exact
+	// intersection fast path (Loop and Prefix kernels).
+	bitmaps []segBitmap
+}
+
+func (j *joiner) initScratch() {
+	j.counts = make([]int32, len(j.segs))
+	j.stamp = make([]uint32, len(j.segs))
 }
 
 func (j *joiner) inc(name string, d int64) {
@@ -203,7 +236,8 @@ func (j *joiner) finish(a, b *Seg, c int) {
 }
 
 // loop is the naive nested-loop kernel.
-func (j *joiner) loop(segs []Seg) {
+func (j *joiner) loop() {
+	segs := j.segs
 	for i := range segs {
 		for k := i + 1; k < len(segs); k++ {
 			a, b := &segs[i], &segs[k]
@@ -214,74 +248,85 @@ func (j *joiner) loop(segs []Seg) {
 			if j.lengthPrune(a, b) {
 				continue
 			}
-			j.finish(a, b, tokens.Intersect(a.Tokens, b.Tokens))
+			j.finish(a, b, j.intersect(i, k))
 		}
 	}
 }
 
 // index is the inverted-list kernel: postings over every token, counts
-// accumulated while probing, probe-then-insert to see each pair once.
-func (j *joiner) index(segs []Seg) {
-	inv := make(map[tokens.ID][]int)
-	counts := make(map[int]int)
-	for k := range segs {
-		b := &segs[k]
-		clear(counts)
-		for _, t := range b.Tokens {
-			for _, i := range inv[t] {
-				counts[i]++
-			}
+// accumulated while probing, probe-then-insert to see each pair once. The
+// accumulated count is already the exact intersection size.
+func (j *joiner) index() {
+	inv := newPostings(j.segs, func(i int) int { return len(j.segs[i].Tokens) })
+	for k := range j.segs {
+		j.beginRound()
+		for _, t := range j.segs[k].Tokens {
+			j.accumulate(inv.get(t))
 		}
-		j.drain(segs, counts, k, nil)
-		for _, t := range b.Tokens {
-			inv[t] = append(inv[t], k)
+		j.drain(k, true)
+		for _, t := range j.segs[k].Tokens {
+			inv.add(t, int32(k))
 		}
 	}
 }
 
 // prefix is the prefix-filtered inverted-list kernel: only segment prefixes
-// are indexed and probed; discovered pairs get their exact intersection via
-// a merge.
-func (j *joiner) prefix(segs []Seg) {
-	inv := make(map[tokens.ID][]int)
-	seen := make(map[int]int)
-	for k := range segs {
-		b := &segs[k]
-		var plen int
+// are indexed and probed; discovered pairs get their exact intersection
+// from the bitmap fast path or a merge.
+func (j *joiner) prefix() {
+	plens := make([]int, len(j.segs))
+	for i := range j.segs {
 		if j.p.PaperPrefix {
-			plen = filters.SegPrefixLenNaive(j.p.Theta, b.Meta())
+			plens[i] = filters.SegPrefixLenNaive(j.p.Theta, j.segs[i].Meta())
 		} else {
-			plen = filters.SegPrefixLen(j.p.Fn, j.p.Theta, b.Meta())
+			plens[i] = filters.SegPrefixLen(j.p.Fn, j.p.Theta, j.segs[i].Meta())
 		}
-		clear(seen)
-		for _, t := range b.Tokens[:plen] {
-			for _, i := range inv[t] {
-				seen[i]++
-			}
+	}
+	inv := newPostings(j.segs, func(i int) int { return plens[i] })
+	for k := range j.segs {
+		j.beginRound()
+		for _, t := range j.segs[k].Tokens[:plens[k]] {
+			j.accumulate(inv.get(t))
 		}
-		j.drain(segs, seen, k, func(a, b *Seg) int { return tokens.Intersect(a.Tokens, b.Tokens) })
-		for _, t := range b.Tokens[:plen] {
-			inv[t] = append(inv[t], k)
+		j.drain(k, false)
+		for _, t := range j.segs[k].Tokens[:plens[k]] {
+			inv.add(t, int32(k))
 		}
 	}
 }
 
-// drain finalises candidates of segment k found in counts. When intersect
-// is nil the candidate count is already the exact intersection size;
-// otherwise it is recomputed. Candidates are visited in index order for
-// deterministic output and counter values.
-func (j *joiner) drain(segs []Seg, counts map[int]int, k int, intersect func(a, b *Seg) int) {
-	if len(counts) == 0 {
+// beginRound invalidates all counters for a new probing segment.
+func (j *joiner) beginRound() {
+	j.gen++
+	j.cands = j.cands[:0]
+}
+
+// accumulate bumps the overlap counter of every segment on one posting
+// list, registering first-touched segments as candidates.
+func (j *joiner) accumulate(list []int32) {
+	for _, i := range list {
+		if j.stamp[i] != j.gen {
+			j.stamp[i] = j.gen
+			j.counts[i] = 0
+			j.cands = append(j.cands, i)
+		}
+		j.counts[i]++
+	}
+}
+
+// drain finalises the current round's candidates against segment k. When
+// exact, the accumulated count is already the intersection size; otherwise
+// it is recomputed. Candidates are visited in index order for deterministic
+// output and counter values.
+func (j *joiner) drain(k int, exact bool) {
+	if len(j.cands) == 0 {
 		return
 	}
-	idxs := make([]int, 0, len(counts))
-	for i := range counts {
-		idxs = append(idxs, i)
-	}
-	sort.Ints(idxs)
-	b := &segs[k]
-	for _, i := range idxs {
-		a := &segs[i]
+	slices.Sort(j.cands)
+	b := &j.segs[k]
+	for _, ci := range j.cands {
+		i := int(ci)
+		a := &j.segs[i]
 		if !j.pairable(a, b) {
 			continue
 		}
@@ -289,10 +334,149 @@ func (j *joiner) drain(segs []Seg, counts map[int]int, k int, intersect func(a, 
 		if j.lengthPrune(a, b) {
 			continue
 		}
-		c := counts[i]
-		if intersect != nil {
-			c = intersect(a, b)
+		c := int(j.counts[i])
+		if !exact {
+			c = j.intersect(i, k)
 		}
 		j.finish(a, b, c)
 	}
+}
+
+// segBitmap is a lazily built word-packed view of one segment's token set:
+// exact intersections become AND + popcount over the overlapping word
+// range. Segments whose tokens straddle more than bitmapMaxWords 64-bit
+// words are left unpacked and fall back to the merge intersect.
+type segBitmap struct {
+	state uint8  // 0 unbuilt, 1 packed, 2 ineligible
+	first uint32 // index of the first packed word (token >> 6)
+	words []uint64
+}
+
+// bitmapMaxWords caps a packed segment's word span (128 words = 8192 token
+// ranks, 1 KiB). Fragment tokens are dense ranks inside one vertical range,
+// so typical segments span a handful of words.
+const bitmapMaxWords = 128
+
+func (j *joiner) bitmap(i int) *segBitmap {
+	bm := &j.bitmaps[i]
+	if bm.state != 0 {
+		return bm
+	}
+	toks := j.segs[i].Tokens
+	if len(toks) == 0 {
+		bm.state = 2
+		return bm
+	}
+	// Pack only when the AND+popcount sweep beats a merge: the word span
+	// bounds the sweep length, a merge costs about the two token counts.
+	lo, hi := toks[0]>>6, toks[len(toks)-1]>>6
+	if span := hi - lo + 1; span > bitmapMaxWords || int(span) > 2*len(toks) {
+		bm.state = 2
+		return bm
+	}
+	bm.first = lo
+	bm.words = make([]uint64, hi-lo+1)
+	for _, t := range toks {
+		bm.words[(t>>6)-lo] |= 1 << (t & 63)
+	}
+	bm.state = 1
+	return bm
+}
+
+// intersect returns |segs[i].Tokens ∩ segs[k].Tokens|, via packed bitmaps
+// when both segments are short-spanned and a sorted merge otherwise.
+func (j *joiner) intersect(i, k int) int {
+	a, b := j.bitmap(i), j.bitmap(k)
+	if a.state == 1 && b.state == 1 {
+		lo := max(a.first, b.first)
+		hi := min(a.first+uint32(len(a.words)), b.first+uint32(len(b.words)))
+		n := 0
+		for w := lo; w < hi; w++ {
+			n += bits.OnesCount64(a.words[w-a.first] & b.words[w-b.first])
+		}
+		return n
+	}
+	return tokens.Intersect(j.segs[i].Tokens, j.segs[k].Tokens)
+}
+
+// postings is the inverted index over segment tokens. Fragment tokens are
+// dense dictionary ranks confined to the fragment's vertical range, so the
+// index is a CSR layout: every token's final posting-list size is known
+// up front (indexed() per segment), one flat backing array holds all lists
+// and starts/lens slice it per token — three allocations for the whole
+// fragment. A sparse map fallback covers degenerate fragments whose token
+// span dwarfs their token count.
+type postings struct {
+	base   tokens.ID
+	starts []int32
+	lens   []int32
+	flat   []int32
+	sparse map[tokens.ID][]int32
+}
+
+// newPostings sizes the index; indexed(i) is how many leading tokens of
+// segment i will be added (all of them for Index, the prefix for Prefix).
+func newPostings(segs []Seg, indexed func(i int) int) *postings {
+	var lo, hi tokens.ID
+	total, seen := 0, false
+	for i := range segs {
+		n := indexed(i)
+		if n == 0 {
+			continue
+		}
+		toks := segs[i].Tokens[:n]
+		total += n
+		if !seen {
+			lo, hi, seen = toks[0], toks[n-1], true
+			continue
+		}
+		if toks[0] < lo {
+			lo = toks[0]
+		}
+		if toks[n-1] > hi {
+			hi = toks[n-1]
+		}
+	}
+	p := &postings{base: lo}
+	if !seen {
+		return p
+	}
+	span := int(hi-lo) + 1
+	if span > 1<<16 && span > 4*total {
+		p.sparse = make(map[tokens.ID][]int32, total)
+		return p
+	}
+	p.starts = make([]int32, span)
+	for i := range segs {
+		for _, t := range segs[i].Tokens[:indexed(i)] {
+			p.starts[t-lo]++
+		}
+	}
+	var off int32
+	for o, n := range p.starts {
+		p.starts[o] = off
+		off += n
+	}
+	p.lens = make([]int32, span)
+	p.flat = make([]int32, total)
+	return p
+}
+
+func (p *postings) get(t tokens.ID) []int32 {
+	if p.flat != nil {
+		o := t - p.base
+		s := p.starts[o]
+		return p.flat[s : s+p.lens[o]]
+	}
+	return p.sparse[t]
+}
+
+func (p *postings) add(t tokens.ID, k int32) {
+	if p.flat != nil {
+		o := t - p.base
+		p.flat[p.starts[o]+p.lens[o]] = k
+		p.lens[o]++
+		return
+	}
+	p.sparse[t] = append(p.sparse[t], k)
 }

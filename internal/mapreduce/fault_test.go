@@ -1,13 +1,17 @@
 package mapreduce
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
 )
 
 // flakyMapper panics on its first failUntil attempts of each task, then
-// behaves like wcMapper — the classic transient-task-failure scenario.
+// behaves like wcMapper — the classic transient-task-failure scenario. The
+// panic message carries the attempt number: a transient fault presents a
+// different symptom each time, unlike a deterministic bug, which the engine
+// gives up on after one identical confirming retry.
 type flakyMapper struct {
 	attempts  map[int]int
 	failUntil int
@@ -16,7 +20,7 @@ type flakyMapper struct {
 func (f *flakyMapper) Map(ctx *Context, kv KV) {
 	if f.attempts[ctx.TaskID] < f.failUntil {
 		f.attempts[ctx.TaskID]++
-		panic("injected map failure")
+		panic(fmt.Sprintf("injected map failure (attempt %d)", f.attempts[ctx.TaskID]))
 	}
 	for _, w := range strings.Fields(kv.Value.(string)) {
 		ctx.Emit(w, int64(1))
@@ -50,6 +54,27 @@ func TestPermanentMapFailureAborts(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "injected map failure") {
 		t.Fatalf("error lost the cause: %v", err)
+	}
+}
+
+// TestDeterministicFailureStopsEarly: a task that fails identically on its
+// retry is a deterministic bug; the engine must stop after one confirming
+// retry instead of burning all MaxAttempts.
+func TestDeterministicFailureStopsEarly(t *testing.T) {
+	attempts := 0
+	mapper := MapFunc(func(ctx *Context, kv KV) {
+		attempts++
+		panic("deterministic boom")
+	})
+	_, err := Run(Config{Cluster: tinyCluster(), MapTasks: 1, MaxAttempts: 4}, wcInput("only"), mapper, wcReducer{})
+	if err == nil {
+		t.Fatal("deterministically failing task did not abort the job")
+	}
+	if !strings.Contains(err.Error(), "deterministic boom") {
+		t.Fatalf("error lost the cause: %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (first failure + one confirming retry)", attempts)
 	}
 }
 

@@ -3,9 +3,7 @@ package mapreduce
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"sort"
-	"sync"
 	"time"
 )
 
@@ -46,10 +44,10 @@ func (f ReduceFunc) Reduce(ctx *Context, key string, values []any) { f(ctx, key,
 
 // Folder is an optional fast path for combiners whose reduction is an
 // associative fold (sums, counts). When a Config.Combiner implements
-// Folder, the engine folds values pairwise during map output collection
-// instead of materialising per-key value lists, which removes most of the
-// combine phase's allocation cost. Fold must return the merged value; it
-// may mutate and return acc.
+// Folder, the engine folds values into per-key accumulator slots as the
+// mapper emits them, which removes the combine pass and most of its
+// allocation cost. Fold must return the merged value; it may mutate and
+// return acc.
 type Folder interface {
 	Fold(acc, v any) any
 }
@@ -95,7 +93,8 @@ type Config struct {
 	// Partitioner routes keys to reduce tasks; nil means FNV-1a hashing.
 	Partitioner func(key string, reducers int) int
 	// Combiner, when non-nil, runs over each map task's output to shrink
-	// shuffle volume (map-side aggregation).
+	// shuffle volume (map-side aggregation). Combiners follow the standard
+	// key-preservation contract: output keys equal input keys.
 	Combiner Reducer
 	// Cluster is the cost model; nil means DefaultCluster().
 	Cluster *Cluster
@@ -110,9 +109,11 @@ type Config struct {
 	// Parallelism is the number of tasks executed concurrently on the
 	// local machine; 0 or 1 means sequential (the default, which also
 	// gives the most accurate per-task CPU measurements for the cost
-	// model). Values > 1 require the mapper, combiner and reducer to be
-	// safe for concurrent use (the Context emit surface is always
-	// per-task).
+	// model), and a negative value (AutoParallelism) means one worker per
+	// core. Values other than 0 and 1 require the mapper, combiner and
+	// reducer to be safe for concurrent use (the Context emit surface is
+	// always per-task). Output, counters and shuffle metrics are identical
+	// at every parallelism level.
 	Parallelism int
 }
 
@@ -152,12 +153,18 @@ type Context struct {
 	Job Config
 
 	out      []KV
+	shuffle  *shuffleSink
 	counters *Counters
 	local    map[string]int64
 }
 
-// Emit appends an output pair.
+// Emit appends an output pair. Map tasks of jobs with a reduce phase route
+// the pair straight into its reduce partition.
 func (c *Context) Emit(key string, value any) {
+	if c.shuffle != nil {
+		c.shuffle.add(key, value)
+		return
+	}
 	c.out = append(c.out, KV{Key: key, Value: value})
 }
 
@@ -234,18 +241,29 @@ type Result struct {
 	Metrics Metrics
 }
 
-// DefaultPartitioner hashes the key with FNV-1a.
+// DefaultPartitioner hashes the key with FNV-1a. The loop is inlined over
+// the string — routing is bit-identical to hash/fnv, without allocating a
+// hasher or a []byte copy per key.
 func DefaultPartitioner(key string, reducers int) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(reducers))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(reducers))
 }
 
 // Run executes one MapReduce job over the input. A nil reducer makes the
-// job map-only. Execution is sequential per task (tasks themselves run in
-// deterministic index order) so that per-task CPU measurements are not
-// distorted by local core contention; distribution is reintroduced by the
-// cluster cost model.
+// job map-only. Map tasks emit straight into per-reduce-task buffers
+// (map-side pre-partitioning), so there is no separate partition pass; each
+// reduce task then fetches, groups and sorts its own partition. Tasks run
+// sequentially or on a bounded worker pool per Config.Parallelism, with
+// per-task output slots so assembly order — and therefore Output, counters
+// and every shuffle metric — is identical at any parallelism level.
 func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error) {
 	if mapper == nil {
 		return nil, fmt.Errorf("mapreduce: job %q has no mapper", cfg.Name)
@@ -283,8 +301,21 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 
 	// ---- Map phase ----
 	splits := splitInput(input, mapTasks)
-	mapOutputs := make([][]KV, mapTasks)
 	m.MapTaskTime = make([]time.Duration, mapTasks)
+	var (
+		mapOutputs [][]KV         // map-only jobs
+		sinks      []*shuffleSink // jobs with a reduce phase
+		taskRecs   []int64
+		taskBytes  []int64
+	)
+	if reducer == nil {
+		mapOutputs = make([][]KV, mapTasks)
+	} else {
+		sinks = make([]*shuffleSink, mapTasks)
+		taskRecs = make([]int64, mapTasks)
+		taskBytes = make([]int64, mapTasks)
+	}
+	combineFolder, _ := cfg.Combiner.(Folder)
 	mapErr := runPhase(cfg.Parallelism, mapTasks, func(t int) error {
 		if err := cfg.cancelled(); err != nil {
 			return fmt.Errorf("mapreduce: job %q: %w", cfg.Name, err)
@@ -293,11 +324,22 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 		start := time.Now()
 		err := withRetries(cfg, res.Counters, func() error {
 			ctx = &Context{TaskID: t, Job: cfg, counters: res.Counters}
-			ctx.out = make([]KV, 0, len(splits[t])+16)
+			if reducer != nil {
+				ctx.shuffle = newShuffleSink(part, reduceTasks, combineFolder)
+			} else {
+				ctx.out = make([]KV, 0, len(splits[t])+16)
+			}
 			return guard(func() {
 				runTask(ctx, splits[t], mapper)
 				if cfg.Combiner != nil {
-					ctx.out = combine(cfg, ctx, cfg.Combiner, res.Counters)
+					switch {
+					case reducer == nil:
+						ctx.out = combine(cfg, ctx, cfg.Combiner, res.Counters)
+					case combineFolder == nil:
+						ctx.shuffle = combineSink(cfg, ctx, cfg.Combiner, res.Counters)
+					default:
+						// A Folder combiner already folded at Emit time.
+					}
 				}
 			})
 		})
@@ -306,91 +348,103 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 		}
 		m.MapTaskTime[t] = time.Since(start)
 		ctx.flushCounters()
-		mapOutputs[t] = ctx.out
+		if reducer == nil {
+			mapOutputs[t] = ctx.out
+			return nil
+		}
+		// Size every record exactly once, outside the timed section; the
+		// reduce phase reuses these per-record sizes.
+		recs, bytes := ctx.shuffle.computeSizes()
+		sinks[t], taskRecs[t], taskBytes[t] = ctx.shuffle, recs, bytes
 		return nil
 	})
 	if mapErr != nil {
 		return nil, mapErr
 	}
-	for _, out := range mapOutputs {
-		for _, kv := range out {
-			m.ShuffleRecords++
-			m.ShuffleBytes += int64(kvBytes(kv))
-		}
-	}
-	m.MapOutputRecords = m.ShuffleRecords
-	m.MapOutputBytes = m.ShuffleBytes
 
 	if reducer == nil {
 		// Map-only job: concatenate map outputs in task order.
 		for _, out := range mapOutputs {
+			for _, kv := range out {
+				m.ShuffleRecords++
+				m.ShuffleBytes += int64(kvBytes(kv))
+			}
 			res.Output = append(res.Output, out...)
 		}
+		m.MapOutputRecords = m.ShuffleRecords
+		m.MapOutputBytes = m.ShuffleBytes
 		m.OutputRecords = int64(len(res.Output))
-		for _, kv := range res.Output {
-			m.OutputBytes += int64(kvBytes(kv))
-		}
+		m.OutputBytes = m.ShuffleBytes
 		m.ReduceTasks = 0
 		m.SimulatedMapTime = simPhase(cl, m.MapTaskTime)
 		m.SimulatedTotalTime = m.SimulatedMapTime
 		m.WallTime = time.Since(wallStart)
 		return res, nil
 	}
+	for t := 0; t < mapTasks; t++ {
+		m.ShuffleRecords += taskRecs[t]
+		m.ShuffleBytes += taskBytes[t]
+	}
+	m.MapOutputRecords = m.ShuffleRecords
+	m.MapOutputBytes = m.ShuffleBytes
 
-	// ---- Shuffle: partition, group, sort ----
+	// ---- Reduce phase (per-reducer shuffle, group, sort, reduce) ----
 	foldingReducer, folding := reducer.(FoldingReducer)
-	groups := make([]map[string][]any, reduceTasks) // list path
-	folded := make([]map[string]any, reduceTasks)   // fold path
-	order := make([][]string, reduceTasks)          // first-seen key order, sorted later
-	groupBytes := make([]map[string]int64, reduceTasks)
 	m.PerReduceRecords = make([]int64, reduceTasks)
 	m.PerReduceBytes = make([]int64, reduceTasks)
-	for t := 0; t < reduceTasks; t++ {
-		if folding {
-			folded[t] = make(map[string]any)
-		} else {
-			groups[t] = make(map[string][]any)
-		}
-		groupBytes[t] = make(map[string]int64)
-	}
-	for _, out := range mapOutputs {
-		for _, kv := range out {
-			r := part(kv.Key, reduceTasks)
-			if r < 0 || r >= reduceTasks {
-				return nil, fmt.Errorf("mapreduce: job %q partitioner returned %d for %d reducers", cfg.Name, r, reduceTasks)
-			}
-			if folding {
-				if acc, seen := folded[r][kv.Key]; seen {
-					folded[r][kv.Key] = foldingReducer.Fold(acc, kv.Value)
-				} else {
-					order[r] = append(order[r], kv.Key)
-					folded[r][kv.Key] = kv.Value
-				}
-			} else {
-				vs, seen := groups[r][kv.Key]
-				if !seen {
-					order[r] = append(order[r], kv.Key)
-				}
-				groups[r][kv.Key] = append(vs, kv.Value)
-			}
-			m.PerReduceRecords[r]++
-			b := int64(kvBytes(kv))
-			m.PerReduceBytes[r] += b
-			groupBytes[r][kv.Key] += b
-		}
-	}
-	mapOutputs = nil
-
-	// ---- Reduce phase ----
 	m.ReduceTaskTime = make([]time.Duration, reduceTasks)
 	m.GroupSpillTime = make([]time.Duration, reduceTasks)
 	reduceOuts := make([][]KV, reduceTasks)
+	groupCounts := make([]int64, reduceTasks)
 	reduceErr := runPhase(cfg.Parallelism, reduceTasks, func(t int) error {
 		if err := cfg.cancelled(); err != nil {
 			return fmt.Errorf("mapreduce: job %q: %w", cfg.Name, err)
 		}
-		keys := order[t]
-		sort.Strings(keys)
+		// Fetch this reducer's partition from every map task in map-task
+		// order — the record order a global partition pass would produce —
+		// then group and sort. Guarded so a panicking Fold aborts the task,
+		// not the process.
+		var (
+			groups map[string][]any
+			folded map[string]any
+			keys   []string
+		)
+		gBytes := make(map[string]int64)
+		if gerr := guard(func() {
+			if folding {
+				folded = make(map[string]any)
+			} else {
+				groups = make(map[string][]any)
+			}
+			for mt := 0; mt < mapTasks; mt++ {
+				pkvs := sinks[mt].parts[t]
+				szs := sinks[mt].sizes[t]
+				for i, kv := range pkvs {
+					if folding {
+						if acc, seen := folded[kv.Key]; seen {
+							folded[kv.Key] = foldingReducer.Fold(acc, kv.Value)
+						} else {
+							keys = append(keys, kv.Key)
+							folded[kv.Key] = kv.Value
+						}
+					} else {
+						vs, seen := groups[kv.Key]
+						if !seen {
+							keys = append(keys, kv.Key)
+						}
+						groups[kv.Key] = append(vs, kv.Value)
+					}
+					m.PerReduceRecords[t]++
+					b := int64(szs[i])
+					m.PerReduceBytes[t] += b
+					gBytes[kv.Key] += b
+				}
+			}
+			sort.Strings(keys)
+		}); gerr != nil {
+			return fmt.Errorf("mapreduce: job %q reduce task %d: %w", cfg.Name, t, gerr)
+		}
+		groupCounts[t] = int64(len(keys))
 		var ctx *Context
 		start := time.Now()
 		err := withRetries(cfg, res.Counters, func() error {
@@ -401,11 +455,11 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 				}
 				if folding {
 					for _, k := range keys {
-						foldingReducer.FinishFold(ctx, k, folded[t][k])
+						foldingReducer.FinishFold(ctx, k, folded[k])
 					}
 				} else {
 					for _, k := range keys {
-						reducer.Reduce(ctx, k, groups[t][k])
+						reducer.Reduce(ctx, k, groups[k])
 					}
 				}
 				if c, ok := reducer.(Cleanupper); ok {
@@ -419,22 +473,19 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 		m.ReduceTaskTime[t] = time.Since(start)
 		ctx.flushCounters()
 		reduceOuts[t] = ctx.out
-		for _, b := range groupBytes[t] {
+		for _, b := range gBytes {
 			m.GroupSpillTime[t] += cl.groupSpillTime(b)
 		}
-		if folding {
-			folded[t] = nil
-		} else {
-			groups[t] = nil
+		for mt := 0; mt < mapTasks; mt++ {
+			sinks[mt].release(t)
 		}
-		groupBytes[t] = nil
 		return nil
 	})
 	if reduceErr != nil {
 		return nil, reduceErr
 	}
 	for t := 0; t < reduceTasks; t++ {
-		m.ReduceInputGroups += int64(len(order[t]))
+		m.ReduceInputGroups += groupCounts[t]
 		res.Output = append(res.Output, reduceOuts[t]...)
 	}
 	m.OutputRecords = int64(len(res.Output))
@@ -459,70 +510,6 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 	return res, nil
 }
 
-// runPhase executes n independent tasks, sequentially or on a bounded
-// worker pool; the output slots are per-task, so results assemble in task
-// order regardless of completion order. The first error wins.
-func runPhase(parallelism, n int, work func(t int) error) error {
-	if parallelism <= 1 || n <= 1 {
-		for t := 0; t < n; t++ {
-			if err := work(t); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	sem := make(chan struct{}, parallelism)
-	for t := 0; t < n; t++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(t int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := work(t); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(t)
-	}
-	wg.Wait()
-	return firstErr
-}
-
-// guard converts a task panic into an error, Hadoop-style task isolation.
-func guard(task func()) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("task failed: %v", r)
-		}
-	}()
-	task()
-	return nil
-}
-
-// withRetries re-attempts a failing task up to the job's MaxAttempts,
-// counting retries in the "mapreduce.task.retries" counter. Tasks are
-// deterministic, so a retried attempt recomputes the same output.
-func withRetries(cfg Config, counters *Counters, attempt func() error) error {
-	var err error
-	for a := 0; a < cfg.maxAttempts(); a++ {
-		if a > 0 {
-			counters.Inc("mapreduce.task.retries", 1)
-		}
-		if err = attempt(); err == nil {
-			return nil
-		}
-	}
-	return err
-}
-
 // runTask feeds one split through a mapper with lifecycle hooks.
 func runTask(ctx *Context, split []KV, mapper Mapper) {
 	if s, ok := mapper.(Setupper); ok {
@@ -536,9 +523,10 @@ func runTask(ctx *Context, split []KV, mapper Mapper) {
 	}
 }
 
-// combine runs the combiner over one map task's output, preserving key
+// combine runs the combiner over one map-only task's output, preserving key
 // first-appearance order for determinism. Combiners implementing Folder use
-// an allocation-light pairwise fold.
+// an allocation-light pairwise fold. (Jobs with a reduce phase combine
+// through the pre-partitioned sink instead; see shuffle.go.)
 func combine(cfg Config, mapCtx *Context, combiner Reducer, counters *Counters) []KV {
 	if f, ok := combiner.(Folder); ok {
 		return foldCombine(mapCtx.out, f)

@@ -1,7 +1,9 @@
 package mapreduce
 
 import (
+	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -28,6 +30,103 @@ func TestParallelMatchesSequential(t *testing.T) {
 		if got.Metrics.ShuffleRecords != want.Metrics.ShuffleRecords {
 			t.Fatalf("parallelism %d metrics differ", par)
 		}
+	}
+}
+
+// countingWCMapper is wcMapper plus a user counter, so counter equivalence
+// is meaningful in the property test below. Stateless, concurrency-safe.
+var countingWCMapper = MapFunc(func(ctx *Context, kv KV) {
+	words := strings.Fields(kv.Value.(string))
+	ctx.Inc("words.mapped", int64(len(words)))
+	for _, w := range words {
+		ctx.Emit(w, int64(1))
+	}
+})
+
+// sameMetrics compares every deterministic metric field (timings and the
+// simulated makespan derived from them are wall-clock-based and excluded).
+func sameMetrics(t *testing.T, label string, got, want *Metrics) {
+	t.Helper()
+	type det struct {
+		MapTasks, ReduceTasks                                int
+		MapInputRecords, MapOutputRecords, MapOutputBytes    int64
+		ShuffleRecords, ShuffleBytes                         int64
+		ReduceInputGroups, OutputRecords, OutputBytes        int64
+		PerReduceRecords, PerReduceBytes                     []int64
+		LoadImbalance                                        float64
+	}
+	extract := func(m *Metrics) det {
+		return det{
+			MapTasks: m.MapTasks, ReduceTasks: m.ReduceTasks,
+			MapInputRecords: m.MapInputRecords, MapOutputRecords: m.MapOutputRecords,
+			MapOutputBytes: m.MapOutputBytes, ShuffleRecords: m.ShuffleRecords,
+			ShuffleBytes: m.ShuffleBytes, ReduceInputGroups: m.ReduceInputGroups,
+			OutputRecords: m.OutputRecords, OutputBytes: m.OutputBytes,
+			PerReduceRecords: m.PerReduceRecords, PerReduceBytes: m.PerReduceBytes,
+			LoadImbalance: m.LoadImbalance(),
+		}
+	}
+	if g, w := extract(got), extract(want); !reflect.DeepEqual(g, w) {
+		t.Fatalf("%s: metrics differ\n got %+v\nwant %+v", label, g, w)
+	}
+}
+
+// TestParallelEquivalenceProperty: over random inputs, task counts and job
+// shapes (no combiner, plain combiner, folding combiner; plain or folding
+// reducer), every parallelism level — including AutoParallelism — must
+// reproduce the sequential run's Output, counters and shuffle metrics
+// byte-for-byte.
+func TestParallelEquivalenceProperty(t *testing.T) {
+	f := func(seed uint32, combinerKind, reducerKind uint8, taskSeed uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		lines := make([]string, 1+rng.Intn(12))
+		for i := range lines {
+			words := make([]string, rng.Intn(24))
+			for w := range words {
+				words[w] = string(rune('a' + rng.Intn(9)))
+			}
+			lines[i] = strings.Join(words, " ")
+		}
+		cfg := Config{
+			Cluster:     tinyCluster(),
+			MapTasks:    1 + int(taskSeed%5),
+			ReduceTasks: 1 + int(taskSeed%7),
+		}
+		switch combinerKind % 3 {
+		case 1:
+			cfg.Combiner = wcReducer{} // plain combiner: grouped combine pass
+		case 2:
+			cfg.Combiner = foldingWC{} // Folder combiner: folds at Emit time
+		}
+		var reducer Reducer = wcReducer{}
+		if reducerKind%2 == 1 {
+			reducer = foldingWC{} // FoldingReducer fast path
+		}
+		input := wcInput(lines...)
+		want, err := Run(cfg, input, countingWCMapper, reducer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 16, AutoParallelism} {
+			pcfg := cfg
+			pcfg.Parallelism = par
+			got, err := Run(pcfg, input, countingWCMapper, reducer)
+			if err != nil {
+				t.Fatalf("parallelism %d: %v", par, err)
+			}
+			if !reflect.DeepEqual(got.Output, want.Output) {
+				t.Fatalf("parallelism %d: output differs", par)
+			}
+			if !reflect.DeepEqual(got.Counters.Snapshot(), want.Counters.Snapshot()) {
+				t.Fatalf("parallelism %d: counters differ: %v vs %v",
+					par, got.Counters.Snapshot(), want.Counters.Snapshot())
+			}
+			sameMetrics(t, "parallel-equivalence", &got.Metrics, &want.Metrics)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -18,6 +18,9 @@ type Pipeline struct {
 	// Context, when non-nil, is inherited by every stage that does not set
 	// its own; cancellation aborts the pipeline at the next task boundary.
 	Context context.Context
+	// Parallelism is inherited by every stage that leaves its
+	// Config.Parallelism at zero; see Config.Parallelism for the semantics.
+	Parallelism int
 
 	stages []stageResult
 }
@@ -40,6 +43,9 @@ func (p *Pipeline) Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (
 	}
 	if cfg.Context == nil {
 		cfg.Context = p.Context
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = p.Parallelism
 	}
 	res, err := Run(cfg, input, mapper, reducer)
 	if err != nil {

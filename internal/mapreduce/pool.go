@@ -1,0 +1,87 @@
+package mapreduce
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// AutoParallelism, assigned to Config.Parallelism (or the facade's
+// LocalParallelism), runs one task worker per available CPU core.
+const AutoParallelism = -1
+
+// runPhase executes n independent tasks, sequentially or on a bounded
+// worker pool; the output slots are per-task, so results assemble in task
+// order regardless of completion order. The first error wins. A negative
+// parallelism means one worker per core (AutoParallelism).
+func runPhase(parallelism, n int, work func(t int) error) error {
+	if parallelism < 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism <= 1 || n <= 1 {
+		for t := 0; t < n; t++ {
+			if err := work(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, parallelism)
+	for t := 0; t < n; t++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := work(t); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(t)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// guard converts a task panic into an error, Hadoop-style task isolation.
+func guard(task func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("task failed: %v", r)
+		}
+	}()
+	task()
+	return nil
+}
+
+// withRetries re-attempts a failing task up to the job's MaxAttempts,
+// counting retries in the "mapreduce.task.retries" counter. Tasks run over
+// identical inputs on every attempt, so when a retry fails with exactly the
+// first attempt's error the failure is deterministic and the remaining
+// attempts are skipped — they cannot succeed, and burning them would both
+// waste work and overstate the retry counter.
+func withRetries(cfg Config, counters *Counters, attempt func() error) error {
+	var first, err error
+	for a := 0; a < cfg.maxAttempts(); a++ {
+		if a > 0 {
+			counters.Inc("mapreduce.task.retries", 1)
+		}
+		if err = attempt(); err == nil {
+			return nil
+		}
+		if first == nil {
+			first = err
+		} else if err.Error() == first.Error() {
+			return err
+		}
+	}
+	return err
+}

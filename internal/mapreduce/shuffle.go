@@ -1,0 +1,122 @@
+package mapreduce
+
+import "fmt"
+
+// shuffleSink is one map task's pre-partitioned output: one KV buffer per
+// reduce task, filled at Emit time through the job partitioner (map-side
+// pre-partitioning). When the job's combiner is a Folder, emissions fold
+// into per-key accumulator slots as they arrive, so the separate combine
+// pass disappears entirely.
+//
+// Record order within a partition equals the order a global partition pass
+// would produce: the restriction of the task's emission order to one
+// partition is exactly the per-partition emission order.
+type shuffleSink struct {
+	part     func(key string, reducers int) int
+	reducers int
+	parts    [][]KV
+	sizes    [][]int32 // filled by computeSizes once the task finishes
+	folder   Folder
+	slots    []map[string]int // per-partition key -> index in parts[r]
+}
+
+func newShuffleSink(part func(string, int) int, reducers int, folder Folder) *shuffleSink {
+	s := &shuffleSink{
+		part:     part,
+		reducers: reducers,
+		parts:    make([][]KV, reducers),
+		folder:   folder,
+	}
+	if folder != nil {
+		s.slots = make([]map[string]int, reducers)
+	}
+	return s
+}
+
+// add routes one emission to its reduce partition, folding into an existing
+// accumulator slot when a Folder combiner is active.
+func (s *shuffleSink) add(key string, value any) {
+	r := s.part(key, s.reducers)
+	if r < 0 || r >= s.reducers {
+		panic(fmt.Sprintf("mapreduce: partitioner returned %d for %d reducers", r, s.reducers))
+	}
+	if s.folder != nil {
+		slot := s.slots[r]
+		if slot == nil {
+			slot = make(map[string]int)
+			s.slots[r] = slot
+		}
+		if i, ok := slot[key]; ok {
+			s.parts[r][i].Value = s.folder.Fold(s.parts[r][i].Value, value)
+			return
+		}
+		slot[key] = len(s.parts[r])
+	}
+	s.parts[r] = append(s.parts[r], KV{Key: key, Value: value})
+}
+
+// computeSizes sizes every record exactly once and returns the task's total
+// record and byte counts; the reduce phase reuses the per-record sizes
+// instead of re-deriving them.
+func (s *shuffleSink) computeSizes() (records, bytes int64) {
+	s.sizes = make([][]int32, s.reducers)
+	for r, pkvs := range s.parts {
+		sz := make([]int32, len(pkvs))
+		for i, kv := range pkvs {
+			b := int32(kvBytes(kv))
+			sz[i] = b
+			bytes += int64(b)
+		}
+		records += int64(len(pkvs))
+		s.sizes[r] = sz
+	}
+	return records, bytes
+}
+
+// release drops one consumed partition so its memory is reclaimable before
+// the whole reduce phase finishes. Distinct reduce workers touch distinct
+// slice elements, so concurrent release calls do not race.
+func (s *shuffleSink) release(r int) {
+	s.parts[r] = nil
+	s.sizes[r] = nil
+}
+
+// combineSink runs a non-folding combiner over one map task's
+// pre-partitioned output, grouping each partition's records per key in
+// first-appearance order and routing the combined records through a fresh
+// sink. Combiners follow the standard key-preservation contract (output
+// keys equal input keys), which keeps combined records in the partitions
+// and relative order a post-combine partition pass would produce; a
+// key-rewriting combiner is still routed correctly because the replacement
+// sink re-partitions every emission.
+func combineSink(cfg Config, mapCtx *Context, combiner Reducer, counters *Counters) *shuffleSink {
+	src := mapCtx.shuffle
+	dst := newShuffleSink(src.part, src.reducers, nil)
+	cctx := &Context{TaskID: mapCtx.TaskID, Job: cfg, counters: counters, shuffle: dst}
+	if s, ok := combiner.(Setupper); ok {
+		s.Setup(cctx)
+	}
+	for r := 0; r < src.reducers; r++ {
+		pkvs := src.parts[r]
+		if len(pkvs) == 0 {
+			continue
+		}
+		grouped := make(map[string][]any, len(pkvs)/2+1)
+		order := make([]string, 0, len(pkvs)/2+1)
+		for _, kv := range pkvs {
+			vs, seen := grouped[kv.Key]
+			if !seen {
+				order = append(order, kv.Key)
+			}
+			grouped[kv.Key] = append(vs, kv.Value)
+		}
+		for _, k := range order {
+			combiner.Reduce(cctx, k, grouped[k])
+		}
+	}
+	if c, ok := combiner.(Cleanupper); ok {
+		c.Cleanup(cctx)
+	}
+	cctx.flushCounters()
+	return dst
+}

@@ -77,6 +77,9 @@ type Options struct {
 	MaxSignatures int64
 	// Ctx, when non-nil, cancels the pipeline at the next task boundary.
 	Ctx context.Context
+	// Parallelism is the local engine parallelism for every stage; see
+	// mapreduce.Config.Parallelism.
+	Parallelism int
 }
 
 // Result carries the join output and pipeline metrics.

@@ -1,6 +1,8 @@
 package massjoin
 
 import (
+	"sync/atomic"
+
 	"fsjoin/internal/mapreduce"
 	"fsjoin/internal/order"
 )
@@ -9,10 +11,12 @@ import (
 // match-all signature) for each record, and probe-side signatures for every
 // admissible shorter partner length ℓ ∈ [minLen(|t|), |t|] — the
 // per-integer-length generation the paper describes ("for each integer from
-// 80 to 125, string t will generate signatures separately").
+// 80 to 125, string t will generate signatures separately"). One instance
+// is shared by all map tasks, which may run concurrently, so the running
+// count is atomic.
 type sigMapper struct {
 	opt     Options
-	emitted int64
+	emitted atomic.Int64
 }
 
 // Map implements mapreduce.Mapper.
@@ -25,7 +29,7 @@ func (m *sigMapper) Map(ctx *mapreduce.Context, kv mapreduce.KV) {
 	// Once the signature budget is exhausted the run is a failure (DNF);
 	// stop generating immediately instead of burning CPU on doomed work.
 	exhausted := func() bool {
-		if m.opt.MaxSignatures > 0 && m.emitted >= m.opt.MaxSignatures {
+		if m.opt.MaxSignatures > 0 && m.emitted.Load() >= m.opt.MaxSignatures {
 			ctx.Inc("massjoin.sig.dropped", 1)
 			return true
 		}
@@ -39,7 +43,7 @@ func (m *sigMapper) Map(ctx *mapreduce.Context, kv mapreduce.KV) {
 		if exhausted() {
 			return
 		}
-		m.emitted++
+		m.emitted.Add(1)
 		ctx.Inc("massjoin.sig.emitted", 1)
 		ctx.Emit(key, sigEntry{rid: rec.RID, l: int32(l), probe: probe, light: light})
 	}

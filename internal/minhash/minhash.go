@@ -42,6 +42,9 @@ type Params struct {
 	Cluster *mapreduce.Cluster
 	// Ctx, when non-nil, cancels the pipeline at the next task boundary.
 	Ctx context.Context
+	// Parallelism is the local engine parallelism for every stage; see
+	// mapreduce.Config.Parallelism.
+	Parallelism int
 }
 
 // Auto fills Bands and Rows so the S-curve's steep section brackets theta:
@@ -105,6 +108,7 @@ func SelfJoin(c *tokens.Collection, p Params) (*Result, error) {
 	}
 	pipe := mapreduce.NewPipeline("minhash-lsh", p.Cluster)
 	pipe.Context = p.Ctx
+	pipe.Parallelism = p.Parallelism
 
 	// Job 1: band signatures → candidate pairs.
 	hashes := newFamily(p.Seed, p.Bands*p.Rows)

@@ -29,6 +29,9 @@ type Options struct {
 	Cluster *mapreduce.Cluster
 	// Ctx, when non-nil, cancels the pipeline at the next task boundary.
 	Ctx context.Context
+	// Parallelism is the local engine parallelism for every stage; see
+	// mapreduce.Config.Parallelism.
+	Parallelism int
 }
 
 // Result carries the join output and pipeline metrics.
@@ -82,6 +85,7 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	rs := s != nil
 	p := mapreduce.NewPipeline("ridpairs-ppjoin", opt.Cluster)
 	p.Context = opt.Ctx
+	p.Parallelism = opt.Parallelism
 
 	// Stage 1: global ordering (same job as FS-Join's) over the union.
 	union := r

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"fsjoin/internal/mapreduce"
 	"fsjoin/internal/order"
@@ -38,6 +39,9 @@ type Options struct {
 	MaxPairEmits int64
 	// Ctx, when non-nil, cancels the pipeline at the next task boundary.
 	Ctx context.Context
+	// Parallelism is the local engine parallelism for every stage; see
+	// mapreduce.Config.Parallelism.
+	Parallelism int
 }
 
 // Result carries the join output and pipeline metrics.
@@ -75,6 +79,7 @@ func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
 	}
 	p := mapreduce.NewPipeline("v-smart-join", opt.Cluster)
 	p.Context = opt.Ctx
+	p.Parallelism = opt.Parallelism
 
 	// Ordering is not required for correctness here, but running the same
 	// frequency job keeps the end-to-end comparison fair across methods.
@@ -129,12 +134,12 @@ func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
 // pairEnumerator emits a partial for every pair of records in one token's
 // posting list — quadratic per list, with no filtering (the algorithm's
 // defining drawback). Emission stops once the budget is exhausted so the
-// process stays bounded; the driver then reports the failure. The engine
-// runs reduce tasks sequentially on one reducer instance, so the running
-// count is a plain field.
+// process stays bounded; the driver then reports the failure. One instance
+// is shared by all reduce tasks, which may run concurrently, so the running
+// count is atomic.
 type pairEnumerator struct {
 	budget  int64
-	emitted int64
+	emitted atomic.Int64
 }
 
 // Reduce implements mapreduce.Reducer.
@@ -152,11 +157,10 @@ func (e *pairEnumerator) Reduce(ctx *mapreduce.Context, key string, values []any
 			if a.rid > b.rid {
 				a, b = b, a
 			}
-			if e.budget > 0 && e.emitted >= e.budget {
+			if e.budget > 0 && e.emitted.Add(1) > e.budget {
 				ctx.Inc("vsmart.pair.dropped", 1)
 				continue
 			}
-			e.emitted++
 			ctx.Inc("vsmart.pair.emits", 1)
 			ctx.Emit(mapreduce.PairKey(uint32(a.rid), uint32(b.rid)),
 				partial{c: 1, la: a.l, lb: b.l})

@@ -97,14 +97,17 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			Cluster:            cl,
 			Seed:               opt.Seed,
 			Ctx:                opt.Context,
-			LocalParallelism:   opt.LocalParallelism,
+			LocalParallelism:   opt.localParallelism(),
 		})
 		if err != nil {
 			return nil, err
 		}
 		return publish(res.Pairs, res.Pipeline, res.FilterOutputRecords), nil
 	case RIDPairsPPJoin:
-		res, err := ridpairs.SelfJoin(c.t, ridpairs.Options{Fn: fn, Theta: opt.Threshold, Cluster: cl, Ctx: opt.Context})
+		res, err := ridpairs.SelfJoin(c.t, ridpairs.Options{
+			Fn: fn, Theta: opt.Threshold, Cluster: cl, Ctx: opt.Context,
+			Parallelism: opt.localParallelism(),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +115,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 	case VSmartJoin:
 		res, err := vsmart.SelfJoin(c.t, vsmart.Options{
 			Fn: fn, Theta: opt.Threshold, Cluster: cl, MaxPairEmits: opt.WorkBudget,
-			Ctx: opt.Context,
+			Ctx: opt.Context, Parallelism: opt.localParallelism(),
 		})
 		if err != nil {
 			return nil, err
@@ -124,7 +127,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 		}
 		res, err := minhash.SelfJoin(c.t, minhash.Params{
 			Theta: opt.Threshold, Seed: uint64(opt.Seed), Cluster: cl,
-			Ctx: opt.Context,
+			Ctx: opt.Context, Parallelism: opt.localParallelism(),
 		})
 		if err != nil {
 			return nil, err
@@ -138,6 +141,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 		res, err := massjoin.SelfJoin(c.t, massjoin.Options{
 			Fn: fn, Theta: opt.Threshold, Variant: variant, Cluster: cl,
 			MaxSignatures: opt.WorkBudget, Ctx: opt.Context,
+			Parallelism: opt.localParallelism(),
 		})
 		if err != nil {
 			return nil, err
@@ -163,6 +167,7 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 	case RIDPairsPPJoin:
 		res, err := ridpairs.Join(c.t, s.t, ridpairs.Options{
 			Fn: fn, Theta: opt.Threshold, Cluster: opt.cluster(), Ctx: opt.Context,
+			Parallelism: opt.localParallelism(),
 		})
 		if err != nil {
 			return nil, err
@@ -187,7 +192,7 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 		Cluster:            opt.cluster(),
 		Seed:               opt.Seed,
 		Ctx:                opt.Context,
-		LocalParallelism:   opt.LocalParallelism,
+		LocalParallelism:   opt.localParallelism(),
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,48 @@
+package fsjoin
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelSequentialEquivalence asserts that sequential execution
+// (LocalParallelism = 1) and parallel execution (auto and a fixed pool)
+// produce byte-identical pairs and deterministic statistics for FS-Join and
+// all three baselines on a seeded dataset. SimulatedTime is wall-clock
+// derived and intentionally excluded. Run under -race this also exercises
+// the engine's concurrent shuffle and reduce paths end to end.
+func TestParallelSequentialEquivalence(t *testing.T) {
+	texts := corpus(120, 42)
+	algos := []Algorithm{FSJoin, FSJoinV, RIDPairsPPJoin, VSmartJoin, MassJoinMerge, MassJoinMergeLight}
+	type detStats struct {
+		ShuffleRecords, ShuffleBytes, Candidates int64
+		LoadImbalance                            float64
+	}
+	det := func(s Stats) detStats {
+		return detStats{
+			ShuffleRecords: s.ShuffleRecords, ShuffleBytes: s.ShuffleBytes,
+			Candidates: s.Candidates, LoadImbalance: s.LoadImbalance,
+		}
+	}
+	for _, algo := range algos {
+		opts := Options{Threshold: 0.7, Algorithm: algo, Nodes: 3, LocalParallelism: 1}
+		want, err := SelfJoinStrings(texts, opts)
+		if err != nil {
+			t.Fatalf("%v sequential: %v", algo, err)
+		}
+		for _, par := range []int{0, 4} { // 0 = one worker per core
+			opts.LocalParallelism = par
+			got, err := SelfJoinStrings(texts, opts)
+			if err != nil {
+				t.Fatalf("%v parallelism %d: %v", algo, par, err)
+			}
+			if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+				t.Fatalf("%v parallelism %d: pairs differ (%d vs %d)",
+					algo, par, len(got.Pairs), len(want.Pairs))
+			}
+			if g, w := det(got.Stats), det(want.Stats); g != w {
+				t.Fatalf("%v parallelism %d: stats differ\n got %+v\nwant %+v", algo, par, g, w)
+			}
+		}
+	}
+}
