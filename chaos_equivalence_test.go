@@ -1,0 +1,136 @@
+package fsjoin
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// chaosSchedules is the top-level chaos matrix: 28 seeded fault schedules
+// (each mixing panics, transient errors, emit-phase failures and
+// straggler delays across map, combine and reduce tasks) derived from the
+// schedule index alone, so any failure is re-runnable from its seed. The
+// knob derivation cycles intensity through {0.2, 0.35, 0.5, 0.8}, enables
+// speculative execution on odd indices and retry backoff on every third.
+func chaosSchedules(n int) []FaultOptions {
+	out := make([]FaultOptions, n)
+	for i := range out {
+		f := FaultOptions{
+			ChaosSeed:      9000 + int64(i)*1_000_003,
+			ChaosIntensity: []float64{0.2, 0.35, 0.5, 0.8}[i%4],
+			MaxAttempts:    4,
+		}
+		if i%2 == 1 {
+			f.SpeculativeDelay = 500 * time.Microsecond
+		}
+		if i%3 == 0 {
+			f.RetryBackoffBase = 50 * time.Microsecond
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// TestChaosEquivalenceAllAlgorithms runs the full 3-phase FS-Join
+// pipeline and every baseline under the chaos matrix at parallelism 4
+// (and, for a third of the schedules, sequentially) and asserts pairs and
+// every deterministic statistic are byte-identical to the fault-free run.
+// Under -race this doubles as a concurrency audit of the retry,
+// speculation and injection paths.
+func TestChaosEquivalenceAllAlgorithms(t *testing.T) {
+	texts := corpus(60, 7)
+	schedules := chaosSchedules(28)
+	type detStats struct {
+		ShuffleRecords, ShuffleBytes, Candidates int64
+		LoadImbalance                            float64
+	}
+	det := func(s Stats) detStats {
+		return detStats{
+			ShuffleRecords: s.ShuffleRecords, ShuffleBytes: s.ShuffleBytes,
+			Candidates: s.Candidates, LoadImbalance: s.LoadImbalance,
+		}
+	}
+	for _, algo := range []Algorithm{FSJoin, RIDPairsPPJoin, VSmartJoin, MassJoinMerge} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			opts := Options{Threshold: 0.7, Algorithm: algo, Nodes: 3, LocalParallelism: 1}
+			want, err := SelfJoinStrings(texts, opts)
+			if err != nil {
+				t.Fatalf("fault-free run: %v", err)
+			}
+			if algo == FSJoin && len(want.Pairs) == 0 {
+				t.Fatal("fault-free run found no pairs — corpus too sparse to prove anything")
+			}
+			for i, fault := range schedules {
+				pars := []int{4}
+				if i%3 == 0 {
+					pars = []int{1, 4}
+				}
+				for _, par := range pars {
+					opts.LocalParallelism = par
+					opts.Fault = fault
+					got, err := SelfJoinStrings(texts, opts)
+					if err != nil {
+						t.Fatalf("schedule %d (seed %d) par %d: %v", i, fault.ChaosSeed, par, err)
+					}
+					if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+						t.Fatalf("schedule %d (seed %d) par %d: pairs differ (%d vs %d)",
+							i, fault.ChaosSeed, par, len(got.Pairs), len(want.Pairs))
+					}
+					if g, w := det(got.Stats), det(want.Stats); g != w {
+						t.Fatalf("schedule %d (seed %d) par %d: stats differ\n got %+v\nwant %+v",
+							i, fault.ChaosSeed, par, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChaosSeedReproducible: the same ChaosSeed injects the same schedule
+// — two chaotic runs agree with each other (and, transitively through the
+// equivalence test above, with the fault-free run).
+func TestChaosSeedReproducible(t *testing.T) {
+	texts := corpus(50, 11)
+	opts := Options{Threshold: 0.7, Nodes: 3, LocalParallelism: 1,
+		Fault: FaultOptions{ChaosSeed: 424242, ChaosIntensity: 0.8}}
+	a, err := SelfJoinStrings(texts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelfJoinStrings(texts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Pairs, b.Pairs) || a.Stats.ShuffleRecords != b.Stats.ShuffleRecords {
+		t.Fatal("identical chaos seeds produced different runs")
+	}
+}
+
+// TestChaosRetryBudgetExhaustion: with MaxAttempts 1 the engine may not
+// retry, so a crash-injecting schedule must surface as a job error — the
+// injected fault message intact — rather than wrong output.
+func TestChaosRetryBudgetExhaustion(t *testing.T) {
+	texts := corpus(50, 11)
+	want, err := SelfJoinStrings(texts, Options{Threshold: 0.7, Nodes: 3, LocalParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := false
+	for seed := int64(1); seed <= 10 && !failed; seed++ {
+		res, err := SelfJoinStrings(texts, Options{Threshold: 0.7, Nodes: 3, LocalParallelism: 1,
+			Fault: FaultOptions{ChaosSeed: seed, ChaosIntensity: 0.9, MaxAttempts: 1}})
+		if err != nil {
+			failed = true
+			continue
+		}
+		// A schedule that happened to only inject delays still succeeds —
+		// output must then be exact.
+		if !reflect.DeepEqual(res.Pairs, want.Pairs) {
+			t.Fatalf("seed %d: survived with wrong output", seed)
+		}
+	}
+	if !failed {
+		t.Fatal("no schedule aborted under MaxAttempts 1 at intensity 0.9 — injection inert")
+	}
+}

@@ -190,6 +190,57 @@ type Options struct {
 	// worker pool. Results, counters and shuffle metrics are identical at
 	// every setting — only wall-clock time changes.
 	LocalParallelism int
+	// Fault configures task-level fault tolerance (retry budget, backoff,
+	// speculative execution) and, for testing, seeded fault injection for
+	// every algorithm. The zero value keeps Hadoop-style defaults and
+	// injects nothing.
+	Fault FaultOptions
+}
+
+// FaultOptions is the public face of the engine's fault model (DESIGN.md
+// §7): how failing or straggling tasks are retried, and — for chaos
+// testing — a seeded, reproducible fault schedule injected into every
+// MapReduce task attempt. Under any schedule a join either returns output
+// identical to the fault-free run or an error; results are never silently
+// perturbed.
+type FaultOptions struct {
+	// MaxAttempts is the per-task attempt budget; 0 means 4, Hadoop's
+	// default.
+	MaxAttempts int
+	// RetryBackoffBase enables exponential backoff between task retries
+	// (base, doubling, capped at 8× base); 0 disables backoff.
+	RetryBackoffBase time.Duration
+	// SpeculativeDelay launches a backup copy of any task attempt still
+	// running after this duration and keeps the first copy to finish
+	// (straggler mitigation); 0 disables speculation.
+	SpeculativeDelay time.Duration
+	// ChaosSeed, when non-zero, injects a reproducible schedule of task
+	// panics, transient errors, emit-phase failures and straggler delays
+	// derived from the seed into every task attempt of every job. Two runs
+	// with the same seed (and options) inject identical schedules.
+	ChaosSeed int64
+	// ChaosIntensity is the fraction of (phase, task) pairs the schedule
+	// targets; 0 means 0.3. Meaningful only with ChaosSeed set.
+	ChaosIntensity float64
+}
+
+// faultPolicy lowers the public knobs onto the engine policy.
+func (o Options) faultPolicy() mapreduce.FaultPolicy {
+	f := o.Fault
+	fp := mapreduce.FaultPolicy{
+		MaxAttempts:      f.MaxAttempts,
+		SpeculativeDelay: f.SpeculativeDelay,
+	}
+	if f.RetryBackoffBase > 0 {
+		fp.Backoff = mapreduce.ExponentialBackoff(f.RetryBackoffBase, 8*f.RetryBackoffBase)
+	}
+	if f.ChaosSeed != 0 {
+		fp.Injector = mapreduce.NewSeededPlan(mapreduce.PlanConfig{
+			Seed:       f.ChaosSeed,
+			TargetRate: f.ChaosIntensity,
+		})
+	}
+	return fp
 }
 
 func (o Options) cluster() *mapreduce.Cluster {

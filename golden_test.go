@@ -1,0 +1,170 @@
+package fsjoin
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden fixture pins the exact result set of a committed corpus so
+// any regression — a changed pair, a drifted similarity score, a float
+// formatting change — shows up as a readable diff against
+// testdata/golden/pairs.txt. Regenerate with:
+//
+//	go test -run TestGolden -update-golden .
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden from a reference run")
+
+const (
+	goldenTexts = "testdata/golden/texts.txt"
+	goldenPairs = "testdata/golden/pairs.txt"
+	goldenTheta = 0.7
+)
+
+// formatSim renders a similarity with full round-trip precision; golden
+// comparison is on this exact string, i.e. bit-equality of the float.
+func formatSim(s float64) string { return strconv.FormatFloat(s, 'g', -1, 64) }
+
+func formatPairs(pairs []Pair) []string {
+	out := make([]string, len(pairs))
+	for i, p := range pairs {
+		out[i] = fmt.Sprintf("%d %d %d %s", p.A, p.B, p.Common, formatSim(p.Similarity))
+	}
+	return out
+}
+
+func loadGolden(t *testing.T) (texts, pairs []string) {
+	t.Helper()
+	if *updateGolden {
+		writeGolden(t)
+	}
+	raw, err := os.ReadFile(goldenTexts)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to generate)", err)
+	}
+	texts = strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	raw, err = os.ReadFile(goldenPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "#") {
+			pairs = append(pairs, line)
+		}
+	}
+	return texts, pairs
+}
+
+// writeGolden regenerates both fixture files: the corpus (only if absent,
+// so the committed dataset stays stable) and the expected pairs from a
+// sequential fault-free FS-Join reference run.
+func writeGolden(t *testing.T) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(goldenTexts), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(goldenTexts); os.IsNotExist(err) {
+		texts := corpus(48, 3)
+		if err := os.WriteFile(goldenTexts, []byte(strings.Join(texts, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(goldenTexts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	res, err := SelfJoinStrings(texts, Options{Threshold: goldenTheta, LocalParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) < 10 {
+		t.Fatalf("reference run found only %d pairs — fixture too sparse to pin anything", len(res.Pairs))
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# fs-join self-join golden pairs: theta=%v, word tokens, one \"A B Common Sim\" per line\n", goldenTheta)
+	for _, line := range formatPairs(res.Pairs) {
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	if err := os.WriteFile(goldenPairs, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func diffPairs(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, golden has %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: pair %d = %q, golden %q", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestGoldenAllAlgorithms runs every exact algorithm at several
+// parallelism levels against the committed fixture. Scores are compared
+// as full-precision strings, so all implementations must agree bit-for-bit.
+func TestGoldenAllAlgorithms(t *testing.T) {
+	texts, want := loadGolden(t)
+	for _, algo := range []Algorithm{
+		FSJoin, FSJoinV, RIDPairsPPJoin, VSmartJoin, MassJoinMerge, MassJoinMergeLight,
+	} {
+		for _, par := range []int{1, 4, 0} {
+			res, err := SelfJoinStrings(texts, Options{
+				Threshold: goldenTheta, Algorithm: algo, LocalParallelism: par,
+			})
+			if err != nil {
+				t.Fatalf("%v par %d: %v", algo, par, err)
+			}
+			diffPairs(t, fmt.Sprintf("%v par %d", algo, par), formatPairs(res.Pairs), want)
+		}
+	}
+}
+
+// TestGoldenJoinMethods covers FS-Join's three fragment-join kernels —
+// all must reproduce the golden pairs exactly.
+func TestGoldenJoinMethods(t *testing.T) {
+	texts, want := loadGolden(t)
+	for _, jm := range []JoinMethod{PrefixJoin, IndexJoin, LoopJoin} {
+		for _, par := range []int{1, 4} {
+			res, err := SelfJoinStrings(texts, Options{
+				Threshold: goldenTheta, JoinMethod: jm, LocalParallelism: par,
+			})
+			if err != nil {
+				t.Fatalf("method %v par %d: %v", jm, par, err)
+			}
+			diffPairs(t, fmt.Sprintf("method %v par %d", jm, par), formatPairs(res.Pairs), want)
+		}
+	}
+}
+
+// TestGoldenApproxPrecision: the LSH join may miss pairs (recall follows
+// the S-curve) but every pair it reports must appear in the golden set
+// with an identical score — perfect precision.
+func TestGoldenApproxPrecision(t *testing.T) {
+	texts, want := loadGolden(t)
+	golden := make(map[string]bool, len(want))
+	for _, line := range want {
+		golden[line] = true
+	}
+	res, err := SelfJoinStrings(texts, Options{
+		Threshold: goldenTheta, Algorithm: ApproxLSHJoin, LocalParallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range formatPairs(res.Pairs) {
+		if !golden[line] {
+			t.Fatalf("approx join reported %q, not in the golden set", line)
+		}
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("approx join found nothing — fixture defeats the S-curve entirely")
+	}
+}

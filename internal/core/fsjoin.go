@@ -59,6 +59,9 @@ type Options struct {
 	// negative value (mapreduce.AutoParallelism) uses one worker per core.
 	// Results and all shuffle metrics are identical at any setting.
 	LocalParallelism int
+	// Fault is the fault-tolerance and fault-injection policy inherited by
+	// every stage; see mapreduce.FaultPolicy.
+	Fault mapreduce.FaultPolicy
 }
 
 // withDefaults normalises an Options value.
@@ -143,6 +146,7 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	p := mapreduce.NewPipeline("fs-join", opt.Cluster)
 	p.Context = opt.Ctx
 	p.Parallelism = opt.LocalParallelism // inherited by all three stages
+	p.Fault = opt.Fault
 
 	// ---- Phase 1: Ordering (one MR job over the union) ----
 	union := r

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fsjoin/internal/filters"
+	"fsjoin/internal/fragjoin"
+	"fsjoin/internal/tokens"
+)
+
+// loadGoldenFixture reads the committed corpus and expected pairs from
+// the repository-level golden fixture (see the root golden_test.go, which
+// owns regeneration).
+func loadGoldenFixture(t *testing.T) (*tokens.Collection, []string) {
+	t.Helper()
+	raw, err := os.ReadFile("../../testdata/golden/texts.txt")
+	if err != nil {
+		t.Fatalf("%v (generate with: go test -run TestGolden -update-golden in the repo root)", err)
+	}
+	texts := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	raws := make([]tokens.Raw, len(texts))
+	for i, txt := range texts {
+		raws[i] = tokens.Raw{RID: int32(i), Text: txt}
+	}
+	c := tokens.NewDictionary().Encode(raws, tokens.WordTokenizer{})
+
+	raw, err = os.ReadFile("../../testdata/golden/pairs.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "#") {
+			pairs = append(pairs, line)
+		}
+	}
+	return c, pairs
+}
+
+// TestGoldenFilterCombinations: every filter subset is lossless, so each
+// combination — from no optional filters up to All — must reproduce the
+// committed golden pairs exactly, at sequential and concurrent
+// parallelism. The public API pins only the default filter set; this is
+// the exhaustive internal sweep.
+func TestGoldenFilterCombinations(t *testing.T) {
+	c, want := loadGoldenFixture(t)
+	combos := []filters.Set{
+		filters.All,
+		filters.StrL,
+		filters.SegL,
+		filters.SegI,
+		filters.SegD,
+		filters.StrL | filters.SegL,
+		filters.SegI | filters.SegD,
+		filters.StrL | filters.SegL | filters.SegI | filters.SegD,
+	}
+	for _, fs := range combos {
+		for _, par := range []int{1, 4} {
+			res, err := SelfJoin(c, Options{
+				Theta:            0.7,
+				Filters:          fs,
+				LocalParallelism: par,
+			})
+			if err != nil {
+				t.Fatalf("filters %v par %d: %v", fs, par, err)
+			}
+			got := make([]string, len(res.Pairs))
+			for i, p := range res.Pairs {
+				got[i] = fmt.Sprintf("%d %d %d %s", p.A, p.B, p.Common,
+					strconv.FormatFloat(p.Sim, 'g', -1, 64))
+			}
+			if len(got) != len(want) {
+				t.Fatalf("filters %v par %d: %d pairs, golden has %d", fs, par, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("filters %v par %d: pair %d = %q, golden %q", fs, par, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenKernelsAgreeOnFixture: the three fragment-join kernels with
+// their matching filter normalisation all hit the golden pairs (the
+// kernel × filter cross product that the public JoinMethod enum cannot
+// express is exercised here).
+func TestGoldenKernelsAgreeOnFixture(t *testing.T) {
+	c, want := loadGoldenFixture(t)
+	for _, m := range []fragjoin.Method{fragjoin.Prefix, fragjoin.Index, fragjoin.Loop} {
+		for _, fs := range []filters.Set{filters.All, filters.StrL | filters.SegL} {
+			res, err := SelfJoin(c, Options{Theta: 0.7, JoinMethod: m, Filters: fs, LocalParallelism: 4})
+			if err != nil {
+				t.Fatalf("kernel %v filters %v: %v", m, fs, err)
+			}
+			if len(res.Pairs) != len(want) {
+				t.Fatalf("kernel %v filters %v: %d pairs, golden has %d", m, fs, len(res.Pairs), len(want))
+			}
+			for i, p := range res.Pairs {
+				line := fmt.Sprintf("%d %d %d %s", p.A, p.B, p.Common,
+					strconv.FormatFloat(p.Sim, 'g', -1, 64))
+				if line != want[i] {
+					t.Fatalf("kernel %v filters %v: pair %d = %q, golden %q", m, fs, i, line, want[i])
+				}
+			}
+		}
+	}
+}

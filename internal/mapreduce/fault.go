@@ -1,0 +1,317 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the engine's fault model: what can go wrong inside a task
+// attempt, how faults are injected deterministically for chaos testing,
+// and the retry/backoff/speculation policy that recovers from them. The
+// execution wiring lives in pool.go (attempt loop) and job.go (the
+// map/combine/reduce injection points); DESIGN.md §7 documents the model.
+
+// Phase identifies which attempt path a fault targets. Combine faults hit
+// the combiner step inside the map attempt (the two fail together, as one
+// Hadoop task), reduce faults hit the reduce attempt.
+type Phase uint8
+
+// The injectable phases.
+const (
+	PhaseMap Phase = iota
+	PhaseCombine
+	PhaseReduce
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseMap:
+		return "map"
+	case PhaseCombine:
+		return "combine"
+	case PhaseReduce:
+		return "reduce"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// FaultKind enumerates the misbehaviours the engine can inject into a task
+// attempt.
+type FaultKind uint8
+
+// The injectable fault kinds.
+const (
+	// FaultNone injects nothing.
+	FaultNone FaultKind = iota
+	// FaultPanic panics before the phase body runs — a task crash.
+	FaultPanic
+	// FaultEmitPanic panics after the phase body has emitted all of its
+	// records — the emit-phase failure that exercises the engine's
+	// no-partial-output guarantee (a retried attempt must not leak the
+	// crashed attempt's emissions).
+	FaultEmitPanic
+	// FaultError fails the attempt with a plain error, no panic — a task
+	// that reports failure cleanly (lost container, fetch failure). Inside
+	// a combine step, which has no error return path, it degrades to a
+	// panic.
+	FaultError
+	// FaultDelay makes the attempt a straggler: it sleeps, then proceeds
+	// normally. Recoverable only by waiting — or by speculative
+	// re-execution (FaultPolicy.SpeculativeDelay).
+	FaultDelay
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultPanic:
+		return "panic"
+	case FaultEmitPanic:
+		return "emit-panic"
+	case FaultError:
+		return "error"
+	case FaultDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one injected misbehaviour for one task attempt.
+type Fault struct {
+	// Kind selects the misbehaviour; the zero value injects nothing.
+	Kind FaultKind
+	// Delay is how long a FaultDelay attempt sleeps before proceeding.
+	Delay time.Duration
+	// Msg labels injected panics and errors. Transient faults must vary it
+	// per attempt: the engine treats a retry failing with exactly the
+	// previous attempt's message as a deterministic bug and stops retrying.
+	Msg string
+}
+
+// Injector schedules faults. Decide is consulted once per (phase, task,
+// attempt) at the start of every attempt. Implementations must be pure
+// functions of their arguments: the engine calls Decide from concurrent
+// workers in nondeterministic order, and a chaos run is reproducible only
+// because the schedule depends on nothing else.
+type Injector interface {
+	Decide(phase Phase, task, attempt int) Fault
+}
+
+// SpeculativeAttempt is the offset added to the attempt index passed to
+// Decide for speculative backup copies (see FaultPolicy.SpeculativeDelay).
+// Backups model re-execution on a healthy node, so seeded plans leave
+// attempts at or above this offset fault-free; a custom Injector may
+// target them to chaos-test speculation itself.
+const SpeculativeAttempt = 1 << 16
+
+// BackoffFunc maps a retry number (1 = first retry) to the sleep taken
+// before that retry starts.
+type BackoffFunc func(retry int) time.Duration
+
+// ExponentialBackoff returns base << (retry-1), capped at max — the
+// standard doubling schedule. A non-positive base disables backoff.
+func ExponentialBackoff(base, max time.Duration) BackoffFunc {
+	return func(retry int) time.Duration {
+		if base <= 0 || retry < 1 {
+			return 0
+		}
+		d := base
+		for i := 1; i < retry && d < max; i++ {
+			d <<= 1
+		}
+		if max > 0 && d > max {
+			d = max
+		}
+		return d
+	}
+}
+
+// FaultPolicy bundles a job's fault-tolerance and fault-injection knobs so
+// pipelines and algorithm options can carry them as one value. The zero
+// value keeps the engine's default behaviour: MaxAttempts from the job
+// config (default 4), no backoff, no speculation, no injection.
+type FaultPolicy struct {
+	// MaxAttempts, when positive, overrides Config.MaxAttempts.
+	MaxAttempts int
+	// Backoff, when non-nil, sleeps between retry attempts.
+	Backoff BackoffFunc
+	// SpeculativeDelay, when positive, launches a backup copy of any
+	// attempt still running after this duration (straggler mitigation,
+	// Hadoop's speculative execution). The first copy to finish decides
+	// the attempt; the loser is abandoned. Requires the same concurrency
+	// safety from user code as Config.Parallelism > 1.
+	SpeculativeDelay time.Duration
+	// Injector, when non-nil, injects scheduled faults into every task
+	// attempt. Intended for tests; production jobs leave it nil.
+	Injector Injector
+}
+
+// isZero reports whether the policy is entirely unset (FaultPolicy holds
+// funcs, so it is not comparable with ==).
+func (f FaultPolicy) isZero() bool {
+	return f.MaxAttempts == 0 && f.Backoff == nil && f.SpeculativeDelay == 0 && f.Injector == nil
+}
+
+// Counter names under which the engine surfaces every fault-handling
+// decision. The "mapreduce.task." and "mapreduce.fault." namespaces are
+// bookkeeping: they vary with the fault schedule (and, for speculation,
+// with wall-clock timing), so equivalence checks compare counters modulo
+// these prefixes — see chaos.DeterministicCounters.
+const (
+	// CounterRetries counts re-attempts after a failed task attempt.
+	CounterRetries = "mapreduce.task.retries"
+	// CounterSpeculative counts speculative backup launches.
+	CounterSpeculative = "mapreduce.task.speculative"
+	// CounterBackoffs counts backoff sleeps taken before retries.
+	CounterBackoffs = "mapreduce.task.backoffs"
+	// counterInjectedPrefix prefixes one counter per injected fault kind,
+	// e.g. "mapreduce.fault.injected.panic".
+	counterInjectedPrefix = "mapreduce.fault.injected."
+)
+
+// decideFault is the nil-safe injector lookup for one attempt.
+func (c Config) decideFault(phase Phase, task, attempt int) Fault {
+	if c.Fault.Injector == nil {
+		return Fault{}
+	}
+	return c.Fault.Injector.Decide(phase, task, attempt)
+}
+
+// injectErr realises FaultError at the top of an attempt, outside the
+// panic guard: the attempt fails with a plain error. All other kinds are
+// handled by injectEnter/injectExit inside the guard.
+func (f Fault) injectErr(counters *Counters) error {
+	if f.Kind != FaultError {
+		return nil
+	}
+	counters.Inc(counterInjectedPrefix+f.Kind.String(), 1)
+	return errors.New(f.Msg)
+}
+
+// injectEnter realises a fault at the start of a phase body, inside the
+// attempt's guard: FaultPanic panics, FaultDelay sleeps and lets the body
+// proceed. FaultError reaches here only from phases without an error
+// return path (combine), where it degrades to a panic.
+func (f Fault) injectEnter(counters *Counters) {
+	switch f.Kind {
+	case FaultPanic, FaultError:
+		counters.Inc(counterInjectedPrefix+f.Kind.String(), 1)
+		panic(f.Msg)
+	case FaultDelay:
+		counters.Inc(counterInjectedPrefix+f.Kind.String(), 1)
+		time.Sleep(f.Delay)
+	}
+}
+
+// injectExit realises FaultEmitPanic after the phase body has emitted.
+func (f Fault) injectExit(counters *Counters) {
+	if f.Kind != FaultEmitPanic {
+		return
+	}
+	counters.Inc(counterInjectedPrefix+f.Kind.String(), 1)
+	panic(f.Msg)
+}
+
+// PlanConfig parameterises a seeded fault schedule. The zero value of
+// every field except Seed selects a sensible default.
+type PlanConfig struct {
+	// Seed is the schedule's only source of randomness: two plans built
+	// from equal configs make identical decisions, regardless of task
+	// execution order or parallelism.
+	Seed int64
+	// TargetRate is the probability that a given (phase, task) pair is
+	// targeted at all (default 0.3).
+	TargetRate float64
+	// MaxFailures caps how many consecutive attempts of a targeted task
+	// fail before it succeeds (default 2). Keep it below the job's
+	// MaxAttempts, or targeted tasks abort the job.
+	MaxFailures int
+	// MaxDelay bounds straggler sleeps (default 2ms; chaos suites keep
+	// this small so dozens of schedules stay fast).
+	MaxDelay time.Duration
+	// Kinds is the fault mix drawn from (default: all four kinds).
+	Kinds []FaultKind
+}
+
+// withDefaults normalises a plan config.
+func (c PlanConfig) withDefaults() PlanConfig {
+	if c.TargetRate <= 0 {
+		c.TargetRate = 0.3
+	}
+	if c.TargetRate > 1 {
+		c.TargetRate = 1
+	}
+	if c.MaxFailures <= 0 {
+		c.MaxFailures = 2
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = []FaultKind{FaultPanic, FaultEmitPanic, FaultError, FaultDelay}
+	}
+	return c
+}
+
+// SeededPlan is a deterministic, order-independent Injector: every
+// decision is a pure hash of (seed, phase, task), so a schedule is
+// re-runnable from its PlanConfig alone. A targeted task draws one fault
+// kind; crash kinds fail the task's first 1..MaxFailures attempts with
+// attempt-varying messages (transient faults present different symptoms
+// each time, so the deterministic-failure early stop never trips), and
+// delay kinds make the first attempt a straggler. Speculative backup
+// attempts run clean, modelling re-execution on a healthy node.
+type SeededPlan struct {
+	cfg PlanConfig
+}
+
+// NewSeededPlan builds the schedule for one seed.
+func NewSeededPlan(cfg PlanConfig) *SeededPlan {
+	return &SeededPlan{cfg: cfg.withDefaults()}
+}
+
+// Decide implements Injector.
+func (p *SeededPlan) Decide(phase Phase, task, attempt int) Fault {
+	if attempt >= SpeculativeAttempt {
+		return Fault{}
+	}
+	h := mix64(uint64(p.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(phase)*0xbf58476d1ce4e5b9 + uint64(task)*0x94d049bb133111eb + 1)
+	if float64(h>>11)/float64(1<<53) >= p.cfg.TargetRate {
+		return Fault{}
+	}
+	h2 := mix64(h)
+	kind := p.cfg.Kinds[int(h2%uint64(len(p.cfg.Kinds)))]
+	switch kind {
+	case FaultDelay:
+		if attempt > 0 {
+			return Fault{}
+		}
+		delay := time.Duration(mix64(h2)%uint64(p.cfg.MaxDelay)) + 1
+		return Fault{Kind: FaultDelay, Delay: delay}
+	default:
+		failures := 1 + int(mix64(h2)%uint64(p.cfg.MaxFailures))
+		if attempt >= failures {
+			return Fault{}
+		}
+		return Fault{Kind: kind, Msg: fmt.Sprintf(
+			"injected %s fault: seed=%d phase=%s task=%d attempt=%d",
+			kind, p.cfg.Seed, phase, task, attempt)}
+	}
+}
+
+// mix64 is the SplitMix64 finalizer — a cheap, well-distributed bijection
+// used to derive independent decisions from one seed.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,27 +1,37 @@
 package mapreduce
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // flakyMapper panics on its first failUntil attempts of each task, then
 // behaves like wcMapper — the classic transient-task-failure scenario. The
 // panic message carries the attempt number: a transient fault presents a
 // different symptom each time, unlike a deterministic bug, which the engine
-// gives up on after one identical confirming retry.
+// gives up on after one identical confirming retry. The attempt counters
+// are mutex-guarded: with Parallelism > 1 (or speculation) concurrent task
+// attempts hit the shared map.
 type flakyMapper struct {
+	mu        sync.Mutex
 	attempts  map[int]int
 	failUntil int
 }
 
 func (f *flakyMapper) Map(ctx *Context, kv KV) {
+	f.mu.Lock()
 	if f.attempts[ctx.TaskID] < f.failUntil {
 		f.attempts[ctx.TaskID]++
-		panic(fmt.Sprintf("injected map failure (attempt %d)", f.attempts[ctx.TaskID]))
+		n := f.attempts[ctx.TaskID]
+		f.mu.Unlock()
+		panic(fmt.Sprintf("injected map failure (attempt %d)", n))
 	}
+	f.mu.Unlock()
 	for _, w := range strings.Fields(kv.Value.(string)) {
 		ctx.Emit(w, int64(1))
 	}
@@ -29,31 +39,38 @@ func (f *flakyMapper) Map(ctx *Context, kv KV) {
 
 func TestTransientMapFailureRetried(t *testing.T) {
 	input := wcInput("a b a", "b c")
-	flaky := &flakyMapper{attempts: map[int]int{}, failUntil: 2}
-	res, err := Run(Config{Cluster: tinyCluster(), MaxAttempts: 4}, input, flaky, wcReducer{})
-	if err != nil {
-		t.Fatal(err)
-	}
 	want, err := Run(Config{Cluster: tinyCluster()}, input, wcMapper{}, wcReducer{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(res.Output, want.Output) {
-		t.Fatalf("retried job output differs: %v vs %v", res.Output, want.Output)
-	}
-	if res.Counters.Get("mapreduce.task.retries") == 0 {
-		t.Fatal("no retries counted")
+	for _, par := range []int{1, 4} {
+		flaky := &flakyMapper{attempts: map[int]int{}, failUntil: 2}
+		res, err := Run(Config{Cluster: tinyCluster(), MaxAttempts: 4, Parallelism: par},
+			input, flaky, wcReducer{})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(res.Output, want.Output) {
+			t.Fatalf("parallelism %d: retried job output differs: %v vs %v",
+				par, res.Output, want.Output)
+		}
+		if res.Counters.Get(CounterRetries) == 0 {
+			t.Fatalf("parallelism %d: no retries counted", par)
+		}
 	}
 }
 
 func TestPermanentMapFailureAborts(t *testing.T) {
-	flaky := &flakyMapper{attempts: map[int]int{}, failUntil: 1 << 30}
-	_, err := Run(Config{Cluster: tinyCluster(), MaxAttempts: 3}, wcInput("a"), flaky, wcReducer{})
-	if err == nil {
-		t.Fatal("permanently failing task did not abort the job")
-	}
-	if !strings.Contains(err.Error(), "injected map failure") {
-		t.Fatalf("error lost the cause: %v", err)
+	for _, par := range []int{1, 4} {
+		flaky := &flakyMapper{attempts: map[int]int{}, failUntil: 1 << 30}
+		_, err := Run(Config{Cluster: tinyCluster(), MaxAttempts: 3, Parallelism: par},
+			wcInput("a"), flaky, wcReducer{})
+		if err == nil {
+			t.Fatalf("parallelism %d: permanently failing task did not abort the job", par)
+		}
+		if !strings.Contains(err.Error(), "injected map failure") {
+			t.Fatalf("parallelism %d: error lost the cause: %v", par, err)
+		}
 	}
 }
 
@@ -78,16 +95,21 @@ func TestDeterministicFailureStopsEarly(t *testing.T) {
 	}
 }
 
-// flakyReducer panics on its first attempt of every task.
+// flakyReducer panics on its first attempt of every task; mutex-guarded
+// for the same reason as flakyMapper.
 type flakyReducer struct {
+	mu       sync.Mutex
 	attempts map[int]int
 }
 
 func (f *flakyReducer) Reduce(ctx *Context, key string, values []any) {
+	f.mu.Lock()
 	if f.attempts[ctx.TaskID] == 0 {
 		f.attempts[ctx.TaskID]++
+		f.mu.Unlock()
 		panic("injected reduce failure")
 	}
+	f.mu.Unlock()
 	var n int64
 	for _, v := range values {
 		n += v.(int64)
@@ -97,16 +119,19 @@ func (f *flakyReducer) Reduce(ctx *Context, key string, values []any) {
 
 func TestTransientReduceFailureRetried(t *testing.T) {
 	input := wcInput("x y x", "y z")
-	res, err := Run(Config{Cluster: tinyCluster()}, input, wcMapper{}, &flakyReducer{attempts: map[int]int{}})
-	if err != nil {
-		t.Fatal(err)
-	}
 	want, err := Run(Config{Cluster: tinyCluster()}, input, wcMapper{}, wcReducer{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(res.Output, want.Output) {
-		t.Fatal("reduce retry changed output")
+	for _, par := range []int{1, 4} {
+		res, err := Run(Config{Cluster: tinyCluster(), Parallelism: par},
+			input, wcMapper{}, &flakyReducer{attempts: map[int]int{}})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(res.Output, want.Output) {
+			t.Fatalf("parallelism %d: reduce retry changed output", par)
+		}
 	}
 }
 
@@ -126,5 +151,123 @@ func TestRetriesDoNotDuplicateEmissions(t *testing.T) {
 	}
 	if len(res.Output) != 1 || res.Output[0].Value.(int64) != 1 {
 		t.Fatalf("partial emissions leaked: %v", res.Output)
+	}
+}
+
+// TestWithRetriesTable pins withRetries' edge cases: the MaxAttempts 0/1
+// boundaries, error-message propagation from the final attempt, and the
+// retry counter under the identical-deterministic-panic early stop.
+func TestWithRetriesTable(t *testing.T) {
+	// failures[i] is attempt i's error message ("" = success); attempts
+	// beyond the slice succeed.
+	cases := []struct {
+		name         string
+		maxAttempts  int
+		failures     []string
+		wantErr      string // "" = success expected
+		wantAttempts int
+		wantRetries  int64
+	}{
+		{
+			name:        "zero max attempts means four",
+			maxAttempts: 0,
+			failures:    []string{"e0", "e1", "e2", "e3", "e4"},
+			wantErr:     "e3", wantAttempts: 4, wantRetries: 3,
+		},
+		{
+			name:        "one attempt means no retry",
+			maxAttempts: 1,
+			failures:    []string{"only"},
+			wantErr:     "only", wantAttempts: 1, wantRetries: 0,
+		},
+		{
+			name:        "success on first attempt",
+			maxAttempts: 3,
+			failures:    nil,
+			wantErr:     "", wantAttempts: 1, wantRetries: 0,
+		},
+		{
+			name:        "success on final attempt",
+			maxAttempts: 3,
+			failures:    []string{"a", "b"},
+			wantErr:     "", wantAttempts: 3, wantRetries: 2,
+		},
+		{
+			name:        "final attempt error propagates verbatim",
+			maxAttempts: 3,
+			failures:    []string{"first", "second", "third"},
+			wantErr:     "third", wantAttempts: 3, wantRetries: 2,
+		},
+		{
+			name:        "identical deterministic failure stops after one confirming retry",
+			maxAttempts: 4,
+			failures:    []string{"same", "same", "same", "same"},
+			wantErr:     "same", wantAttempts: 2, wantRetries: 1,
+		},
+		{
+			name:        "distinct then identical failure stops at the repeat",
+			maxAttempts: 8,
+			failures:    []string{"flaky", "flaky", "flaky", "flaky"},
+			wantErr:     "flaky", wantAttempts: 2, wantRetries: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			counters := NewCounters()
+			attempts := 0
+			err := withRetries(Config{MaxAttempts: tc.maxAttempts}, counters, func(a int) error {
+				if a != attempts {
+					t.Fatalf("attempt index %d, want %d", a, attempts)
+				}
+				attempts++
+				if a < len(tc.failures) && tc.failures[a] != "" {
+					return errors.New(tc.failures[a])
+				}
+				return nil
+			})
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("err = %v, want success", err)
+				}
+			} else if err == nil || err.Error() != tc.wantErr {
+				t.Fatalf("err = %v, want %q", err, tc.wantErr)
+			}
+			if attempts != tc.wantAttempts {
+				t.Fatalf("attempts = %d, want %d", attempts, tc.wantAttempts)
+			}
+			if got := counters.Get(CounterRetries); got != tc.wantRetries {
+				t.Fatalf("retries = %d, want %d", got, tc.wantRetries)
+			}
+		})
+	}
+}
+
+// TestWithRetriesBackoff: a backoff policy is consulted before every
+// retry (not the first attempt) and its sleeps are counted.
+func TestWithRetriesBackoff(t *testing.T) {
+	counters := NewCounters()
+	var consulted []int
+	cfg := Config{MaxAttempts: 3, Fault: FaultPolicy{
+		Backoff: func(retry int) time.Duration {
+			consulted = append(consulted, retry)
+			return time.Microsecond
+		},
+	}}
+	calls := 0
+	err := withRetries(cfg, counters, func(a int) error {
+		calls++
+		if a < 2 {
+			return fmt.Errorf("fail %d", a)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if !reflect.DeepEqual(consulted, []int{1, 2}) {
+		t.Fatalf("backoff consulted for retries %v, want [1 2]", consulted)
+	}
+	if counters.Get(CounterBackoffs) != 2 {
+		t.Fatalf("backoffs = %d, want 2", counters.Get(CounterBackoffs))
 	}
 }

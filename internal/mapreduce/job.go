@@ -106,6 +106,10 @@ type Config struct {
 	// context aborts the job with the context's error. Long joins remain
 	// cancellable without cooperative checks inside user map/reduce code.
 	Context context.Context
+	// Fault bundles retry backoff, speculative execution of stragglers and
+	// (for tests) scheduled fault injection; the zero value keeps the
+	// engine's default fault tolerance. See FaultPolicy.
+	Fault FaultPolicy
 	// Parallelism is the number of tasks executed concurrently on the
 	// local machine; 0 or 1 means sequential (the default, which also
 	// gives the most accurate per-task CPU measurements for the cost
@@ -131,6 +135,9 @@ func (c Config) cancelled() error {
 }
 
 func (c Config) maxAttempts() int {
+	if c.Fault.MaxAttempts > 0 {
+		return c.Fault.MaxAttempts
+	}
 	if c.MaxAttempts <= 0 {
 		return 4
 	}
@@ -183,6 +190,18 @@ func (c *Context) flushCounters() {
 		c.counters.Inc(k, v)
 	}
 	c.local = nil
+}
+
+// absorb folds another context's task-local counters into c. Nested
+// contexts (the combiner's) absorb into their owning map context instead
+// of flushing to the job directly, so their counts ride the attempt's
+// winner-only flush: a retried or abandoned attempt must contribute
+// nothing, combiner increments included.
+func (c *Context) absorb(other *Context) {
+	for k, v := range other.local {
+		c.Inc(k, v)
+	}
+	other.local = nil
 }
 
 // Metrics records everything measured while running a job, plus the
@@ -320,18 +339,24 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 		if err := cfg.cancelled(); err != nil {
 			return fmt.Errorf("mapreduce: job %q: %w", cfg.Name, err)
 		}
-		var ctx *Context
 		start := time.Now()
-		err := withRetries(cfg, res.Counters, func() error {
-			ctx = &Context{TaskID: t, Job: cfg, counters: res.Counters}
+		ctx, err := runAttempts(cfg, res.Counters, func(a int) (*Context, error) {
+			ctx := &Context{TaskID: t, Job: cfg, counters: res.Counters}
 			if reducer != nil {
 				ctx.shuffle = newShuffleSink(part, reduceTasks, combineFolder)
 			} else {
 				ctx.out = make([]KV, 0, len(splits[t])+16)
 			}
-			return guard(func() {
+			f := cfg.decideFault(PhaseMap, t, a)
+			if err := f.injectErr(res.Counters); err != nil {
+				return ctx, err
+			}
+			return ctx, guard(func() {
+				f.injectEnter(res.Counters)
 				runTask(ctx, splits[t], mapper)
 				if cfg.Combiner != nil {
+					fc := cfg.decideFault(PhaseCombine, t, a)
+					fc.injectEnter(res.Counters)
 					switch {
 					case reducer == nil:
 						ctx.out = combine(cfg, ctx, cfg.Combiner, res.Counters)
@@ -340,7 +365,9 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 					default:
 						// A Folder combiner already folded at Emit time.
 					}
+					fc.injectExit(res.Counters)
 				}
+				f.injectExit(res.Counters)
 			})
 		})
 		if err != nil {
@@ -445,11 +472,15 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 			return fmt.Errorf("mapreduce: job %q reduce task %d: %w", cfg.Name, t, gerr)
 		}
 		groupCounts[t] = int64(len(keys))
-		var ctx *Context
 		start := time.Now()
-		err := withRetries(cfg, res.Counters, func() error {
-			ctx = &Context{TaskID: t, Job: cfg, counters: res.Counters}
-			return guard(func() {
+		ctx, err := runAttempts(cfg, res.Counters, func(a int) (*Context, error) {
+			ctx := &Context{TaskID: t, Job: cfg, counters: res.Counters}
+			f := cfg.decideFault(PhaseReduce, t, a)
+			if err := f.injectErr(res.Counters); err != nil {
+				return ctx, err
+			}
+			return ctx, guard(func() {
+				f.injectEnter(res.Counters)
 				if s, ok := reducer.(Setupper); ok {
 					s.Setup(ctx)
 				}
@@ -465,6 +496,7 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 				if c, ok := reducer.(Cleanupper); ok {
 					c.Cleanup(ctx)
 				}
+				f.injectExit(res.Counters)
 			})
 		})
 		if err != nil {
@@ -551,7 +583,7 @@ func combine(cfg Config, mapCtx *Context, combiner Reducer, counters *Counters) 
 	if c, ok := combiner.(Cleanupper); ok {
 		c.Cleanup(cctx)
 	}
-	cctx.flushCounters()
+	mapCtx.absorb(cctx)
 	return cctx.out
 }
 

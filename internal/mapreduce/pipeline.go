@@ -21,6 +21,10 @@ type Pipeline struct {
 	// Parallelism is inherited by every stage that leaves its
 	// Config.Parallelism at zero; see Config.Parallelism for the semantics.
 	Parallelism int
+	// Fault is inherited by every stage that leaves its Config.Fault at
+	// the zero value; see FaultPolicy. This is how a chaos schedule reaches
+	// every job of a multi-stage algorithm.
+	Fault FaultPolicy
 
 	stages []stageResult
 }
@@ -46,6 +50,9 @@ func (p *Pipeline) Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (
 	}
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = p.Parallelism
+	}
+	if cfg.Fault.isZero() {
+		cfg.Fault = p.Fault
 	}
 	res, err := Run(cfg, input, mapper, reducer)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // AutoParallelism, assigned to Config.Parallelism (or the facade's
@@ -63,18 +64,26 @@ func guard(task func()) (err error) {
 }
 
 // withRetries re-attempts a failing task up to the job's MaxAttempts,
-// counting retries in the "mapreduce.task.retries" counter. Tasks run over
-// identical inputs on every attempt, so when a retry fails with exactly the
-// first attempt's error the failure is deterministic and the remaining
-// attempts are skipped — they cannot succeed, and burning them would both
-// waste work and overstate the retry counter.
-func withRetries(cfg Config, counters *Counters, attempt func() error) error {
+// passing the attempt index (0 = first attempt) to each try, counting
+// retries in the "mapreduce.task.retries" counter, and sleeping per the
+// job's backoff policy before each retry. Tasks run over identical inputs
+// on every attempt, so when a retry fails with exactly the first attempt's
+// error the failure is deterministic and the remaining attempts are
+// skipped — they cannot succeed, and burning them would both waste work
+// and overstate the retry counter.
+func withRetries(cfg Config, counters *Counters, attempt func(a int) error) error {
 	var first, err error
 	for a := 0; a < cfg.maxAttempts(); a++ {
 		if a > 0 {
-			counters.Inc("mapreduce.task.retries", 1)
+			counters.Inc(CounterRetries, 1)
+			if b := cfg.Fault.Backoff; b != nil {
+				if d := b(a); d > 0 {
+					counters.Inc(CounterBackoffs, 1)
+					time.Sleep(d)
+				}
+			}
 		}
-		if err = attempt(); err == nil {
+		if err = attempt(a); err == nil {
 			return nil
 		}
 		if first == nil {
@@ -84,4 +93,76 @@ func withRetries(cfg Config, counters *Counters, attempt func() error) error {
 		}
 	}
 	return err
+}
+
+// runAttempts drives one task's full attempt loop: retries with backoff
+// via withRetries, each attempt optionally raced against a speculative
+// backup copy. Every attempt builds and returns its own Context, so
+// racing copies never share state; the winning attempt's context — whose
+// emissions and task-local counters are the ones the job keeps — is
+// returned.
+func runAttempts(cfg Config, counters *Counters, attempt func(a int) (*Context, error)) (*Context, error) {
+	var winner *Context
+	err := withRetries(cfg, counters, func(a int) error {
+		ctx, err := speculate(cfg, counters, a, attempt)
+		if err != nil {
+			return err
+		}
+		winner = ctx
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return winner, nil
+}
+
+// speculate runs one attempt, launching a backup copy if the original is
+// still running after the policy's SpeculativeDelay — Hadoop's straggler
+// mitigation. The backup is handed the attempt index offset by
+// SpeculativeAttempt so injectors can distinguish it (seeded plans run
+// backups clean, modelling a healthy node). The first copy to succeed
+// wins and the loser is abandoned mid-flight — safe because attempts
+// share nothing; it is left to finish emitting into its own discarded
+// context. If every launched copy fails, the first failure is returned.
+func speculate(cfg Config, counters *Counters, a int, attempt func(a int) (*Context, error)) (*Context, error) {
+	delay := cfg.Fault.SpeculativeDelay
+	if delay <= 0 {
+		return attempt(a)
+	}
+	type outcome struct {
+		ctx *Context
+		err error
+	}
+	results := make(chan outcome, 2)
+	go func() {
+		ctx, err := attempt(a)
+		results <- outcome{ctx, err}
+	}()
+	launched := 1
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var firstErr error
+	for done := 0; done < launched; {
+		select {
+		case o := <-results:
+			if o.err == nil {
+				return o.ctx, nil
+			}
+			done++
+			if firstErr == nil {
+				firstErr = o.err
+			}
+		case <-timer.C:
+			if launched == 1 {
+				counters.Inc(CounterSpeculative, 1)
+				go func() {
+					ctx, err := attempt(a + SpeculativeAttempt)
+					results <- outcome{ctx, err}
+				}()
+				launched = 2
+			}
+		}
+	}
+	return nil, firstErr
 }

@@ -117,6 +117,6 @@ func combineSink(cfg Config, mapCtx *Context, combiner Reducer, counters *Counte
 	if c, ok := combiner.(Cleanupper); ok {
 		c.Cleanup(cctx)
 	}
-	cctx.flushCounters()
+	mapCtx.absorb(cctx)
 	return dst
 }

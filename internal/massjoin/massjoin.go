@@ -80,6 +80,9 @@ type Options struct {
 	// Parallelism is the local engine parallelism for every stage; see
 	// mapreduce.Config.Parallelism.
 	Parallelism int
+	// Fault is the fault-tolerance and fault-injection policy inherited by
+	// every stage; see mapreduce.FaultPolicy.
+	Fault mapreduce.FaultPolicy
 }
 
 // Result carries the join output and pipeline metrics.

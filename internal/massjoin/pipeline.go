@@ -23,6 +23,7 @@ func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
 	p := mapreduce.NewPipeline("massjoin-"+opt.Variant.String(), opt.Cluster)
 	p.Context = opt.Ctx
 	p.Parallelism = opt.Parallelism
+	p.Fault = opt.Fault
 
 	// Job 1: global ordering (token frequency).
 	o, err := order.Compute(p, c)

@@ -45,6 +45,9 @@ type Params struct {
 	// Parallelism is the local engine parallelism for every stage; see
 	// mapreduce.Config.Parallelism.
 	Parallelism int
+	// Fault is the fault-tolerance and fault-injection policy inherited by
+	// every stage; see mapreduce.FaultPolicy.
+	Fault mapreduce.FaultPolicy
 }
 
 // Auto fills Bands and Rows so the S-curve's steep section brackets theta:
@@ -109,6 +112,7 @@ func SelfJoin(c *tokens.Collection, p Params) (*Result, error) {
 	pipe := mapreduce.NewPipeline("minhash-lsh", p.Cluster)
 	pipe.Context = p.Ctx
 	pipe.Parallelism = p.Parallelism
+	pipe.Fault = p.Fault
 
 	// Job 1: band signatures → candidate pairs.
 	hashes := newFamily(p.Seed, p.Bands*p.Rows)

@@ -32,6 +32,9 @@ type Options struct {
 	// Parallelism is the local engine parallelism for every stage; see
 	// mapreduce.Config.Parallelism.
 	Parallelism int
+	// Fault is the fault-tolerance and fault-injection policy inherited by
+	// every stage; see mapreduce.FaultPolicy.
+	Fault mapreduce.FaultPolicy
 }
 
 // Result carries the join output and pipeline metrics.
@@ -86,6 +89,7 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	p := mapreduce.NewPipeline("ridpairs-ppjoin", opt.Cluster)
 	p.Context = opt.Ctx
 	p.Parallelism = opt.Parallelism
+	p.Fault = opt.Fault
 
 	// Stage 1: global ordering (same job as FS-Join's) over the union.
 	union := r

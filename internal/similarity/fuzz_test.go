@@ -1,0 +1,96 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzThresholdAlgebra stresses the similarity algebra every join builds
+// on. Raw fuzz inputs are clamped into the valid domain (0 ≤ c ≤
+// min(ls,lt), θ ∈ (0,1]); the invariants then must hold exactly:
+//
+//   - Sim stays within [0, 1] (up to float noise) and is symmetric in the
+//     two lengths;
+//   - self-similarity is exactly 1;
+//   - AtLeast agrees with Sim vs θ−eps;
+//   - MinOverlap is achievable (a full-overlap pair of admissible lengths
+//     passes) and necessary (one token fewer fails);
+//   - the length-filter window [MinLen, MaxLen] contains l itself, and a
+//     partner at either end can still reach θ with full overlap;
+//   - prefix lengths lie in [1, l] with IndexPrefixLen ≤ ProbePrefixLen.
+func FuzzThresholdAlgebra(f *testing.F) {
+	f.Add(uint8(0), 3, 10, 20, 0.8)
+	f.Add(uint8(1), 0, 1, 1, 0.5)
+	f.Add(uint8(2), 100, 100, 100, 1.0)
+	f.Add(uint8(0), 7, 9, 8, 0.731)
+	f.Add(uint8(1), 0, 0, 5, 0.1)
+	f.Fuzz(func(t *testing.T, fsel uint8, c, ls, lt int, theta float64) {
+		fn := Func(int(fsel) % 3)
+		// Clamp into the valid domain instead of discarding, so every fuzz
+		// input exercises the algebra.
+		if ls < 0 {
+			ls = -ls
+		}
+		if lt < 0 {
+			lt = -lt
+		}
+		ls %= 1 << 20
+		lt %= 1 << 20
+		if c < 0 {
+			c = -c
+		}
+		if m := min(ls, lt); c > m {
+			c = m
+		}
+		if math.IsNaN(theta) || theta <= 0 || theta > 1 {
+			theta = 0.5
+		}
+
+		sim := fn.Sim(c, ls, lt)
+		if sim < 0 || sim > 1+1e-9 || math.IsNaN(sim) {
+			t.Fatalf("%v.Sim(%d,%d,%d) = %v outside [0,1]", fn, c, ls, lt, sim)
+		}
+		if got := fn.Sim(c, lt, ls); got != sim {
+			t.Fatalf("%v.Sim not symmetric: (%d,%d,%d)=%v vs swapped %v", fn, c, ls, lt, sim, got)
+		}
+		if ls > 0 && fn.Sim(ls, ls, ls) != 1 {
+			t.Fatalf("%v self-similarity = %v, want 1", fn, fn.Sim(ls, ls, ls))
+		}
+		if got, want := fn.AtLeast(c, ls, lt, theta), sim >= theta-1e-9; got != want {
+			t.Fatalf("%v.AtLeast(%d,%d,%d,%v) = %v disagrees with Sim %v", fn, c, ls, lt, theta, got, sim)
+		}
+
+		if ls == 0 {
+			return
+		}
+		// MinOverlap is tight: at the admissible partner lengths, meeting it
+		// suffices and missing it by one fails.
+		minL, maxL := fn.MinLen(theta, ls), fn.MaxLen(theta, ls)
+		if minL < 1 || minL > ls || maxL < ls {
+			t.Fatalf("%v length window [%d,%d] excludes l=%d (θ=%v)", fn, minL, maxL, ls, theta)
+		}
+		for _, partner := range []int{minL, ls, maxL} {
+			if partner > 1<<21 {
+				continue // Cosine/Dice windows can explode at tiny θ; overlap math overflows nothing, just skip huge partners
+			}
+			o := fn.MinOverlap(theta, ls, partner)
+			if o > min(ls, partner) {
+				t.Fatalf("%v.MinOverlap(θ=%v,%d,%d) = %d exceeds min length", fn, theta, ls, partner, o)
+			}
+			if !fn.AtLeast(o, ls, partner, theta) {
+				t.Fatalf("%v: overlap %d at lengths (%d,%d) misses θ=%v", fn, o, ls, partner, theta)
+			}
+			if o > 0 && fn.AtLeast(o-1, ls, partner, theta) && fn.MinOverlap(theta, ls, partner) != o {
+				t.Fatalf("%v.MinOverlap not minimal at (%d,%d)", fn, ls, partner)
+			}
+		}
+
+		pp, ip := fn.ProbePrefixLen(theta, ls), fn.IndexPrefixLen(theta, ls)
+		if pp < 1 || pp > ls || ip < 1 || ip > ls {
+			t.Fatalf("%v prefix lengths probe=%d index=%d outside [1,%d]", fn, pp, ip, ls)
+		}
+		if ip > pp {
+			t.Fatalf("%v index prefix %d longer than probe prefix %d (l=%d θ=%v)", fn, ip, pp, ls, theta)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package tokens
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzWordTokenizer checks WordTokenizer's contract on arbitrary input:
+// tokens are non-empty, lower-cased, free of separator runes, pure
+// (re-tokenising yields the same bag), and every token occurs as a
+// substring of the lower-cased input.
+func FuzzWordTokenizer(f *testing.F) {
+	for _, seed := range []string{
+		"", "hello world", "Hello, World!", "a  b\t\nc", "café CAFÉ",
+		"123 abc 4d5e", "---", "ümläut 中文 words", "mixed—dash–case",
+		"\x00\xff invalid \xc3\x28 utf8",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		tk := WordTokenizer{}
+		toks := tk.Tokenize(text)
+		lower := strings.ToLower(text)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("token %q not lower-cased", tok)
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q contains separator rune %q", tok, r)
+				}
+			}
+			if !strings.Contains(lower, tok) {
+				t.Fatalf("token %q not a substring of lower-cased input", tok)
+			}
+		}
+		again := tk.Tokenize(text)
+		if len(again) != len(toks) {
+			t.Fatalf("tokenizer not pure: %d vs %d tokens", len(toks), len(again))
+		}
+		for i := range toks {
+			if toks[i] != again[i] {
+				t.Fatalf("tokenizer not pure at %d: %q vs %q", i, toks[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzQGramTokenizer checks the q-gram invariants against a direct rune
+// slicing oracle: gram count, gram length in runes, and content.
+func FuzzQGramTokenizer(f *testing.F) {
+	for _, seed := range []struct {
+		text string
+		q    int
+	}{
+		{"", 2}, {"a", 3}, {"abcd", 2}, {"Hello", 3}, {"中文混合abc", 2},
+		{"x", 0}, {"short", -1}, {"\xc3\x28", 2},
+	} {
+		f.Add(seed.text, seed.q)
+	}
+	f.Fuzz(func(t *testing.T, text string, q int) {
+		if q > 64 {
+			q = 64 // keep gram windows bounded; larger q adds no coverage
+		}
+		toks := QGramTokenizer{Q: q}.Tokenize(text)
+		if q < 1 {
+			q = 1
+		}
+		runes := []rune(strings.ToLower(text))
+		switch {
+		case len(runes) == 0:
+			if len(toks) != 0 {
+				t.Fatalf("empty input produced %d grams", len(toks))
+			}
+		case len(runes) < q:
+			if len(toks) != 1 || toks[0] != string(runes) {
+				t.Fatalf("short input: got %q, want [%q]", toks, string(runes))
+			}
+		default:
+			if want := len(runes) - q + 1; len(toks) != want {
+				t.Fatalf("gram count %d, want %d", len(toks), want)
+			}
+			for i, g := range toks {
+				if want := string(runes[i : i+q]); g != want {
+					t.Fatalf("gram %d = %q, want %q", i, g, want)
+				}
+			}
+		}
+	})
+}

@@ -42,6 +42,9 @@ type Options struct {
 	// Parallelism is the local engine parallelism for every stage; see
 	// mapreduce.Config.Parallelism.
 	Parallelism int
+	// Fault is the fault-tolerance and fault-injection policy inherited by
+	// every stage; see mapreduce.FaultPolicy.
+	Fault mapreduce.FaultPolicy
 }
 
 // Result carries the join output and pipeline metrics.
@@ -80,6 +83,7 @@ func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
 	p := mapreduce.NewPipeline("v-smart-join", opt.Cluster)
 	p.Context = opt.Ctx
 	p.Parallelism = opt.Parallelism
+	p.Fault = opt.Fault
 
 	// Ordering is not required for correctness here, but running the same
 	// frequency job keeps the end-to-end comparison fair across methods.

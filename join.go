@@ -98,6 +98,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			Seed:               opt.Seed,
 			Ctx:                opt.Context,
 			LocalParallelism:   opt.localParallelism(),
+			Fault:              opt.faultPolicy(),
 		})
 		if err != nil {
 			return nil, err
@@ -106,7 +107,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 	case RIDPairsPPJoin:
 		res, err := ridpairs.SelfJoin(c.t, ridpairs.Options{
 			Fn: fn, Theta: opt.Threshold, Cluster: cl, Ctx: opt.Context,
-			Parallelism: opt.localParallelism(),
+			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
 		})
 		if err != nil {
 			return nil, err
@@ -116,6 +117,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 		res, err := vsmart.SelfJoin(c.t, vsmart.Options{
 			Fn: fn, Theta: opt.Threshold, Cluster: cl, MaxPairEmits: opt.WorkBudget,
 			Ctx: opt.Context, Parallelism: opt.localParallelism(),
+			Fault: opt.faultPolicy(),
 		})
 		if err != nil {
 			return nil, err
@@ -128,6 +130,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 		res, err := minhash.SelfJoin(c.t, minhash.Params{
 			Theta: opt.Threshold, Seed: uint64(opt.Seed), Cluster: cl,
 			Ctx: opt.Context, Parallelism: opt.localParallelism(),
+			Fault: opt.faultPolicy(),
 		})
 		if err != nil {
 			return nil, err
@@ -141,7 +144,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 		res, err := massjoin.SelfJoin(c.t, massjoin.Options{
 			Fn: fn, Theta: opt.Threshold, Variant: variant, Cluster: cl,
 			MaxSignatures: opt.WorkBudget, Ctx: opt.Context,
-			Parallelism: opt.localParallelism(),
+			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
 		})
 		if err != nil {
 			return nil, err
@@ -167,7 +170,7 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 	case RIDPairsPPJoin:
 		res, err := ridpairs.Join(c.t, s.t, ridpairs.Options{
 			Fn: fn, Theta: opt.Threshold, Cluster: opt.cluster(), Ctx: opt.Context,
-			Parallelism: opt.localParallelism(),
+			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
 		})
 		if err != nil {
 			return nil, err
@@ -193,6 +196,7 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 		Seed:               opt.Seed,
 		Ctx:                opt.Context,
 		LocalParallelism:   opt.localParallelism(),
+		Fault:              opt.faultPolicy(),
 	})
 	if err != nil {
 		return nil, err
