@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-report chaos fuzz cover all
+.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem all
 
 all: build vet test
 
@@ -26,10 +26,12 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkShuffleThroughput' -benchmem ./internal/mapreduce/
 	$(GO) test -run '^$$' -bench 'BenchmarkKernels' -benchmem ./internal/fragjoin/
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelSpeedup|BenchmarkFig7' .
+	$(GO) test -run '^$$' -bench 'BenchmarkMemoryBudget' ./internal/mapreduce/
 
-# bench-report regenerates BENCH_PR1.json.
+# bench-report regenerates BENCH_PR3.json (engine, kernels, end-to-end and
+# memory-budget suites plus derived ratios).
 bench-report:
-	$(GO) run ./cmd/benchreport -o BENCH_PR1.json
+	$(GO) run ./cmd/benchreport -o BENCH_PR3.json
 
 # chaos runs the seeded fault-injection equivalence suites under the race
 # detector (DESIGN.md §7). Any failure is re-runnable from its seed.
@@ -42,6 +44,15 @@ fuzz:
 	$(GO) test -fuzz 'FuzzWordTokenizer' -fuzztime 10s ./internal/tokens/
 	$(GO) test -fuzz 'FuzzQGramTokenizer' -fuzztime 10s ./internal/tokens/
 	$(GO) test -fuzz 'FuzzThresholdAlgebra' -fuzztime 10s ./internal/similarity/
+	$(GO) test -fuzz 'FuzzValueCodec' -fuzztime 10s ./internal/spill/
+	$(GO) test -fuzz 'FuzzBufferMerge' -fuzztime 10s ./internal/spill/
+	$(GO) test -fuzz 'FuzzRunCodec' -fuzztime 10s ./internal/spill/
+
+# test-lowmem forces every test through the out-of-core shuffle: a 4 KiB
+# budget via the environment (tests that set an explicit budget ignore it)
+# under the race detector. CI runs this as its low-memory job.
+test-lowmem:
+	FSJOIN_MEMORY_BUDGET=4096 $(GO) test -race ./...
 
 # cover enforces the CI total-coverage gate (baseline 79.8% when the gate
 # was set; fails below 78%).

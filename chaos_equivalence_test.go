@@ -1,6 +1,8 @@
 package fsjoin
 
 import (
+	"fmt"
+	"os"
 	"reflect"
 	"testing"
 	"time"
@@ -84,6 +86,84 @@ func TestChaosEquivalenceAllAlgorithms(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// waitNoSpillFiles asserts dir drains to empty, polling briefly because a
+// lost speculative attempt's spill files are discarded by a reaper
+// goroutine after the loser finishes, which may be shortly after the job
+// itself returns.
+func waitNoSpillFiles(t *testing.T, label, dir string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ents, err := os.ReadDir(dir)
+		if err == nil && len(ents) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: spill files leaked: %v (read err %v)", label, ents, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosTinyBudgetEquivalence crosses the chaos matrix with the
+// out-of-core shuffle: ten seeded fault schedules, a 1 KiB memory budget
+// that provably spills, parallelism 1 and 4. Every run must reproduce the
+// fault-free unbounded pairs and shuffle accounting byte-for-byte, and
+// every spill directory must drain to empty even when attempts are
+// retried or lose a speculative race mid-spill.
+func TestChaosTinyBudgetEquivalence(t *testing.T) {
+	texts := corpus(200, 7)
+	base := Options{Threshold: 0.7, Nodes: 3, LocalParallelism: 1}
+	want, err := SelfJoinStrings(texts, base)
+	if err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+	if len(want.Pairs) == 0 {
+		t.Fatal("fault-free run found no pairs — corpus too sparse to prove anything")
+	}
+
+	// Fault-free budgeted probe: the budget must actually bind on this
+	// corpus, otherwise the chaos sweep below exercises nothing new.
+	probe := base
+	probe.MemoryBudget = 1 << 10
+	probe.SpillDir = t.TempDir()
+	pres, err := SelfJoinStrings(texts, probe)
+	if err != nil {
+		t.Fatalf("budgeted probe: %v", err)
+	}
+	if pres.Stats.SpillRuns < 2 {
+		t.Fatalf("budgeted probe spilled only %d runs — budget not binding", pres.Stats.SpillRuns)
+	}
+
+	for i, fault := range chaosSchedules(10) {
+		for _, par := range []int{1, 4} {
+			dir := t.TempDir()
+			opts := base
+			opts.LocalParallelism = par
+			opts.MemoryBudget = 1 << 10
+			opts.SpillDir = dir
+			opts.Fault = fault
+			got, err := SelfJoinStrings(texts, opts)
+			label := fmt.Sprintf("schedule %d", i)
+			if err != nil {
+				t.Fatalf("%s (seed %d) par %d: %v", label, fault.ChaosSeed, par, err)
+			}
+			if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+				t.Fatalf("%s (seed %d) par %d: pairs differ (%d vs %d)",
+					label, fault.ChaosSeed, par, len(got.Pairs), len(want.Pairs))
+			}
+			if got.Stats.ShuffleRecords != want.Stats.ShuffleRecords ||
+				got.Stats.ShuffleBytes != want.Stats.ShuffleBytes {
+				t.Fatalf("%s (seed %d) par %d: shuffle accounting drifted: (%d,%d) vs (%d,%d)",
+					label, fault.ChaosSeed, par,
+					got.Stats.ShuffleRecords, got.Stats.ShuffleBytes,
+					want.Stats.ShuffleRecords, want.Stats.ShuffleBytes)
+			}
+			waitNoSpillFiles(t, label, dir)
+		}
 	}
 }
 

@@ -1,12 +1,13 @@
 // Command benchreport runs the performance-regression benchmark subset —
 // engine shuffle throughput, the fragment-join kernels against their legacy
-// map-based baselines, and the Figure 7-class end-to-end joins sequential
-// vs parallel — and writes a machine-readable JSON report (BENCH_PR1.json)
-// with the derived speedup and allocation ratios.
+// map-based baselines, the Figure 7-class end-to-end joins sequential vs
+// parallel, and the out-of-core shuffle across memory budgets — and writes
+// a machine-readable JSON report (BENCH_PR3.json) with the derived
+// speedup, allocation and spill-slowdown ratios.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR1.json] [-benchtime 5x]
+//	go run ./cmd/benchreport [-o BENCH_PR3.json] [-benchtime 5x]
 package main
 
 import (
@@ -21,13 +22,16 @@ import (
 	"time"
 )
 
-// result is one parsed benchmark line.
+// result is one parsed benchmark line. Metrics carries any custom
+// b.ReportMetric columns (e.g. the memory-budget suite's spill-runs/op,
+// spill-B/op, shuffle-peak-B and merge-ways).
 type result struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // report is the emitted JSON document.
@@ -42,6 +46,11 @@ type report struct {
 
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:.*?\s(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// metricCol matches every "value unit" column of a benchmark line; the
+// standard ns/op, B/op, allocs/op and MB/s columns are skipped when
+// collecting custom metrics.
+var metricCol = regexp.MustCompile(`([\d.e+-]+) ([A-Za-z][\w.-]*(?:/s|/op)?)`)
 
 // runBench executes one `go test -bench` invocation and parses its output.
 func runBench(benchtime, pattern, pkg string, mem bool) ([]result, error) {
@@ -66,6 +75,20 @@ func runBench(benchtime, pattern, pkg string, mem bool) ([]result, error) {
 			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
 			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
 		}
+		for _, col := range metricCol.FindAllStringSubmatch(line, -1) {
+			switch col[2] {
+			case "ns/op", "B/op", "allocs/op", "MB/s":
+				continue
+			}
+			v, err := strconv.ParseFloat(col[1], 64)
+			if err != nil {
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[col[2]] = v
+		}
 		rs = append(rs, r)
 	}
 	if len(rs) == 0 {
@@ -75,7 +98,7 @@ func runBench(benchtime, pattern, pkg string, mem bool) ([]result, error) {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR1.json", "output file")
+	out := flag.String("o", "BENCH_PR3.json", "output file")
 	benchtime := flag.String("benchtime", "5x", "per-benchmark -benchtime")
 	flag.Parse()
 
@@ -86,6 +109,7 @@ func main() {
 		{"BenchmarkShuffleThroughput", "./internal/mapreduce/", true},
 		{"BenchmarkKernels", "./internal/fragjoin/", true},
 		{"BenchmarkParallelSpeedup|BenchmarkFig7/.*/fs-join", ".", false},
+		{"BenchmarkMemoryBudget", "./internal/mapreduce/", false},
 	}
 	var all []result
 	for _, s := range suites {
@@ -116,6 +140,10 @@ func main() {
 	ratio("kernel_prefix_speedup_x", "BenchmarkKernels/prefix/legacy", "BenchmarkKernels/prefix/new", ns)
 	ratio("kernel_loop_speedup_x", "BenchmarkKernels/loop/legacy", "BenchmarkKernels/loop/new", ns)
 	ratio("parallel_speedup_x", "BenchmarkParallelSpeedup/sequential", "BenchmarkParallelSpeedup/parallel", ns)
+	// Out-of-core overhead: how much slower the same job runs when the
+	// shuffle is forced through sorted runs on disk.
+	ratio("spill_64k_slowdown_x", "BenchmarkMemoryBudget/64KiB", "BenchmarkMemoryBudget/unbounded", ns)
+	ratio("spill_4k_slowdown_x", "BenchmarkMemoryBudget/4KiB", "BenchmarkMemoryBudget/unbounded", ns)
 
 	rep := report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),

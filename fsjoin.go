@@ -195,6 +195,18 @@ type Options struct {
 	// every algorithm. The zero value keeps Hadoop-style defaults and
 	// injects nothing.
 	Fault FaultOptions
+	// MemoryBudget caps each simulated map task's in-memory shuffle buffer,
+	// in bytes. Records beyond the budget spill to sorted runs in temp
+	// files and are merged back at reduce time, so joins over data larger
+	// than RAM complete instead of exhausting memory. Results are
+	// byte-identical at any budget; only Stats.SpillRuns/SpillBytes and
+	// wall-clock time change. 0 (the default) defers to the
+	// FSJOIN_MEMORY_BUDGET environment variable (unbounded when unset);
+	// a negative value forces unbounded buffering.
+	MemoryBudget int64
+	// SpillDir is the parent directory for spill files; "" uses the OS
+	// temp dir. Each join creates and removes its own subdirectories.
+	SpillDir string
 }
 
 // FaultOptions is the public face of the engine's fault model (DESIGN.md
@@ -285,6 +297,14 @@ type Stats struct {
 	// Candidates is the number of candidate-pair records generated before
 	// verification.
 	Candidates int64
+	// SpillRuns and SpillBytes total the sorted runs (and their accounted
+	// bytes) the out-of-core shuffle wrote under Options.MemoryBudget;
+	// both are zero when no budget is active or nothing spilled.
+	SpillRuns  int64
+	SpillBytes int64
+	// ShufflePeakBytes is the largest in-memory shuffle buffer any map
+	// task held, recorded only under an active memory budget.
+	ShufflePeakBytes int64
 }
 
 // Result is a completed join.

@@ -127,6 +127,103 @@ func TestGoldenAllAlgorithms(t *testing.T) {
 	}
 }
 
+// TestGoldenMemoryBudgets: every exact algorithm, run through the
+// spillable shuffle at tiny budgets, must reproduce the golden pairs
+// bit-for-bit — same pairs, same counts, same full-precision scores — at
+// parallelism 1 and 4, leaving no spill files behind. (The committed
+// corpus is small; TestBudgetEquivalenceLargeCorpus is the companion that
+// forces real spilling.)
+func TestGoldenMemoryBudgets(t *testing.T) {
+	texts, want := loadGolden(t)
+	budgets := []int64{-1, 64 << 10, 4 << 10} // unbounded, 64 KiB, 4 KiB
+	for _, algo := range []Algorithm{
+		FSJoin, FSJoinV, RIDPairsPPJoin, VSmartJoin, MassJoinMerge, MassJoinMergeLight,
+	} {
+		for _, budget := range budgets {
+			for _, par := range []int{1, 4} {
+				dir := t.TempDir()
+				res, err := SelfJoinStrings(texts, Options{
+					Threshold: goldenTheta, Algorithm: algo, LocalParallelism: par,
+					MemoryBudget: budget, SpillDir: dir,
+				})
+				label := fmt.Sprintf("%v budget %d par %d", algo, budget, par)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				diffPairs(t, label, formatPairs(res.Pairs), want)
+				if budget < 0 && res.Stats.SpillRuns != 0 {
+					t.Fatalf("%s: unbounded run reported %d spill runs", label, res.Stats.SpillRuns)
+				}
+				if res.Stats.SpillRuns > 0 && res.Stats.SpillBytes == 0 {
+					t.Fatalf("%s: spill runs without spill bytes", label)
+				}
+				if ents, err := os.ReadDir(dir); err != nil || len(ents) != 0 {
+					t.Fatalf("%s: spill files leaked: %v (err %v)", label, ents, err)
+				}
+			}
+		}
+	}
+}
+
+// TestBudgetEquivalenceLargeCorpus forces the out-of-core path for real: a
+// corpus big enough that a small budget writes multiple sorted runs, for
+// every exact algorithm and join method, compared bit-for-bit against the
+// unbounded reference at parallelism 1 and 4. The 1 KiB budget is chosen
+// to bind for every algorithm, including the shuffle-light ones.
+func TestBudgetEquivalenceLargeCorpus(t *testing.T) {
+	texts := corpus(400, 11)
+	const theta = 0.7
+	check := func(label string, opt Options) {
+		t.Helper()
+		ref, err := SelfJoinStrings(texts, Options{
+			Threshold: theta, Algorithm: opt.Algorithm, JoinMethod: opt.JoinMethod,
+			LocalParallelism: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s reference: %v", label, err)
+		}
+		want := formatPairs(ref.Pairs)
+		if len(want) == 0 {
+			t.Fatalf("%s: reference found no pairs — corpus too sparse to test anything", label)
+		}
+		for _, par := range []int{1, 4} {
+			dir := t.TempDir()
+			opt.Threshold = theta
+			opt.LocalParallelism = par
+			opt.MemoryBudget = 1 << 10
+			opt.SpillDir = dir
+			res, err := SelfJoinStrings(texts, opt)
+			if err != nil {
+				t.Fatalf("%s par %d: %v", label, par, err)
+			}
+			diffPairs(t, fmt.Sprintf("%s par %d", label, par), formatPairs(res.Pairs), want)
+			if res.Stats.SpillRuns < 2 {
+				t.Fatalf("%s par %d: only %d spill runs — budget not binding", label, par, res.Stats.SpillRuns)
+			}
+			if res.Stats.ShufflePeakBytes == 0 {
+				t.Fatalf("%s par %d: no shuffle peak recorded", label, par)
+			}
+			if res.Stats.ShuffleRecords != ref.Stats.ShuffleRecords ||
+				res.Stats.ShuffleBytes != ref.Stats.ShuffleBytes {
+				t.Fatalf("%s par %d: shuffle accounting drifted: (%d,%d) vs (%d,%d)",
+					label, par, res.Stats.ShuffleRecords, res.Stats.ShuffleBytes,
+					ref.Stats.ShuffleRecords, ref.Stats.ShuffleBytes)
+			}
+			if ents, err := os.ReadDir(dir); err != nil || len(ents) != 0 {
+				t.Fatalf("%s par %d: spill files leaked: %v (err %v)", label, par, ents, err)
+			}
+		}
+	}
+	for _, algo := range []Algorithm{
+		FSJoin, FSJoinV, RIDPairsPPJoin, VSmartJoin, MassJoinMerge, MassJoinMergeLight,
+	} {
+		check(algo.String(), Options{Algorithm: algo})
+	}
+	for _, jm := range []JoinMethod{IndexJoin, LoopJoin} { // PrefixJoin covered above
+		check(fmt.Sprintf("fs-join method %d", jm), Options{JoinMethod: jm})
+	}
+}
+
 // TestGoldenJoinMethods covers FS-Join's three fragment-join kernels —
 // all must reproduce the golden pairs exactly.
 func TestGoldenJoinMethods(t *testing.T) {

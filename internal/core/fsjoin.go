@@ -62,6 +62,14 @@ type Options struct {
 	// Fault is the fault-tolerance and fault-injection policy inherited by
 	// every stage; see mapreduce.FaultPolicy.
 	Fault mapreduce.FaultPolicy
+	// MemoryBudget caps each map task's in-memory shuffle buffer; records
+	// beyond it spill to sorted runs on disk and merge back at reduce time
+	// (see mapreduce.Config.MemoryBudgetBytes). 0 defers to the engine
+	// default (FSJOIN_MEMORY_BUDGET); negative forces unbounded. Results
+	// are byte-identical at any budget.
+	MemoryBudget int64
+	// SpillDir is the parent directory for spill files ("" = OS temp dir).
+	SpillDir string
 }
 
 // withDefaults normalises an Options value.
@@ -147,6 +155,8 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	p.Context = opt.Ctx
 	p.Parallelism = opt.LocalParallelism // inherited by all three stages
 	p.Fault = opt.Fault
+	p.MemoryBudgetBytes = opt.MemoryBudget
+	p.SpillDir = opt.SpillDir
 
 	// ---- Phase 1: Ordering (one MR job over the union) ----
 	union := r

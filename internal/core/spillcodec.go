@@ -1,0 +1,25 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"fsjoin/internal/spill"
+)
+
+// Spill codec for partial, the verification job's shuffle value (DESIGN.md
+// §8). Its combiner fold is pure addition on C, so re-folding merged runs
+// is exact. Tag 41; this package owns tags 41–42 after fragjoin's 40.
+func init() {
+	spill.RegisterValue(41, partial{},
+		func(buf []byte, v any) []byte {
+			p := v.(partial)
+			buf = binary.AppendVarint(buf, int64(p.C))
+			buf = binary.AppendVarint(buf, int64(p.La))
+			return binary.AppendVarint(buf, int64(p.Lb))
+		},
+		func(b []byte) (any, error) {
+			d := spill.NewDec(b)
+			p := partial{C: int32(d.Varint()), La: int32(d.Varint()), Lb: int32(d.Varint())}
+			return p, d.Err()
+		})
+}

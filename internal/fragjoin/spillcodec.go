@@ -1,0 +1,34 @@
+package fragjoin
+
+import (
+	"encoding/binary"
+
+	"fsjoin/internal/partition"
+	"fsjoin/internal/spill"
+)
+
+// Spill codec for Seg, the dominant shuffle value of the filtering job
+// (DESIGN.md §8). Tag 40; this package owns tags 40–42.
+func init() {
+	spill.RegisterValue(40, Seg{},
+		func(buf []byte, v any) []byte {
+			s := v.(Seg)
+			buf = binary.AppendVarint(buf, int64(s.RID))
+			buf = append(buf, s.Origin, byte(s.Role))
+			buf = binary.AppendVarint(buf, int64(s.StrLen))
+			buf = binary.AppendVarint(buf, int64(s.Head))
+			buf = binary.AppendVarint(buf, int64(s.Tail))
+			return spill.AppendU32s(buf, s.Tokens)
+		},
+		func(b []byte) (any, error) {
+			d := spill.NewDec(b)
+			s := Seg{RID: int32(d.Varint())}
+			s.Origin = d.Byte()
+			s.Role = partition.Role(d.Byte())
+			s.StrLen = int32(d.Varint())
+			s.Head = int32(d.Varint())
+			s.Tail = int32(d.Varint())
+			s.Tokens = d.U32s()
+			return s, d.Err()
+		})
+}

@@ -78,6 +78,43 @@ func BenchmarkCombinerAblation(b *testing.B) {
 	})
 }
 
+// BenchmarkMemoryBudget measures the out-of-core shuffle against the
+// in-memory baseline on the same workload: identical output at every
+// budget, with the spill volume and merge fan-in reported alongside the
+// time so the cost of each extra disk pass is visible in one table.
+func BenchmarkMemoryBudget(b *testing.B) {
+	in := benchInput(100_000, 20_000)
+	cl := DefaultCluster()
+	for _, bc := range []struct {
+		name   string
+		budget int64
+	}{
+		{"unbounded", -1},
+		{"64KiB", 64 << 10},
+		{"4KiB", 4 << 10},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			dir := b.TempDir()
+			var runs, spilled, peak, ways float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{Cluster: cl, MemoryBudgetBytes: bc.budget, SpillDir: dir},
+					in, IdentityMapper, foldSum{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				runs = float64(res.Metrics.SpillRuns)
+				spilled = float64(res.Metrics.SpillBytes)
+				peak = float64(res.Metrics.ShufflePeakBytes)
+				ways = float64(res.Counters.Get(CounterSpillMergeWays))
+			}
+			b.ReportMetric(runs, "spill-runs/op")
+			b.ReportMetric(spilled, "spill-B/op")
+			b.ReportMetric(peak, "shuffle-peak-B")
+			b.ReportMetric(ways, "merge-ways")
+		})
+	}
+}
+
 // BenchmarkShuffleThroughput is the raw per-record engine cost.
 func BenchmarkShuffleThroughput(b *testing.B) {
 	in := benchInput(100_000, 50_000)

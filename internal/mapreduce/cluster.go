@@ -148,6 +148,19 @@ func (c *Cluster) spillTime(mapOutputBytes int64, mapTasks int) time.Duration {
 	return time.Duration(sec * float64(time.Second))
 }
 
+// measuredSpillTime charges disk time for bytes the out-of-core shuffle
+// actually spilled under a memory budget (Metrics.SpillBytes): each byte
+// is written once into a sorted run and read back once by the reduce-side
+// k-way merge. This complements spillTime, which models the buffer Hadoop
+// would have had; this term reflects the buffer this engine really had.
+func (c *Cluster) measuredSpillTime(spilledBytes int64) time.Duration {
+	if spilledBytes <= 0 || c.SpillBytesPerSec <= 0 {
+		return 0
+	}
+	sec := 2 * float64(spilledBytes) * c.dataScale() / (c.SpillBytesPerSec * float64(c.Nodes))
+	return time.Duration(sec * float64(time.Second))
+}
+
 // mergeFactor is the external-merge fan-in used to estimate how many disk
 // passes an oversized reduce group needs (Hadoop's io.sort.factor regime).
 const mergeFactor = 10

@@ -18,10 +18,38 @@ type Counters struct {
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
 
+// Spill counters (DESIGN.md §8). Recorded only when a memory budget is
+// active, from winning attempts only, so they are deterministic at any
+// parallelism and under any chaos schedule for a fixed budget.
+const (
+	// CounterSpillRuns counts sorted runs written by map-side shuffle
+	// buffers that exceeded the memory budget.
+	CounterSpillRuns = "spill.runs"
+	// CounterSpillBytes totals the accounted bytes those runs carried.
+	CounterSpillBytes = "spill.bytes"
+	// CounterSpillMergeWays is the widest k-way merge fan-in any reduce
+	// fetch needed (max-valued, via Counters.Max).
+	CounterSpillMergeWays = "spill.merge.ways"
+	// CounterShufflePeak is the largest in-memory shuffle buffer any map
+	// task held (max-valued, via Counters.Max).
+	CounterShufflePeak = "shuffle.peak.bytes"
+)
+
 // Inc adds delta to the named counter.
 func (c *Counters) Inc(name string, delta int64) {
 	c.mu.Lock()
 	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Max raises the named counter to v if v is larger. Because max is
+// commutative, concurrent tasks can record high-water marks and still
+// produce parallelism-independent counter values.
+func (c *Counters) Max(name string, v int64) {
+	c.mu.Lock()
+	if v > c.m[name] {
+		c.m[name] = v
+	}
 	c.mu.Unlock()
 }
 

@@ -3,8 +3,12 @@ package mapreduce
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 	"time"
+
+	"fsjoin/internal/spill"
 )
 
 // Mapper consumes one input pair and emits zero or more intermediate pairs
@@ -119,6 +123,15 @@ type Config struct {
 	// always per-task). Output, counters and shuffle metrics are identical
 	// at every parallelism level.
 	Parallelism int
+	// MemoryBudgetBytes caps the intermediate bytes one map task buffers
+	// in memory before sorting and spilling a run to a temp file
+	// (out-of-core shuffle, DESIGN.md §8). 0 defers to the
+	// FSJOIN_MEMORY_BUDGET environment variable (unbounded when unset);
+	// negative forces unbounded. Output is byte-identical at any budget.
+	MemoryBudgetBytes int64
+	// SpillDir is the parent directory for spill files; "" defers to
+	// FSJOIN_SPILL_DIR, then the OS temp dir.
+	SpillDir string
 }
 
 // cancelled reports the context's error once it is done.
@@ -149,6 +162,33 @@ func (c Config) cluster() *Cluster {
 		return c.Cluster
 	}
 	return DefaultCluster()
+}
+
+// memoryBudget resolves the effective shuffle memory budget: an explicit
+// positive value wins, zero defers to FSJOIN_MEMORY_BUDGET (so a CI job
+// can force the whole suite through the spill path), and any negative
+// value — from config or environment — means unbounded.
+func (c Config) memoryBudget() int64 {
+	b := c.MemoryBudgetBytes
+	if b == 0 {
+		if s := os.Getenv("FSJOIN_MEMORY_BUDGET"); s != "" {
+			if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+				b = v
+			}
+		}
+	}
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// spillDir resolves where spill temp dirs are created ("" = OS temp dir).
+func (c Config) spillDir() string {
+	if c.SpillDir != "" {
+		return c.SpillDir
+	}
+	return os.Getenv("FSJOIN_SPILL_DIR")
 }
 
 // Context is the per-task emit/counter surface handed to mappers, combiners
@@ -192,6 +232,19 @@ func (c *Context) flushCounters() {
 	c.local = nil
 }
 
+// discard releases everything a failed or abandoned task attempt buffered
+// — notably its shuffle sink's spill files. Only losing attempts are
+// discarded (retry predecessors, lost speculative copies, final failures);
+// the winning context's sink is handed to the reduce phase and reclaimed
+// through release.
+func (c *Context) discard() {
+	if c == nil {
+		return
+	}
+	c.shuffle.close()
+	c.local = nil
+}
+
 // absorb folds another context's task-local counters into c. Nested
 // contexts (the combiner's) absorb into their owning map context instead
 // of flushing to the job directly, so their counts ride the attempt's
@@ -224,7 +277,14 @@ type Metrics struct {
 	ReduceTaskTime    []time.Duration
 	// GroupSpillTime is the per-reduce-task external-memory charge for key
 	// groups exceeding the reducer memory (see Cluster.ReducerMemoryBytes).
-	GroupSpillTime     []time.Duration
+	GroupSpillTime []time.Duration
+	// SpillRuns and SpillBytes total the sorted runs the out-of-core
+	// shuffle wrote under Config.MemoryBudgetBytes (winning attempts
+	// only); ShufflePeakBytes is the largest in-memory shuffle buffer any
+	// map task held. All zero when the budget is unbounded.
+	SpillRuns          int64
+	SpillBytes         int64
+	ShufflePeakBytes   int64
 	SimulatedMapTime   time.Duration
 	SimulatedShuffle   time.Duration
 	SimulatedReduce    time.Duration
@@ -321,11 +381,14 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 	// ---- Map phase ----
 	splits := splitInput(input, mapTasks)
 	m.MapTaskTime = make([]time.Duration, mapTasks)
+	budget := cfg.memoryBudget()
+	sdir := cfg.spillDir()
 	var (
 		mapOutputs [][]KV         // map-only jobs
 		sinks      []*shuffleSink // jobs with a reduce phase
 		taskRecs   []int64
 		taskBytes  []int64
+		taskStats  []spill.Stats
 	)
 	if reducer == nil {
 		mapOutputs = make([][]KV, mapTasks)
@@ -333,6 +396,7 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 		sinks = make([]*shuffleSink, mapTasks)
 		taskRecs = make([]int64, mapTasks)
 		taskBytes = make([]int64, mapTasks)
+		taskStats = make([]spill.Stats, mapTasks)
 	}
 	combineFolder, _ := cfg.Combiner.(Folder)
 	mapErr := runPhase(cfg.Parallelism, mapTasks, func(t int) error {
@@ -343,7 +407,7 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 		ctx, err := runAttempts(cfg, res.Counters, func(a int) (*Context, error) {
 			ctx := &Context{TaskID: t, Job: cfg, counters: res.Counters}
 			if reducer != nil {
-				ctx.shuffle = newShuffleSink(part, reduceTasks, combineFolder)
+				ctx.shuffle = newShuffleSink(part, reduceTasks, combineFolder, budget, sdir)
 			} else {
 				ctx.out = make([]KV, 0, len(splits[t])+16)
 			}
@@ -374,18 +438,41 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 			return fmt.Errorf("mapreduce: job %q map task %d: %w", cfg.Name, t, err)
 		}
 		m.MapTaskTime[t] = time.Since(start)
-		ctx.flushCounters()
 		if reducer == nil {
+			ctx.flushCounters()
 			mapOutputs[t] = ctx.out
 			return nil
 		}
-		// Size every record exactly once, outside the timed section; the
-		// reduce phase reuses these per-record sizes.
-		recs, bytes := ctx.shuffle.computeSizes()
+		// Spill accounting is winner-only: the surviving attempt's buffer
+		// is the one whose runs the reduce phase merges. Counters are
+		// recorded only under an active budget so unbounded runs keep their
+		// historical counter surface.
+		st := ctx.shuffle.stats()
+		if st.Runs > 0 {
+			ctx.Inc(CounterSpillRuns, st.Runs)
+			ctx.Inc(CounterSpillBytes, st.SpilledBytes)
+		}
+		if st.MergeWays > 1 {
+			// A non-folding combiner already merged spilled runs map-side.
+			res.Counters.Max(CounterSpillMergeWays, st.MergeWays)
+		}
+		ctx.flushCounters()
+		if budget > 0 {
+			res.Counters.Max(CounterShufflePeak, st.PeakBytes)
+		}
+		taskStats[t] = st
+		// Total the task's shuffle outside the timed section; a folding
+		// sink that spilled pays one merge pass here.
+		recs, bytes, terr := ctx.shuffle.totals()
+		if terr != nil {
+			ctx.shuffle.close()
+			return fmt.Errorf("mapreduce: job %q map task %d: %w", cfg.Name, t, terr)
+		}
 		sinks[t], taskRecs[t], taskBytes[t] = ctx.shuffle, recs, bytes
 		return nil
 	})
 	if mapErr != nil {
+		closeSinks(sinks)
 		return nil, mapErr
 	}
 
@@ -411,6 +498,11 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 	for t := 0; t < mapTasks; t++ {
 		m.ShuffleRecords += taskRecs[t]
 		m.ShuffleBytes += taskBytes[t]
+		m.SpillRuns += taskStats[t].Runs
+		m.SpillBytes += taskStats[t].SpilledBytes
+		if taskStats[t].PeakBytes > m.ShufflePeakBytes {
+			m.ShufflePeakBytes = taskStats[t].PeakBytes
+		}
 	}
 	m.MapOutputRecords = m.ShuffleRecords
 	m.MapOutputBytes = m.ShuffleBytes
@@ -428,13 +520,16 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 			return fmt.Errorf("mapreduce: job %q: %w", cfg.Name, err)
 		}
 		// Fetch this reducer's partition from every map task in map-task
-		// order — the record order a global partition pass would produce —
-		// then group and sort. Guarded so a panicking Fold aborts the task,
-		// not the process.
+		// order — the record order a global partition pass would produce
+		// (its key-sorted merge when the task spilled; grouping plus the
+		// key sort below make both orders identical downstream) — then
+		// group and sort. Guarded so a panicking Fold aborts the task, not
+		// the process.
 		var (
-			groups map[string][]any
-			folded map[string]any
-			keys   []string
+			groups  map[string][]any
+			folded  map[string]any
+			keys    []string
+			maxWays int
 		)
 		gBytes := make(map[string]int64)
 		if gerr := guard(func() {
@@ -444,32 +539,38 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 				groups = make(map[string][]any)
 			}
 			for mt := 0; mt < mapTasks; mt++ {
-				pkvs := sinks[mt].parts[t]
-				szs := sinks[mt].sizes[t]
-				for i, kv := range pkvs {
+				ways, derr := sinks[mt].drain(t, func(key string, value any, b int64) {
 					if folding {
-						if acc, seen := folded[kv.Key]; seen {
-							folded[kv.Key] = foldingReducer.Fold(acc, kv.Value)
+						if acc, seen := folded[key]; seen {
+							folded[key] = foldingReducer.Fold(acc, value)
 						} else {
-							keys = append(keys, kv.Key)
-							folded[kv.Key] = kv.Value
+							keys = append(keys, key)
+							folded[key] = value
 						}
 					} else {
-						vs, seen := groups[kv.Key]
+						vs, seen := groups[key]
 						if !seen {
-							keys = append(keys, kv.Key)
+							keys = append(keys, key)
 						}
-						groups[kv.Key] = append(vs, kv.Value)
+						groups[key] = append(vs, value)
 					}
 					m.PerReduceRecords[t]++
-					b := int64(szs[i])
 					m.PerReduceBytes[t] += b
-					gBytes[kv.Key] += b
+					gBytes[key] += b
+				})
+				if derr != nil {
+					panic(fmt.Sprintf("mapreduce: shuffle fetch: %v", derr))
+				}
+				if ways > maxWays {
+					maxWays = ways
 				}
 			}
 			sort.Strings(keys)
 		}); gerr != nil {
 			return fmt.Errorf("mapreduce: job %q reduce task %d: %w", cfg.Name, t, gerr)
+		}
+		if maxWays > 1 {
+			res.Counters.Max(CounterSpillMergeWays, int64(maxWays))
 		}
 		groupCounts[t] = int64(len(keys))
 		start := time.Now()
@@ -514,6 +615,7 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 		return nil
 	})
 	if reduceErr != nil {
+		closeSinks(sinks)
 		return nil, reduceErr
 	}
 	for t := 0; t < reduceTasks; t++ {
@@ -527,7 +629,8 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 
 	// ---- Cost model ----
 	m.SimulatedMapTime = simPhase(cl, m.MapTaskTime)
-	m.SimulatedShuffle = cl.spillTime(m.MapOutputBytes, mapTasks)
+	m.SimulatedShuffle = cl.spillTime(m.MapOutputBytes, mapTasks) +
+		cl.measuredSpillTime(m.SpillBytes)
 	reduceDurs := make([]time.Duration, reduceTasks)
 	for t := range reduceDurs {
 		// Each reduce task fetches its own shuffle share (skewed reducers
@@ -540,6 +643,16 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 	m.SimulatedTotalTime = m.SimulatedMapTime + m.SimulatedShuffle + m.SimulatedReduce
 	m.WallTime = time.Since(wallStart)
 	return res, nil
+}
+
+// closeSinks removes every surviving sink's spill files when a job aborts;
+// the happy path reclaims them through per-partition release instead.
+// runPhase has joined all workers by the time this runs, so no task is
+// still writing.
+func closeSinks(sinks []*shuffleSink) {
+	for _, s := range sinks {
+		s.close()
+	}
 }
 
 // runTask feeds one split through a mapper with lifecycle hooks.

@@ -1,0 +1,354 @@
+package mapreduce
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// budgetInput is a wordcount corpus big enough that a few-KiB budget forces
+// several spills per map task.
+func budgetInput(lines, wordsPerLine, vocab int) []KV {
+	kvs := make([]KV, lines)
+	for i := 0; i < lines; i++ {
+		var b strings.Builder
+		for j := 0; j < wordsPerLine; j++ {
+			fmt.Fprintf(&b, "word%03d ", (i*wordsPerLine+j*7)%vocab)
+		}
+		kvs[i] = KV{Key: fmt.Sprint(i), Value: b.String()}
+	}
+	return kvs
+}
+
+// noSpillFiles fails the test if dir still holds any entries. wait allows
+// asynchronous cleanup (a lost speculative copy is discarded by a reaper
+// goroutine) to finish.
+func noSpillFiles(t *testing.T, dir string, wait time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(wait)
+	for {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			names := make([]string, len(ents))
+			for i, e := range ents {
+				names[i] = e.Name()
+			}
+			t.Fatalf("spill files leaked in %s: %v", dir, names)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMemoryBudgetEquivalence is the tentpole property at engine level:
+// for plain, combining and folding wordcount jobs, output and user-visible
+// counters are byte-identical at any budget and any parallelism, while
+// tiny budgets actually spill.
+func TestMemoryBudgetEquivalence(t *testing.T) {
+	// Vocabulary large enough that even per-key folded slots overflow a
+	// 4 KiB budget.
+	input := budgetInput(24, 40, 400)
+	configs := map[string]func() Config{
+		"plain": func() Config { return Config{Cluster: tinyCluster(), MapTasks: 4, ReduceTasks: 3} },
+		"combiner": func() Config {
+			return Config{Cluster: tinyCluster(), MapTasks: 4, ReduceTasks: 3, Combiner: wcReducer{}}
+		},
+		"folding": func() Config {
+			return Config{Cluster: tinyCluster(), MapTasks: 4, ReduceTasks: 3, Combiner: foldingWC{}}
+		},
+	}
+	for name, mk := range configs {
+		t.Run(name, func(t *testing.T) {
+			base, err := Run(mk(), input, wcMapper{}, wcReducer{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, budget := range []int64{64 << 10, 4 << 10} {
+				for _, par := range []int{1, 4} {
+					cfg := mk()
+					cfg.Parallelism = par
+					cfg.MemoryBudgetBytes = budget
+					cfg.SpillDir = t.TempDir()
+					res, err := Run(cfg, input, wcMapper{}, wcReducer{})
+					if err != nil {
+						t.Fatalf("budget %d par %d: %v", budget, par, err)
+					}
+					if !reflect.DeepEqual(res.Output, base.Output) {
+						t.Fatalf("budget %d par %d: output differs from unbounded", budget, par)
+					}
+					if res.Metrics.ShuffleRecords != base.Metrics.ShuffleRecords ||
+						res.Metrics.ShuffleBytes != base.Metrics.ShuffleBytes {
+						t.Fatalf("budget %d par %d: shuffle accounting drifted: (%d,%d) vs (%d,%d)",
+							budget, par, res.Metrics.ShuffleRecords, res.Metrics.ShuffleBytes,
+							base.Metrics.ShuffleRecords, base.Metrics.ShuffleBytes)
+					}
+					if budget == 4<<10 && res.Counters.Get(CounterSpillRuns) == 0 {
+						t.Fatalf("budget %d par %d: nothing spilled", budget, par)
+					}
+					noSpillFiles(t, cfg.SpillDir, 0)
+				}
+			}
+		})
+	}
+}
+
+// TestMemoryBudgetSpillCounters pins the counter semantics: a budget small
+// enough forces >= 2 runs per map task; runs, bytes, merge ways and peak
+// are recorded, deterministic across parallelism, and absent without a
+// budget.
+func TestMemoryBudgetSpillCounters(t *testing.T) {
+	input := budgetInput(24, 40, 90)
+	const mapTasks = 4
+	mk := func(par int) Config {
+		return Config{Cluster: tinyCluster(), MapTasks: mapTasks, ReduceTasks: 3,
+			Parallelism: par, MemoryBudgetBytes: 2 << 10, SpillDir: t.TempDir()}
+	}
+	res1, err := Run(mk(1), input, wcMapper{}, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs := res1.Counters.Get(CounterSpillRuns); runs < 2*mapTasks {
+		t.Fatalf("spill.runs = %d, want >= %d (2 per map task)", runs, 2*mapTasks)
+	}
+	if res1.Counters.Get(CounterSpillBytes) == 0 {
+		t.Fatal("spill.bytes = 0 despite runs")
+	}
+	if ways := res1.Counters.Get(CounterSpillMergeWays); ways < 2 {
+		t.Fatalf("spill.merge.ways = %d, want >= 2", ways)
+	}
+	peak := res1.Counters.Get(CounterShufflePeak)
+	if peak == 0 {
+		t.Fatal("shuffle.peak.bytes not recorded")
+	}
+	if m := res1.Metrics; m.SpillRuns != res1.Counters.Get(CounterSpillRuns) ||
+		m.SpillBytes != res1.Counters.Get(CounterSpillBytes) ||
+		m.ShufflePeakBytes != peak {
+		t.Fatalf("Metrics spill fields disagree with counters: %+v", m)
+	}
+	res4, err := Run(mk(4), input, wcMapper{}, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1.Counters.Snapshot(), res4.Counters.Snapshot()) {
+		t.Fatalf("spill counters parallelism-dependent:\npar1 %v\npar4 %v",
+			res1.Counters.Snapshot(), res4.Counters.Snapshot())
+	}
+
+	// Budget -1 (not 0) so the assertion holds even when the suite runs
+	// with FSJOIN_MEMORY_BUDGET exported, as the CI low-memory job does.
+	unbounded, err := Run(Config{Cluster: tinyCluster(), MapTasks: mapTasks, ReduceTasks: 3,
+		MemoryBudgetBytes: -1}, input, wcMapper{}, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{CounterSpillRuns, CounterSpillBytes, CounterSpillMergeWays, CounterShufflePeak} {
+		if v := unbounded.Counters.Get(c); v != 0 {
+			t.Fatalf("unbounded run recorded %s=%d", c, v)
+		}
+	}
+	if unbounded.Metrics.SimulatedShuffle > res1.Metrics.SimulatedShuffle {
+		t.Fatal("cost model does not charge spilled runs")
+	}
+}
+
+// TestMemoryBudgetEnvDefault: Config.MemoryBudgetBytes == 0 defers to
+// FSJOIN_MEMORY_BUDGET; a negative config value forces unbounded even with
+// the env set.
+func TestMemoryBudgetEnvDefault(t *testing.T) {
+	t.Setenv("FSJOIN_MEMORY_BUDGET", "2048")
+	input := budgetInput(16, 40, 80)
+	dir := t.TempDir()
+	t.Setenv("FSJOIN_SPILL_DIR", dir)
+	res, err := Run(Config{Cluster: tinyCluster(), MapTasks: 2, ReduceTasks: 2},
+		input, wcMapper{}, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get(CounterSpillRuns) == 0 {
+		t.Fatal("env budget did not take effect")
+	}
+	noSpillFiles(t, dir, 0)
+
+	forced, err := Run(Config{Cluster: tinyCluster(), MapTasks: 2, ReduceTasks: 2,
+		MemoryBudgetBytes: -1}, input, wcMapper{}, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Counters.Get(CounterSpillRuns) != 0 {
+		t.Fatal("negative budget did not force unbounded")
+	}
+	if !reflect.DeepEqual(forced.Output, res.Output) {
+		t.Fatal("budgeted and unbounded outputs differ")
+	}
+}
+
+// TestSpillCleanupOnJobAbort: a mid-map failure after spills leaves no
+// files behind — failed attempts discard their buffers and surviving
+// sinks are closed when the phase errors out.
+func TestSpillCleanupOnJobAbort(t *testing.T) {
+	input := budgetInput(16, 40, 80)
+	dir := t.TempDir()
+	boom := MapFunc(func(ctx *Context, kv KV) {
+		wcMapper{}.Map(ctx, kv)
+		if kv.Key == "15" {
+			panic("abort after spilling")
+		}
+	})
+	_, err := Run(Config{Cluster: tinyCluster(), MapTasks: 2, ReduceTasks: 2,
+		MaxAttempts: 1, MemoryBudgetBytes: 1 << 10, SpillDir: dir},
+		input, boom, wcReducer{})
+	if err == nil {
+		t.Fatal("job should have aborted")
+	}
+	noSpillFiles(t, dir, time.Second)
+}
+
+// TestSpillCleanupOnRetry: attempts that fail after spilling are discarded
+// (files removed) and the retry's fresh buffer wins; output is identical to
+// the fault-free run.
+func TestSpillCleanupOnRetry(t *testing.T) {
+	input := budgetInput(16, 40, 80)
+	want, err := Run(Config{Cluster: tinyCluster(), MapTasks: 2, ReduceTasks: 2},
+		input, wcMapper{}, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	flaky := &flakyMapper{attempts: map[int]int{}, failUntil: 2}
+	// flakyMapper panics before emitting, so spills come from surviving
+	// attempts; panic at the END of a task instead, after its spills.
+	late := MapFunc(func(ctx *Context, kv KV) {
+		wcMapper{}.Map(ctx, kv)
+		flaky.mu.Lock()
+		n := flaky.attempts[ctx.TaskID]
+		fail := kv.Key == "15" && n < flaky.failUntil
+		if fail {
+			flaky.attempts[ctx.TaskID] = n + 1
+		}
+		flaky.mu.Unlock()
+		if fail {
+			panic(fmt.Sprintf("late failure (attempt %d)", n+1))
+		}
+	})
+	res, err := Run(Config{Cluster: tinyCluster(), MapTasks: 2, ReduceTasks: 2,
+		MaxAttempts: 4, MemoryBudgetBytes: 1 << 10, SpillDir: dir},
+		input, late, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, want.Output) {
+		t.Fatal("retried spilling job output differs")
+	}
+	if res.Counters.Get(CounterRetries) == 0 {
+		t.Fatal("no retry happened")
+	}
+	noSpillFiles(t, dir, time.Second)
+}
+
+// TestSpillCleanupAfterLostSpeculation: a straggling original keeps
+// spilling after the backup wins; the reaper goroutine must still remove
+// the loser's files.
+func TestSpillCleanupAfterLostSpeculation(t *testing.T) {
+	input := budgetInput(16, 40, 80)
+	want, err := Run(Config{Cluster: tinyCluster(), MapTasks: 2, ReduceTasks: 2},
+		input, wcMapper{}, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	inj := scriptedInjector{faults: map[[3]int]Fault{
+		{int(PhaseMap), 0, 0}: {Kind: FaultDelay, Delay: 50 * time.Millisecond},
+	}}
+	cfg := Config{Cluster: tinyCluster(), MapTasks: 2, ReduceTasks: 2,
+		MemoryBudgetBytes: 1 << 10, SpillDir: dir,
+		Fault: FaultPolicy{Injector: inj, SpeculativeDelay: 2 * time.Millisecond}}
+	res, err := Run(cfg, input, wcMapper{}, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, want.Output) {
+		t.Fatal("speculative spilling job output differs")
+	}
+	if res.Counters.Get(CounterSpeculative) == 0 {
+		t.Fatal("no speculation launched")
+	}
+	// The losing copy finishes asynchronously; its discard must remove
+	// every file eventually.
+	noSpillFiles(t, dir, 2*time.Second)
+}
+
+// TestSpillUnencodableValuesStayCorrect: a job shuffling values without a
+// codec still runs correctly under a tiny budget (records pin in memory
+// instead of spilling — the process-wide env budget must never break
+// arbitrary jobs).
+func TestSpillUnencodableValuesStayCorrect(t *testing.T) {
+	type opaque struct{ n int64 } // no spill codec registered
+	input := budgetInput(8, 20, 30)
+	mapper := MapFunc(func(ctx *Context, kv KV) {
+		for _, w := range strings.Fields(kv.Value.(string)) {
+			ctx.Emit(w, opaque{n: 1})
+		}
+	})
+	reducer := ReduceFunc(func(ctx *Context, key string, values []any) {
+		var n int64
+		for _, v := range values {
+			n += v.(opaque).n
+		}
+		ctx.Emit(key, n)
+	})
+	dir := t.TempDir()
+	res, err := Run(Config{Cluster: tinyCluster(), MapTasks: 2, ReduceTasks: 2,
+		MemoryBudgetBytes: 256, SpillDir: dir}, input, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(Config{Cluster: tinyCluster(), MapTasks: 2, ReduceTasks: 2},
+		input, mapper, reducer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Output, want.Output) {
+		t.Fatal("pinned-value job output differs")
+	}
+	if res.Counters.Get(CounterSpillRuns) != 0 {
+		t.Fatal("unencodable values were spilled")
+	}
+	noSpillFiles(t, dir, 0)
+}
+
+// TestPipelineInheritsMemoryBudget: stages inherit the pipeline's budget
+// and spill dir, and MaxCounter aggregates the peak across stages.
+func TestPipelineInheritsMemoryBudget(t *testing.T) {
+	dir := t.TempDir()
+	p := NewPipeline("budgeted", tinyCluster())
+	p.MemoryBudgetBytes = 2 << 10
+	p.SpillDir = dir
+	input := budgetInput(16, 40, 80)
+	res, err := p.Run(Config{Name: "stage1"}, input, wcMapper{}, wcReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(Config{Name: "stage2"}, res.Output, MapFunc(func(ctx *Context, kv KV) {
+		ctx.Emit(kv.Key, kv.Value)
+	}), wcReducer{}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Counter(CounterSpillRuns) == 0 {
+		t.Fatal("pipeline stages did not inherit the budget")
+	}
+	if p.MaxCounter(CounterShufflePeak) == 0 {
+		t.Fatal("MaxCounter(shuffle.peak.bytes) = 0")
+	}
+	if p.MaxCounter(CounterShufflePeak) > p.Counter(CounterShufflePeak) {
+		t.Fatal("max across stages exceeds sum across stages")
+	}
+	noSpillFiles(t, dir, 0)
+}

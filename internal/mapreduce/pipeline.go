@@ -25,6 +25,13 @@ type Pipeline struct {
 	// the zero value; see FaultPolicy. This is how a chaos schedule reaches
 	// every job of a multi-stage algorithm.
 	Fault FaultPolicy
+	// MemoryBudgetBytes is inherited by every stage that leaves its
+	// Config.MemoryBudgetBytes at zero; see Config.MemoryBudgetBytes. This
+	// is how one Options.MemoryBudget reaches every job of an algorithm.
+	MemoryBudgetBytes int64
+	// SpillDir is inherited by every stage that leaves its Config.SpillDir
+	// empty; see Config.SpillDir.
+	SpillDir string
 
 	stages []stageResult
 }
@@ -53,6 +60,12 @@ func (p *Pipeline) Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (
 	}
 	if cfg.Fault.isZero() {
 		cfg.Fault = p.Fault
+	}
+	if cfg.MemoryBudgetBytes == 0 {
+		cfg.MemoryBudgetBytes = p.MemoryBudgetBytes
+	}
+	if cfg.SpillDir == "" {
+		cfg.SpillDir = p.SpillDir
 	}
 	res, err := Run(cfg, input, mapper, reducer)
 	if err != nil {
@@ -116,6 +129,19 @@ func (p *Pipeline) Counter(name string) int64 {
 		n += s.counters[name]
 	}
 	return n
+}
+
+// MaxCounter returns the largest value the named counter took in any
+// stage — the right aggregation for high-water marks such as
+// "shuffle.peak.bytes", which summing would overstate.
+func (p *Pipeline) MaxCounter(name string) int64 {
+	var max int64
+	for _, s := range p.stages {
+		if v := s.counters[name]; v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 // MaxLoadImbalance returns the worst reduce-phase load imbalance across

@@ -123,12 +123,19 @@ func runAttempts(cfg Config, counters *Counters, attempt func(a int) (*Context, 
 // SpeculativeAttempt so injectors can distinguish it (seeded plans run
 // backups clean, modelling a healthy node). The first copy to succeed
 // wins and the loser is abandoned mid-flight — safe because attempts
-// share nothing; it is left to finish emitting into its own discarded
-// context. If every launched copy fails, the first failure is returned.
+// share nothing; it is left to finish emitting into its own context,
+// which a drainer goroutine discards (spill files included) once it
+// crosses the finish line. Failed copies are discarded as their outcomes
+// arrive. If every launched copy fails, the first failure is returned.
 func speculate(cfg Config, counters *Counters, a int, attempt func(a int) (*Context, error)) (*Context, error) {
 	delay := cfg.Fault.SpeculativeDelay
 	if delay <= 0 {
-		return attempt(a)
+		ctx, err := attempt(a)
+		if err != nil {
+			ctx.discard()
+			return nil, err
+		}
+		return ctx, nil
 	}
 	type outcome struct {
 		ctx *Context
@@ -147,9 +154,20 @@ func speculate(cfg Config, counters *Counters, a int, attempt func(a int) (*Cont
 		select {
 		case o := <-results:
 			if o.err == nil {
+				if pending := launched - done - 1; pending > 0 {
+					// A loser copy is still running; reap its output —
+					// including any spill files — once it finishes.
+					go func() {
+						for i := 0; i < pending; i++ {
+							lost := <-results
+							lost.ctx.discard()
+						}
+					}()
+				}
 				return o.ctx, nil
 			}
 			done++
+			o.ctx.discard()
 			if firstErr == nil {
 				firstErr = o.err
 			}

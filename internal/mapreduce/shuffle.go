@@ -1,114 +1,145 @@
 package mapreduce
 
-import "fmt"
+import (
+	"fmt"
 
-// shuffleSink is one map task's pre-partitioned output: one KV buffer per
-// reduce task, filled at Emit time through the job partitioner (map-side
-// pre-partitioning). When the job's combiner is a Folder, emissions fold
-// into per-key accumulator slots as they arrive, so the separate combine
-// pass disappears entirely.
+	"fsjoin/internal/spill"
+)
+
+// shuffleSink is one map task's pre-partitioned output: a spill.Buffer
+// with one partition per reduce task, filled at Emit time through the job
+// partitioner (map-side pre-partitioning). When the job's combiner is a
+// Folder, emissions fold into per-key accumulator slots as they arrive, so
+// the separate combine pass disappears entirely. Under a memory budget the
+// buffer sorts and spills runs to disk and the reduce-side drain merges
+// them back (DESIGN.md §8); with no budget it is a pure in-memory buffer,
+// the engine's historical behaviour.
 //
 // Record order within a partition equals the order a global partition pass
-// would produce: the restriction of the task's emission order to one
-// partition is exactly the per-partition emission order.
+// would produce: without spilling, the restriction of the task's emission
+// order to one partition; with spilling, the key-sorted merge of that
+// order, which the reduce phase's group-and-sort normalises to the same
+// downstream bytes.
 type shuffleSink struct {
 	part     func(key string, reducers int) int
 	reducers int
-	parts    [][]KV
-	sizes    [][]int32 // filled by computeSizes once the task finishes
 	folder   Folder
-	slots    []map[string]int // per-partition key -> index in parts[r]
+	buf      *spill.Buffer
+	// prior carries the spill activity of a sink this one replaced (the
+	// pre-combine sink, whose runs would otherwise vanish from the
+	// counters when combineSink swaps it out).
+	prior spill.Stats
 }
 
-func newShuffleSink(part func(string, int) int, reducers int, folder Folder) *shuffleSink {
-	s := &shuffleSink{
-		part:     part,
-		reducers: reducers,
-		parts:    make([][]KV, reducers),
-		folder:   folder,
+func newShuffleSink(part func(string, int) int, reducers int, folder Folder, budget int64, dir string) *shuffleSink {
+	s := &shuffleSink{part: part, reducers: reducers, folder: folder}
+	sc := spill.Config{
+		Parts:  reducers,
+		Budget: budget,
+		Dir:    dir,
+		Size:   func(key string, v any) int64 { return int64(len(key) + sizeOf(v) + 8) },
 	}
 	if folder != nil {
-		s.slots = make([]map[string]int, reducers)
+		sc.Fold = folder.Fold
 	}
+	s.buf = spill.NewBuffer(sc)
 	return s
 }
 
 // add routes one emission to its reduce partition, folding into an existing
-// accumulator slot when a Folder combiner is active.
+// accumulator slot when a Folder combiner is active. A spill failure (disk
+// full, unwritable dir) panics like any task fault, so the attempt fails
+// and the engine's retry machinery takes over.
 func (s *shuffleSink) add(key string, value any) {
 	r := s.part(key, s.reducers)
 	if r < 0 || r >= s.reducers {
 		panic(fmt.Sprintf("mapreduce: partitioner returned %d for %d reducers", r, s.reducers))
 	}
-	if s.folder != nil {
-		slot := s.slots[r]
-		if slot == nil {
-			slot = make(map[string]int)
-			s.slots[r] = slot
-		}
-		if i, ok := slot[key]; ok {
-			s.parts[r][i].Value = s.folder.Fold(s.parts[r][i].Value, value)
-			return
-		}
-		slot[key] = len(s.parts[r])
+	if err := s.buf.Add(r, key, value); err != nil {
+		panic(fmt.Sprintf("mapreduce: shuffle spill: %v", err))
 	}
-	s.parts[r] = append(s.parts[r], KV{Key: key, Value: value})
 }
 
-// computeSizes sizes every record exactly once and returns the task's total
-// record and byte counts; the reduce phase reuses the per-record sizes
-// instead of re-deriving them.
-func (s *shuffleSink) computeSizes() (records, bytes int64) {
-	s.sizes = make([][]int32, s.reducers)
-	for r, pkvs := range s.parts {
-		sz := make([]int32, len(pkvs))
-		for i, kv := range pkvs {
-			b := int32(kvBytes(kv))
-			sz[i] = b
-			bytes += int64(b)
-		}
-		records += int64(len(pkvs))
-		s.sizes[r] = sz
-	}
-	return records, bytes
+// drain replays one partition's records with per-record accounted sizes,
+// merging spilled runs back in; it returns the merge fan-in (≤ 1 when the
+// partition never touched disk). Concurrent drains of distinct partitions
+// are safe.
+func (s *shuffleSink) drain(r int, emit func(key string, value any, bytes int64)) (int, error) {
+	return s.buf.Drain(r, emit)
 }
 
-// release drops one consumed partition so its memory is reclaimable before
-// the whole reduce phase finishes. Distinct reduce workers touch distinct
-// slice elements, so concurrent release calls do not race.
+// totals returns the task's shuffle record and byte counts.
+func (s *shuffleSink) totals() (records, bytes int64, err error) {
+	return s.buf.Totals()
+}
+
+// release drops one consumed partition so its memory (and, once all
+// partitions are consumed, its spill files) is reclaimed before the whole
+// reduce phase finishes. Distinct reduce workers release distinct
+// partitions, so concurrent calls do not race.
 func (s *shuffleSink) release(r int) {
-	s.parts[r] = nil
-	s.sizes[r] = nil
+	s.buf.Release(r)
+}
+
+// close removes any spill files. Used for sinks that lose their attempt
+// (retry, lost speculation) or whose job aborts; release covers the happy
+// path.
+func (s *shuffleSink) close() {
+	if s != nil {
+		s.buf.Close()
+	}
+}
+
+// stats exposes the task's spill activity: the underlying buffer's plus
+// any replaced sink's (sums for runs/bytes, maxes for the watermarks).
+func (s *shuffleSink) stats() spill.Stats {
+	st := s.buf.Stats()
+	st.Runs += s.prior.Runs
+	st.SpilledBytes += s.prior.SpilledBytes
+	if s.prior.PeakBytes > st.PeakBytes {
+		st.PeakBytes = s.prior.PeakBytes
+	}
+	if s.prior.MergeWays > st.MergeWays {
+		st.MergeWays = s.prior.MergeWays
+	}
+	return st
 }
 
 // combineSink runs a non-folding combiner over one map task's
 // pre-partitioned output, grouping each partition's records per key in
-// first-appearance order and routing the combined records through a fresh
-// sink. Combiners follow the standard key-preservation contract (output
-// keys equal input keys), which keeps combined records in the partitions
-// and relative order a post-combine partition pass would produce; a
+// drain order and routing the combined records through a fresh sink.
+// Combiners follow the standard key-preservation contract (output keys
+// equal input keys), which keeps combined records in the partitions and
+// relative order a post-combine partition pass would produce; a
 // key-rewriting combiner is still routed correctly because the replacement
-// sink re-partitions every emission.
+// sink re-partitions every emission. The source sink's spill files are
+// removed as soon as it is replaced; if the combiner panics mid-pass the
+// half-built replacement is cleaned up and the source stays owned by the
+// attempt context, which the retry machinery discards.
 func combineSink(cfg Config, mapCtx *Context, combiner Reducer, counters *Counters) *shuffleSink {
 	src := mapCtx.shuffle
-	dst := newShuffleSink(src.part, src.reducers, nil)
+	dst := newShuffleSink(src.part, src.reducers, nil, cfg.memoryBudget(), cfg.spillDir())
+	done := false
+	defer func() {
+		if !done {
+			dst.close()
+		}
+	}()
 	cctx := &Context{TaskID: mapCtx.TaskID, Job: cfg, counters: counters, shuffle: dst}
 	if s, ok := combiner.(Setupper); ok {
 		s.Setup(cctx)
 	}
 	for r := 0; r < src.reducers; r++ {
-		pkvs := src.parts[r]
-		if len(pkvs) == 0 {
-			continue
-		}
-		grouped := make(map[string][]any, len(pkvs)/2+1)
-		order := make([]string, 0, len(pkvs)/2+1)
-		for _, kv := range pkvs {
-			vs, seen := grouped[kv.Key]
+		grouped := make(map[string][]any)
+		var order []string
+		if _, err := src.drain(r, func(key string, v any, _ int64) {
+			vs, seen := grouped[key]
 			if !seen {
-				order = append(order, kv.Key)
+				order = append(order, key)
 			}
-			grouped[kv.Key] = append(vs, kv.Value)
+			grouped[key] = append(vs, v)
+		}); err != nil {
+			panic(fmt.Sprintf("mapreduce: combine fetch: %v", err))
 		}
 		for _, k := range order {
 			combiner.Reduce(cctx, k, grouped[k])
@@ -118,5 +149,8 @@ func combineSink(cfg Config, mapCtx *Context, combiner Reducer, counters *Counte
 		c.Cleanup(cctx)
 	}
 	mapCtx.absorb(cctx)
+	dst.prior = src.stats()
+	src.close()
+	done = true
 	return dst
 }

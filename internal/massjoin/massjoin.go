@@ -83,6 +83,14 @@ type Options struct {
 	// Fault is the fault-tolerance and fault-injection policy inherited by
 	// every stage; see mapreduce.FaultPolicy.
 	Fault mapreduce.FaultPolicy
+	// MemoryBudget caps each map task's in-memory shuffle buffer; records
+	// beyond it spill to sorted runs on disk and merge back at reduce time
+	// (see mapreduce.Config.MemoryBudgetBytes). 0 defers to the engine
+	// default (FSJOIN_MEMORY_BUDGET); negative forces unbounded. Results
+	// are byte-identical at any budget.
+	MemoryBudget int64
+	// SpillDir is the parent directory for spill files ("" = OS temp dir).
+	SpillDir string
 }
 
 // Result carries the join output and pipeline metrics.

@@ -24,6 +24,8 @@ func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
 	p.Context = opt.Ctx
 	p.Parallelism = opt.Parallelism
 	p.Fault = opt.Fault
+	p.MemoryBudgetBytes = opt.MemoryBudget
+	p.SpillDir = opt.SpillDir
 
 	// Job 1: global ordering (token frequency).
 	o, err := order.Compute(p, c)

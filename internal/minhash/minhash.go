@@ -48,6 +48,14 @@ type Params struct {
 	// Fault is the fault-tolerance and fault-injection policy inherited by
 	// every stage; see mapreduce.FaultPolicy.
 	Fault mapreduce.FaultPolicy
+	// MemoryBudget caps each map task's in-memory shuffle buffer; records
+	// beyond it spill to sorted runs on disk and merge back at reduce time
+	// (see mapreduce.Config.MemoryBudgetBytes). 0 defers to the engine
+	// default (FSJOIN_MEMORY_BUDGET); negative forces unbounded. Results
+	// are byte-identical at any budget.
+	MemoryBudget int64
+	// SpillDir is the parent directory for spill files ("" = OS temp dir).
+	SpillDir string
 }
 
 // Auto fills Bands and Rows so the S-curve's steep section brackets theta:
@@ -113,6 +121,8 @@ func SelfJoin(c *tokens.Collection, p Params) (*Result, error) {
 	pipe.Context = p.Ctx
 	pipe.Parallelism = p.Parallelism
 	pipe.Fault = p.Fault
+	pipe.MemoryBudgetBytes = p.MemoryBudget
+	pipe.SpillDir = p.SpillDir
 
 	// Job 1: band signatures → candidate pairs.
 	hashes := newFamily(p.Seed, p.Bands*p.Rows)

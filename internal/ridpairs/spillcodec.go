@@ -1,0 +1,39 @@
+package ridpairs
+
+import (
+	"encoding/binary"
+
+	"fsjoin/internal/spill"
+	"fsjoin/internal/tokens"
+)
+
+// Spill codecs for this package's shuffle values (DESIGN.md §8). Tags
+// 43–44; this package owns tags 43–45.
+func init() {
+	spill.RegisterValue(43, prefixValue{},
+		func(buf []byte, v any) []byte {
+			p := v.(prefixValue)
+			buf = binary.AppendVarint(buf, int64(p.rec.RID))
+			buf = append(buf, p.origin)
+			return spill.AppendU32s(buf, p.rec.Tokens)
+		},
+		func(b []byte) (any, error) {
+			d := spill.NewDec(b)
+			p := prefixValue{rec: tokens.Record{RID: int32(d.Varint())}}
+			p.origin = d.Byte()
+			p.rec.Tokens = d.U32s()
+			return p, d.Err()
+		})
+	spill.RegisterValue(44, simValue{},
+		func(buf []byte, v any) []byte {
+			s := v.(simValue)
+			buf = binary.AppendVarint(buf, int64(s.c))
+			buf = binary.AppendVarint(buf, int64(s.la))
+			return binary.AppendVarint(buf, int64(s.lb))
+		},
+		func(b []byte) (any, error) {
+			d := spill.NewDec(b)
+			s := simValue{c: int32(d.Varint()), la: int32(d.Varint()), lb: int32(d.Varint())}
+			return s, d.Err()
+		})
+}

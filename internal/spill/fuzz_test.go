@@ -1,0 +1,217 @@
+package spill
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// FuzzValueCodec exercises decodeValue on arbitrary frames: it must never
+// panic, and any frame it accepts must re-encode and re-decode to the same
+// value and concrete type (a full round trip for every reachable frame).
+func FuzzValueCodec(f *testing.F) {
+	seeds := []any{
+		nil, true, int64(-1 << 40), uint32(7), float64(3.25),
+		"hello", []byte{1, 2}, []uint32{9, 8}, []int32{-3},
+		[]int{4, -4}, []string{"a", "b"},
+	}
+	for _, v := range seeds {
+		buf, err := appendValue(nil, v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{200})
+	f.Add([]byte{tagU32Slice, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		v, err := decodeValue(frame)
+		if err != nil {
+			return
+		}
+		re, err := appendValue(nil, v)
+		if err != nil {
+			t.Fatalf("decoded %T %v but cannot re-encode: %v", v, v, err)
+		}
+		v2, err := decodeValue(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		// NaN payloads are preserved bit-for-bit but fail DeepEqual.
+		same := reflect.DeepEqual(v, v2)
+		switch x := v.(type) {
+		case float32:
+			y, ok := v2.(float32)
+			same = ok && math.Float32bits(x) == math.Float32bits(y)
+		case float64:
+			y, ok := v2.(float64)
+			same = ok && math.Float64bits(x) == math.Float64bits(y)
+		}
+		if !same {
+			t.Fatalf("unstable round trip: %#v -> %#v", v, v2)
+		}
+		if v != nil && reflect.TypeOf(v) != reflect.TypeOf(v2) {
+			t.Fatalf("type drift: %T -> %T", v, v2)
+		}
+	})
+}
+
+// FuzzBufferMerge feeds an arbitrary KV sequence (decoded from the fuzz
+// input) through a tightly budgeted Buffer and checks the spill-and-merge
+// drain against the in-memory reference: same key set, identical per-key
+// value order, key-sorted across groups — the exact contract the engine's
+// reduce phase relies on (DESIGN.md §8).
+func FuzzBufferMerge(f *testing.F) {
+	f.Add([]byte("aa1bb2aa3cc4"), uint8(3), uint16(64))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 200, 201}, uint8(1), uint16(32))
+	f.Add(bytes.Repeat([]byte("xyzw"), 64), uint8(2), uint16(48))
+	f.Fuzz(func(t *testing.T, data []byte, nkeys uint8, budget uint16) {
+		keys := int(nkeys%16) + 1
+		// Decode the fuzz bytes into a KV stream: each byte contributes one
+		// record with a derived key and a varint-ish value.
+		type kv struct {
+			key string
+			val int64
+		}
+		var recs []kv
+		for i, c := range data {
+			if len(recs) >= 512 {
+				break
+			}
+			recs = append(recs, kv{
+				key: fmt.Sprintf("k%02d", int(c)%keys),
+				val: int64(i)<<8 | int64(c),
+			})
+		}
+		bud := int64(budget%1024) + 16
+
+		b := NewBuffer(Config{Parts: 1, Budget: bud, Size: testSize, Dir: t.TempDir()})
+		defer b.Close()
+		for _, r := range recs {
+			if err := b.Add(0, r.key, r.val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var gotKeys []string
+		got := make(map[string][]int64)
+		if _, err := b.Drain(0, func(k string, v any, sz int64) {
+			if sz != testSize(k, v) {
+				t.Fatalf("accounted size drifted: %d vs %d", sz, testSize(k, v))
+			}
+			if vs, ok := got[k]; !ok || len(vs) == 0 {
+				gotKeys = append(gotKeys, k)
+			}
+			got[k] = append(got[k], v.(int64))
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference: group in arrival order, then sort keys — the in-memory
+		// shuffle contract after the reduce phase normalises key order.
+		want := make(map[string][]int64)
+		for _, r := range recs {
+			want[r.key] = append(want[r.key], r.val)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("key count %d, want %d", len(got), len(want))
+		}
+		for k, vs := range want {
+			if !reflect.DeepEqual(got[k], vs) {
+				t.Fatalf("key %q values %v, want %v", k, got[k], vs)
+			}
+		}
+		// Spilled drains interleave sorted runs: emitted key groups must be
+		// key-sorted whenever anything hit disk.
+		if b.Stats().Runs > 0 && !sort.StringsAreSorted(gotKeys) {
+			t.Fatalf("spilled drain emitted unsorted key groups: %v", gotKeys)
+		}
+	})
+}
+
+// FuzzRunCodec round-trips arbitrary KV sequences through the run writer
+// and cursor directly, asserting the replay matches a reference sort of
+// the input — the k-way merge's per-source contract.
+func FuzzRunCodec(f *testing.F) {
+	f.Add([]byte("hello world"), uint8(2))
+	f.Add([]byte{0xff, 0x00, 0x7f}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, parts uint8) {
+		np := int(parts%4) + 1
+		type rec struct {
+			part int
+			key  string
+			val  string
+		}
+		var recs []rec
+		for i := 0; i+1 < len(data) && len(recs) < 256; i += 2 {
+			recs = append(recs, rec{
+				part: int(data[i]) % np,
+				key:  fmt.Sprintf("k%03d", data[i+1]),
+				val:  string(data[i : i+2]),
+			})
+		}
+		// Keys must arrive sorted per partition, as Buffer.spill guarantees.
+		sort.SliceStable(recs, func(i, j int) bool {
+			if recs[i].part != recs[j].part {
+				return recs[i].part < recs[j].part
+			}
+			return recs[i].key < recs[j].key
+		})
+		dir := t.TempDir()
+		w, err := newRunWriter(dir, 0, np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := w.add(r.part, r.key, r.val, int64(len(r.key)+len(r.val))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ru, err := w.finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ru.close()
+		for p := 0; p < np; p++ {
+			var want []rec
+			for _, r := range recs {
+				if r.part == p {
+					want = append(want, r)
+				}
+			}
+			c := ru.open(p)
+			if c == nil {
+				if len(want) != 0 {
+					t.Fatalf("partition %d lost %d records", p, len(want))
+				}
+				continue
+			}
+			for i := 0; ; i++ {
+				k, v, ok, err := c.next()
+				if err != nil {
+					t.Fatalf("partition %d record %d: %v", p, i, err)
+				}
+				if !ok {
+					if i != len(want) {
+						t.Fatalf("partition %d replayed %d records, want %d", p, i, len(want))
+					}
+					break
+				}
+				if i >= len(want) || k != want[i].key || v.(string) != want[i].val {
+					t.Fatalf("partition %d record %d: got (%q,%v)", p, i, k, v)
+				}
+			}
+		}
+		// The segment index must account exactly.
+		var total int64
+		for _, s := range ru.segs {
+			total += s.records
+		}
+		if total != int64(len(recs)) {
+			t.Fatalf("segment index records %d, want %d", total, len(recs))
+		}
+	})
+}

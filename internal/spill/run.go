@@ -1,0 +1,165 @@
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// A run is one spill file: every partition's records in partition order,
+// each partition's slice sorted by key (stable, so equal keys keep their
+// emission order). Records are length-prefixed —
+//
+//	uvarint(len(key)) key uvarint(len(tag+payload)) tag payload
+//
+// — and a per-partition segment index (offset, end, record count,
+// accounted bytes) kept in memory lets each reduce task read exactly its
+// partition's byte range through an independent SectionReader.
+type run struct {
+	f    *os.File
+	segs []segment
+}
+
+type segment struct {
+	off     int64
+	end     int64
+	records int64
+	bytes   int64 // accounted (pre-encoding) bytes, for shuffle metrics
+}
+
+// close removes the run's file. Safe to call once per run.
+func (r *run) close() {
+	if r.f == nil {
+		return
+	}
+	name := r.f.Name()
+	r.f.Close()
+	os.Remove(name)
+	r.f = nil
+}
+
+// runWriter streams one run to disk. Partitions must be written in
+// non-decreasing order.
+type runWriter struct {
+	f       *os.File
+	w       *bufio.Writer
+	off     int64
+	segs    []segment
+	scratch []byte
+	val     []byte
+}
+
+func newRunWriter(dir string, seq, parts int) (*runWriter, error) {
+	f, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("run-%06d", seq)),
+		os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	return &runWriter{f: f, w: bufio.NewWriterSize(f, 64<<10), segs: make([]segment, parts)}, nil
+}
+
+// add appends one record to partition p. accBytes is the record's
+// accounted (in-memory) size, carried into the segment index so totals
+// never need a decode pass.
+func (w *runWriter) add(p int, key string, v any, accBytes int64) error {
+	w.scratch = binary.AppendUvarint(w.scratch[:0], uint64(len(key)))
+	w.scratch = append(w.scratch, key...)
+	var err error
+	if w.val, err = appendValue(w.val[:0], v); err != nil {
+		return err
+	}
+	w.scratch = binary.AppendUvarint(w.scratch, uint64(len(w.val)))
+	w.scratch = append(w.scratch, w.val...)
+	n, err := w.w.Write(w.scratch)
+	if err != nil {
+		return err
+	}
+	seg := &w.segs[p]
+	if seg.records == 0 {
+		seg.off = w.off
+	}
+	w.off += int64(n)
+	seg.end = w.off
+	seg.records++
+	seg.bytes += accBytes
+	return nil
+}
+
+// finish flushes and returns the completed run, which keeps the file open
+// for reading.
+func (w *runWriter) finish() (*run, error) {
+	if err := w.w.Flush(); err != nil {
+		w.abort()
+		return nil, err
+	}
+	return &run{f: w.f, segs: w.segs}, nil
+}
+
+// abort discards a partially written run.
+func (w *runWriter) abort() {
+	name := w.f.Name()
+	w.f.Close()
+	os.Remove(name)
+}
+
+// cursor iterates one partition's records within a run, in stored (key)
+// order.
+type cursor struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// open returns a cursor over partition p, or nil when the run holds no
+// records for it. Cursors over distinct partitions are independent, so
+// concurrent reduce tasks can read the same run file.
+func (r *run) open(p int) *cursor {
+	seg := r.segs[p]
+	if seg.records == 0 {
+		return nil
+	}
+	return &cursor{br: bufio.NewReaderSize(io.NewSectionReader(r.f, seg.off, seg.end-seg.off), 32<<10)}
+}
+
+// next returns the cursor's next record; ok is false at the end of the
+// segment.
+func (c *cursor) next() (key string, v any, ok bool, err error) {
+	kl, err := binary.ReadUvarint(c.br)
+	if err == io.EOF {
+		return "", nil, false, nil
+	}
+	if err != nil {
+		return "", nil, false, err
+	}
+	if key, err = c.readFrame(kl); err != nil {
+		return "", nil, false, err
+	}
+	vl, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return "", nil, false, fmt.Errorf("spill: truncated record: %w", err)
+	}
+	if cap(c.buf) < int(vl) {
+		c.buf = make([]byte, vl)
+	}
+	c.buf = c.buf[:vl]
+	if _, err = io.ReadFull(c.br, c.buf); err != nil {
+		return "", nil, false, fmt.Errorf("spill: truncated value: %w", err)
+	}
+	if v, err = decodeValue(c.buf); err != nil {
+		return "", nil, false, err
+	}
+	return key, v, true, nil
+}
+
+func (c *cursor) readFrame(n uint64) (string, error) {
+	if cap(c.buf) < int(n) {
+		c.buf = make([]byte, n)
+	}
+	c.buf = c.buf[:n]
+	if _, err := io.ReadFull(c.br, c.buf); err != nil {
+		return "", fmt.Errorf("spill: truncated key: %w", err)
+	}
+	return string(c.buf), nil
+}

@@ -1,0 +1,482 @@
+package spill
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func testSize(key string, v any) int64 { return int64(len(key) + 16) }
+
+// drainAll replays every partition into (key, value) slices.
+func drainAll(t *testing.T, b *Buffer, parts int) ([][]string, [][]any) {
+	t.Helper()
+	keys := make([][]string, parts)
+	vals := make([][]any, parts)
+	for p := 0; p < parts; p++ {
+		if _, err := b.Drain(p, func(k string, v any, _ int64) {
+			keys[p] = append(keys[p], k)
+			vals[p] = append(vals[p], v)
+		}); err != nil {
+			t.Fatalf("drain %d: %v", p, err)
+		}
+	}
+	return keys, vals
+}
+
+// groupByKey normalises a drain sequence the way the engine's reduce phase
+// does: values grouped per key, keys sorted. Per-key value order must be
+// preserved exactly.
+func groupByKey(keys []string, vals []any) (sorted []string, grouped map[string][]any) {
+	grouped = make(map[string][]any)
+	for i, k := range keys {
+		if _, ok := grouped[k]; !ok {
+			sorted = append(sorted, k)
+		}
+		grouped[k] = append(grouped[k], vals[i])
+	}
+	sort.Strings(sorted)
+	return sorted, grouped
+}
+
+func TestCodecRoundTripBuiltins(t *testing.T) {
+	cases := []any{
+		nil, true, false,
+		int(-7), int8(-8), int16(-900), int32(1 << 20), int64(-1 << 40),
+		uint(7), uint8(200), uint16(60000), uint32(1 << 30), uint64(1 << 50),
+		float32(3.5), float64(-2.25),
+		"", "hello κόσμε", []byte{0, 1, 2, 255},
+		[]uint32{}, []uint32{1, 2, 1 << 31}, []int32{-1, 0, 1},
+		[]int{-5, 5}, []string{"a", "", "bc"},
+	}
+	for _, v := range cases {
+		if !Encodable(v) {
+			t.Errorf("Encodable(%T %v) = false", v, v)
+			continue
+		}
+		buf, err := appendValue(nil, v)
+		if err != nil {
+			t.Errorf("encode %T: %v", v, err)
+			continue
+		}
+		got, err := decodeValue(buf)
+		if err != nil {
+			t.Errorf("decode %T: %v", v, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, v) {
+			// An encoded empty slice decodes to a non-nil empty slice.
+			if rv := reflect.ValueOf(v); v != nil && rv.Kind() == reflect.Slice && rv.Len() == 0 &&
+				reflect.ValueOf(got).Len() == 0 && reflect.TypeOf(got) == reflect.TypeOf(v) {
+				continue
+			}
+			t.Errorf("round trip %T: got %#v want %#v", v, got, v)
+		}
+		if reflect.TypeOf(got) != reflect.TypeOf(v) {
+			t.Errorf("round trip %T: decoded concrete type %T", v, got)
+		}
+	}
+}
+
+type unregistered struct{ n int }
+
+func TestCodecUnregisteredType(t *testing.T) {
+	if Encodable(unregistered{1}) {
+		t.Fatal("Encodable(unregistered) = true")
+	}
+	if _, err := appendValue(nil, unregistered{1}); err == nil {
+		t.Fatal("encode of unregistered type succeeded")
+	}
+}
+
+type registered struct{ n int32 }
+
+func init() {
+	RegisterValue(250, registered{},
+		func(buf []byte, v any) []byte { return AppendI32s(buf, []int32{v.(registered).n}) },
+		func(b []byte) (any, error) {
+			d := NewDec(b)
+			xs := d.I32s()
+			if d.Err() != nil || len(xs) != 1 {
+				return nil, fmt.Errorf("bad registered payload")
+			}
+			return registered{n: xs[0]}, nil
+		})
+}
+
+func TestCodecRegisteredType(t *testing.T) {
+	v := registered{n: -42}
+	if !Encodable(v) {
+		t.Fatal("Encodable(registered) = false")
+	}
+	buf, err := appendValue(nil, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeValue(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("got %#v want %#v", got, v)
+	}
+}
+
+func TestRegisterValuePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	enc := func(buf []byte, v any) []byte { return buf }
+	dec := func(b []byte) (any, error) { return nil, nil }
+	mustPanic("builtin tag", func() { RegisterValue(5, registered{}, enc, dec) })
+	mustPanic("duplicate tag", func() { RegisterValue(250, struct{ x bool }{}, enc, dec) })
+	mustPanic("duplicate type", func() { RegisterValue(251, registered{}, enc, dec) })
+	mustPanic("nil codec", func() { RegisterValue(252, struct{ y bool }{}, nil, nil) })
+}
+
+func TestBufferUnboundedNeverSpills(t *testing.T) {
+	b := NewBuffer(Config{Parts: 2, Size: testSize, Dir: t.TempDir()})
+	defer b.Close()
+	for i := 0; i < 1000; i++ {
+		if err := b.Add(i%2, fmt.Sprintf("k%03d", i%50), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := b.Stats()
+	if st.Runs != 0 || st.SpilledBytes != 0 {
+		t.Fatalf("unbounded buffer spilled: %+v", st)
+	}
+	if st.PeakBytes == 0 {
+		t.Fatal("peak not tracked")
+	}
+	keys, _ := drainAll(t, b, 2)
+	if len(keys[0])+len(keys[1]) != 1000 {
+		t.Fatalf("drained %d records, want 1000", len(keys[0])+len(keys[1]))
+	}
+}
+
+// TestBufferSpillEquivalence checks the tentpole invariant: after reduce-
+// style grouping, a budgeted buffer's drain is identical to an unbounded
+// one's — same keys, same per-key value sequences — while actually
+// spilling multiple runs.
+func TestBufferSpillEquivalence(t *testing.T) {
+	const parts = 3
+	rng := rand.New(rand.NewSource(42))
+	build := func(budget int64, dir string) *Buffer {
+		r := rand.New(rand.NewSource(7))
+		b := NewBuffer(Config{Parts: parts, Budget: budget, Size: testSize, Dir: dir})
+		for i := 0; i < 2000; i++ {
+			k := fmt.Sprintf("key-%03d", r.Intn(120))
+			if err := b.Add(rng.Intn(parts), k, int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b
+	}
+	// Identical partition routing for both buffers.
+	rng = rand.New(rand.NewSource(42))
+	ref := build(0, t.TempDir())
+	defer ref.Close()
+	rng = rand.New(rand.NewSource(42))
+	dir := t.TempDir()
+	spilled := build(512, dir)
+	defer spilled.Close()
+
+	if st := spilled.Stats(); st.Runs < 2 {
+		t.Fatalf("budget 512 produced only %d runs", st.Runs)
+	}
+	refK, refV := drainAll(t, ref, parts)
+	gotK, gotV := drainAll(t, spilled, parts)
+	for p := 0; p < parts; p++ {
+		wantKeys, wantGroups := groupByKey(refK[p], refV[p])
+		gotKeys, gotGroups := groupByKey(gotK[p], gotV[p])
+		if !reflect.DeepEqual(wantKeys, gotKeys) {
+			t.Fatalf("partition %d key sets differ", p)
+		}
+		if !reflect.DeepEqual(wantGroups, gotGroups) {
+			t.Fatalf("partition %d grouped values differ", p)
+		}
+	}
+	// Records/bytes accounting must match the unbounded buffer's too.
+	rr, rb, err := ref.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, sb, err := spilled.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr != sr || rb != sb {
+		t.Fatalf("totals differ: unbounded (%d, %d) vs spilled (%d, %d)", rr, rb, sr, sb)
+	}
+}
+
+// TestBufferFoldEquivalence checks merge-time re-folding: a folding buffer
+// that spilled mid-stream still drains at most one record per key with the
+// same folded value as the in-memory fast path.
+func TestBufferFoldEquivalence(t *testing.T) {
+	fold := func(acc, v any) any { return acc.(int64) + v.(int64) }
+	build := func(budget int64, dir string) *Buffer {
+		b := NewBuffer(Config{Parts: 2, Budget: budget, Size: testSize, Dir: dir, Fold: fold})
+		r := rand.New(rand.NewSource(3))
+		for i := 0; i < 1500; i++ {
+			k := fmt.Sprintf("w%02d", r.Intn(40))
+			if err := b.Add(len(k+fmt.Sprint(i))%2, k, int64(1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b
+	}
+	ref := build(0, t.TempDir())
+	defer ref.Close()
+	spilled := build(256, t.TempDir())
+	defer spilled.Close()
+	if st := spilled.Stats(); st.Runs < 2 {
+		t.Fatalf("only %d runs", st.Runs)
+	}
+	for p := 0; p < 2; p++ {
+		want := map[string]int64{}
+		if _, err := ref.Drain(p, func(k string, v any, _ int64) { want[k] = v.(int64) }); err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]int64{}
+		if _, err := spilled.Drain(p, func(k string, v any, _ int64) {
+			if _, dup := got[k]; dup {
+				t.Fatalf("partition %d key %q drained twice (merge did not re-fold)", p, k)
+			}
+			got[k] = v.(int64)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("partition %d folded values differ:\nwant %v\ngot  %v", p, want, got)
+		}
+	}
+	// Totals must take the merge path and agree with the fast path.
+	rr, rb, err := ref.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, sb, err := spilled.Totals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr != sr || rb != sb {
+		t.Fatalf("totals differ: (%d,%d) vs (%d,%d)", rr, rb, sr, sb)
+	}
+}
+
+// TestBufferPinsUnencodable: records whose values have no codec make the
+// budget soft — they stay in memory and never corrupt a run file.
+func TestBufferPinsUnencodable(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBuffer(Config{Parts: 1, Budget: 64, Size: testSize, Dir: dir})
+	defer b.Close()
+	for i := 0; i < 100; i++ {
+		if err := b.Add(0, fmt.Sprintf("k%d", i), unregistered{n: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := b.Stats(); st.Runs != 0 {
+		t.Fatalf("pinned-only buffer wrote %d runs", st.Runs)
+	}
+	keys, vals := drainAll(t, b, 1)
+	if len(keys[0]) != 100 {
+		t.Fatalf("drained %d records, want 100", len(keys[0]))
+	}
+	for i, v := range vals[0] {
+		if v.(unregistered).n != i {
+			t.Fatalf("record %d perturbed: %#v", i, v)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("pinned buffer left files: %v", ents)
+	}
+}
+
+// TestBufferMixedPinnedAndSpilled: encodable records spill around pinned
+// ones and the merged drain carries both.
+func TestBufferMixedPinnedAndSpilled(t *testing.T) {
+	b := NewBuffer(Config{Parts: 1, Budget: 128, Size: testSize, Dir: t.TempDir()})
+	defer b.Close()
+	for i := 0; i < 200; i++ {
+		var v any = int64(i)
+		if i%5 == 0 {
+			v = unregistered{n: i}
+		}
+		if err := b.Add(0, fmt.Sprintf("k%03d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := b.Stats(); st.Runs == 0 {
+		t.Fatal("mixed buffer never spilled")
+	}
+	keys, _ := drainAll(t, b, 1)
+	if len(keys[0]) != 200 {
+		t.Fatalf("drained %d records, want 200", len(keys[0]))
+	}
+}
+
+func TestBufferCloseRemovesFiles(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBuffer(Config{Parts: 2, Budget: 64, Size: testSize, Dir: dir})
+	for i := 0; i < 200; i++ {
+		if err := b.Add(i%2, fmt.Sprintf("k%03d", i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := b.Stats(); st.Runs == 0 {
+		t.Fatal("no spill happened")
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) == 0 {
+		t.Fatal("expected spill dir while open")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("Close left files: %v", ents)
+	}
+	// A closed buffer refuses further spills instead of writing to a
+	// removed directory.
+	var addErr error
+	for i := 0; i < 200 && addErr == nil; i++ {
+		addErr = b.Add(0, "k", int64(i))
+	}
+	if addErr == nil {
+		t.Fatal("Add kept spilling after Close")
+	}
+}
+
+func TestBufferReleaseAllClosesAndRemoves(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBuffer(Config{Parts: 3, Budget: 64, Size: testSize, Dir: dir})
+	for i := 0; i < 300; i++ {
+		if err := b.Add(i%3, fmt.Sprintf("k%03d", i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := b.Stats(); st.Runs == 0 {
+		t.Fatal("no spill happened")
+	}
+	for p := 0; p < 3; p++ {
+		b.Release(p)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("Release of all partitions left files: %v", ents)
+	}
+}
+
+func TestBufferDrainIsRepeatable(t *testing.T) {
+	b := NewBuffer(Config{Parts: 1, Budget: 64, Size: testSize, Dir: t.TempDir()})
+	defer b.Close()
+	for i := 0; i < 150; i++ {
+		if err := b.Add(0, fmt.Sprintf("k%02d", i%17), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k1, v1 := drainAll(t, b, 1)
+	k2, v2 := drainAll(t, b, 1)
+	if !reflect.DeepEqual(k1, k2) || !reflect.DeepEqual(v1, v2) {
+		t.Fatal("second drain differs from first")
+	}
+}
+
+func TestBufferMergeWaysStat(t *testing.T) {
+	b := NewBuffer(Config{Parts: 1, Budget: 64, Size: testSize, Dir: t.TempDir()})
+	defer b.Close()
+	for i := 0; i < 400; i++ {
+		if err := b.Add(0, fmt.Sprintf("k%03d", i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs := b.Stats().Runs
+	if runs < 2 {
+		t.Fatalf("want >= 2 runs, got %d", runs)
+	}
+	ways, err := b.Drain(0, func(string, any, int64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// runs + the in-memory tail (if non-empty).
+	if int64(ways) < runs {
+		t.Fatalf("merge ways %d < runs %d", ways, runs)
+	}
+	if got := b.Stats().MergeWays; got != int64(ways) {
+		t.Fatalf("Stats().MergeWays = %d, want %d", got, ways)
+	}
+}
+
+func TestRunWriterEmptyPartitionsSkipped(t *testing.T) {
+	b := NewBuffer(Config{Parts: 4, Budget: 64, Size: testSize, Dir: t.TempDir()})
+	defer b.Close()
+	// Only partition 2 gets data.
+	for i := 0; i < 100; i++ {
+		if err := b.Add(2, fmt.Sprintf("k%03d", i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []int{0, 1, 3} {
+		n := 0
+		ways, err := b.Drain(p, func(string, any, int64) { n++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 0 || ways != 0 {
+			t.Fatalf("empty partition %d drained %d records, %d ways", p, n, ways)
+		}
+	}
+	n := 0
+	if _, err := b.Drain(2, func(string, any, int64) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("partition 2 drained %d records, want 100", n)
+	}
+}
+
+// TestSpillDirNamePattern pins the on-disk layout other cleanup code greps
+// for: a private fsjoin-spill-* dir holding run-%06d files.
+func TestSpillDirNamePattern(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBuffer(Config{Parts: 1, Budget: 32, Size: testSize, Dir: dir})
+	defer b.Close()
+	for i := 0; i < 50; i++ {
+		if err := b.Add(0, fmt.Sprintf("k%02d", i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	subs, err := filepath.Glob(filepath.Join(dir, "fsjoin-spill-*"))
+	if err != nil || len(subs) != 1 {
+		t.Fatalf("spill subdirs = %v (err %v)", subs, err)
+	}
+	files, err := filepath.Glob(filepath.Join(subs[0], "run-*"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("run files = %v (err %v)", files, err)
+	}
+}

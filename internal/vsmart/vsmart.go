@@ -45,6 +45,14 @@ type Options struct {
 	// Fault is the fault-tolerance and fault-injection policy inherited by
 	// every stage; see mapreduce.FaultPolicy.
 	Fault mapreduce.FaultPolicy
+	// MemoryBudget caps each map task's in-memory shuffle buffer; records
+	// beyond it spill to sorted runs on disk and merge back at reduce time
+	// (see mapreduce.Config.MemoryBudgetBytes). 0 defers to the engine
+	// default (FSJOIN_MEMORY_BUDGET); negative forces unbounded. Results
+	// are byte-identical at any budget.
+	MemoryBudget int64
+	// SpillDir is the parent directory for spill files ("" = OS temp dir).
+	SpillDir string
 }
 
 // Result carries the join output and pipeline metrics.
@@ -84,6 +92,8 @@ func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
 	p.Context = opt.Ctx
 	p.Parallelism = opt.Parallelism
 	p.Fault = opt.Fault
+	p.MemoryBudgetBytes = opt.MemoryBudget
+	p.SpillDir = opt.SpillDir
 
 	// Ordering is not required for correctness here, but running the same
 	// frequency job keeps the end-to-end comparison fair across methods.

@@ -99,6 +99,8 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			Ctx:                opt.Context,
 			LocalParallelism:   opt.localParallelism(),
 			Fault:              opt.faultPolicy(),
+			MemoryBudget:       opt.MemoryBudget,
+			SpillDir:           opt.SpillDir,
 		})
 		if err != nil {
 			return nil, err
@@ -108,6 +110,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 		res, err := ridpairs.SelfJoin(c.t, ridpairs.Options{
 			Fn: fn, Theta: opt.Threshold, Cluster: cl, Ctx: opt.Context,
 			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
+			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 		})
 		if err != nil {
 			return nil, err
@@ -117,7 +120,8 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 		res, err := vsmart.SelfJoin(c.t, vsmart.Options{
 			Fn: fn, Theta: opt.Threshold, Cluster: cl, MaxPairEmits: opt.WorkBudget,
 			Ctx: opt.Context, Parallelism: opt.localParallelism(),
-			Fault: opt.faultPolicy(),
+			Fault:        opt.faultPolicy(),
+			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 		})
 		if err != nil {
 			return nil, err
@@ -130,7 +134,8 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 		res, err := minhash.SelfJoin(c.t, minhash.Params{
 			Theta: opt.Threshold, Seed: uint64(opt.Seed), Cluster: cl,
 			Ctx: opt.Context, Parallelism: opt.localParallelism(),
-			Fault: opt.faultPolicy(),
+			Fault:        opt.faultPolicy(),
+			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 		})
 		if err != nil {
 			return nil, err
@@ -145,6 +150,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			Fn: fn, Theta: opt.Threshold, Variant: variant, Cluster: cl,
 			MaxSignatures: opt.WorkBudget, Ctx: opt.Context,
 			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
+			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 		})
 		if err != nil {
 			return nil, err
@@ -171,6 +177,7 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 		res, err := ridpairs.Join(c.t, s.t, ridpairs.Options{
 			Fn: fn, Theta: opt.Threshold, Cluster: opt.cluster(), Ctx: opt.Context,
 			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
+			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 		})
 		if err != nil {
 			return nil, err
@@ -197,6 +204,8 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 		Ctx:                opt.Context,
 		LocalParallelism:   opt.localParallelism(),
 		Fault:              opt.faultPolicy(),
+		MemoryBudget:       opt.MemoryBudget,
+		SpillDir:           opt.SpillDir,
 	})
 	if err != nil {
 		return nil, err
@@ -211,11 +220,14 @@ func publish(pairs []result.Pair, p *mapreduce.Pipeline, candidates int64) *Resu
 		out.Pairs[i] = Pair{A: int(pr.A), B: int(pr.B), Common: pr.Common, Similarity: pr.Sim}
 	}
 	out.Stats = Stats{
-		SimulatedTime:  p.TotalSimulatedTime(),
-		ShuffleRecords: p.TotalShuffleRecords(),
-		ShuffleBytes:   p.TotalShuffleBytes(),
-		LoadImbalance:  p.MaxLoadImbalance(),
-		Candidates:     candidates,
+		SimulatedTime:    p.TotalSimulatedTime(),
+		ShuffleRecords:   p.TotalShuffleRecords(),
+		ShuffleBytes:     p.TotalShuffleBytes(),
+		LoadImbalance:    p.MaxLoadImbalance(),
+		Candidates:       candidates,
+		SpillRuns:        p.Counter(mapreduce.CounterSpillRuns),
+		SpillBytes:       p.Counter(mapreduce.CounterSpillBytes),
+		ShufflePeakBytes: p.MaxCounter(mapreduce.CounterShufflePeak),
 	}
 	return out
 }
