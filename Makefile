@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem all
+.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem test-recovery all
 
 all: build vet test
 
@@ -53,6 +53,19 @@ fuzz:
 # under the race detector. CI runs this as its low-memory job.
 test-lowmem:
 	FSJOIN_MEMORY_BUDGET=4096 $(GO) test -race ./...
+
+# test-recovery runs the checkpoint/restart and poison-record suites
+# (DESIGN.md §9) under the race detector with a 1 KiB shuffle budget, so
+# crash-resume equivalence is proven while every stage also spills — the
+# composition of the durability and out-of-core paths. CI runs this as its
+# recovery job.
+test-recovery:
+	FSJOIN_MEMORY_BUDGET=1024 $(GO) test -race \
+		-run 'TestCrashResume|TestResume|TestCheckpointSalt|TestSkip|TestMaxSkipped|TestInjectedRecordFault|TestPipelineCheckpoint' \
+		. ./internal/mapreduce/
+	$(GO) test -race ./internal/checkpoint/
+	$(GO) test -fuzz 'FuzzDecode' -fuzztime 10s ./internal/checkpoint/
+	$(GO) test -fuzz 'FuzzLoadViaStore' -fuzztime 10s ./internal/checkpoint/
 
 # cover enforces the CI total-coverage gate (baseline 79.8% when the gate
 # was set; fails below 78%).

@@ -3,7 +3,9 @@
 // map-based baselines, the Figure 7-class end-to-end joins sequential vs
 // parallel, and the out-of-core shuffle across memory budgets — and writes
 // a machine-readable JSON report (BENCH_PR3.json) with the derived
-// speedup, allocation and spill-slowdown ratios.
+// speedup, allocation and spill-slowdown ratios, plus an in-process
+// robustness section (checkpoint hit/miss counters across a cold run and
+// a resume, and fault.records.skipped from a poisoned word count).
 //
 // Usage:
 //
@@ -20,6 +22,9 @@ import (
 	"runtime"
 	"strconv"
 	"time"
+
+	"fsjoin"
+	"fsjoin/internal/mapreduce"
 )
 
 // result is one parsed benchmark line. Metrics carries any custom
@@ -42,6 +47,7 @@ type report struct {
 	Note       string             `json:"note,omitempty"`
 	Benchmarks []result           `json:"benchmarks"`
 	Derived    map[string]float64 `json:"derived"`
+	Robustness map[string]float64 `json:"robustness,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(
@@ -97,6 +103,64 @@ func runBench(benchtime, pattern, pkg string, mem bool) ([]result, error) {
 	return rs, nil
 }
 
+// poisonMapper is a word-count mapper that deterministically panics on
+// the record keyed "poison" — the robustness probe for record quarantine.
+type poisonMapper struct{}
+
+func (poisonMapper) Map(ctx *mapreduce.Context, kv mapreduce.KV) {
+	if kv.Key == "poison" {
+		panic("poisoned record")
+	}
+	ctx.Emit(kv.Key, 1)
+}
+
+// robustness exercises the recovery machinery in-process and reports its
+// counters: a checkpointed join run cold then resumed from the same
+// directory, and a poisoned word count completed via record quarantine.
+func robustness() (map[string]float64, error) {
+	texts := make([]string, 200)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("alpha beta gamma delta epsilon%d zeta%d", i%7, i%11)
+	}
+	dir, err := os.MkdirTemp("", "benchreport-ckpt-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	opt := fsjoin.Options{Threshold: 0.5, CheckpointDir: dir}
+	cold, err := fsjoin.SelfJoinStrings(texts, opt)
+	if err != nil {
+		return nil, fmt.Errorf("cold checkpointed join: %v", err)
+	}
+	warm, err := fsjoin.SelfJoinStrings(texts, opt)
+	if err != nil {
+		return nil, fmt.Errorf("resumed checkpointed join: %v", err)
+	}
+	if len(warm.Pairs) != len(cold.Pairs) {
+		return nil, fmt.Errorf("resumed join found %d pairs, cold run %d", len(warm.Pairs), len(cold.Pairs))
+	}
+
+	input := make([]mapreduce.KV, 0, 101)
+	for i := 0; i < 100; i++ {
+		input = append(input, mapreduce.KV{Key: fmt.Sprintf("w%d", i%13), Value: 1})
+	}
+	input = append(input, mapreduce.KV{Key: "poison", Value: 1})
+	res, err := mapreduce.Run(mapreduce.Config{
+		Name:  "robustness-poisoned-wc",
+		Fault: mapreduce.FaultPolicy{MaxAttempts: 2, SkipBadRecords: true},
+	}, input, poisonMapper{}, mapreduce.FirstValue{})
+	if err != nil {
+		return nil, fmt.Errorf("poisoned word count: %v", err)
+	}
+
+	return map[string]float64{
+		"checkpoint_cold_misses":   float64(cold.Stats.CheckpointMisses),
+		"checkpoint_resume_hits":   float64(warm.Stats.CheckpointHits),
+		"checkpoint_resume_misses": float64(warm.Stats.CheckpointMisses),
+		"records_skipped":          float64(res.Counters.Get(mapreduce.CounterRecordsSkipped)),
+	}, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_PR3.json", "output file")
 	benchtime := flag.String("benchtime", "5x", "per-benchmark -benchtime")
@@ -145,12 +209,20 @@ func main() {
 	ratio("spill_64k_slowdown_x", "BenchmarkMemoryBudget/64KiB", "BenchmarkMemoryBudget/unbounded", ns)
 	ratio("spill_4k_slowdown_x", "BenchmarkMemoryBudget/4KiB", "BenchmarkMemoryBudget/unbounded", ns)
 
+	fmt.Fprintln(os.Stderr, "benchreport: running in-process robustness probes")
+	rob, err := robustness()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
 	rep := report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.NumCPU(),
 		Benchmarks: all,
 		Derived:    derived,
+		Robustness: rob,
 	}
 	if rep.CPUs == 1 {
 		rep.Note = "single-CPU machine: parallel and sequential runs share one core, " +

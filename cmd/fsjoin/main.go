@@ -5,7 +5,8 @@
 // Usage:
 //
 //	fsjoin -theta 0.8 [-algo fs|fs-v|ridpairs|vsmart|massjoin|massjoin-light]
-//	       [-fn jaccard|dice|cosine] [-q N] [-nodes N] [-stats] R.txt [S.txt]
+//	       [-fn jaccard|dice|cosine] [-q N] [-nodes N] [-stats]
+//	       [-checkpoint DIR [-resume]] [-skip-bad-records] R.txt [S.txt]
 //
 // With one input file a self-join is performed; with two, an R-S join
 // (FS-Join only). Records are word-tokenised (lower-cased, split on
@@ -20,6 +21,7 @@ import (
 	"strconv"
 
 	"fsjoin"
+	"fsjoin/internal/checkpoint"
 	"fsjoin/internal/dataset"
 	"fsjoin/internal/tokens"
 )
@@ -35,6 +37,10 @@ func main() {
 		stats  = flag.Bool("stats", false, "print simulated execution statistics")
 		budget = flag.Int64("budget", 0, "work budget for vsmart/massjoin (0 = unlimited)")
 		par    = flag.Int("par", 0, "local task parallelism (0 = one worker per core, 1 = sequential)")
+		ckpt   = flag.String("checkpoint", "", "directory for durable stage checkpoints (enables -resume)")
+		resume = flag.Bool("resume", false, "reuse matching checkpoints from -checkpoint instead of starting fresh")
+		skip   = flag.Bool("skip-bad-records", false, "quarantine records that deterministically crash a task instead of failing the join")
+		maxSk  = flag.Int("max-skipped-records", 0, "abort after this many quarantined records (0 = default limit)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 || flag.NArg() > 2 {
@@ -43,7 +49,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := fsjoin.Options{Threshold: *theta, Nodes: *nodes, WorkBudget: *budget, LocalParallelism: *par}
+	if *resume && *ckpt == "" {
+		fatal("-resume requires -checkpoint DIR")
+	}
+	opt := fsjoin.Options{Threshold: *theta, Nodes: *nodes, WorkBudget: *budget, LocalParallelism: *par, CheckpointDir: *ckpt}
+	if *ckpt != "" && !*resume {
+		// A fresh (non-resume) run must not reuse checkpoints left over
+		// from an earlier invocation with different inputs.
+		if st, err := checkpoint.Open(*ckpt); err != nil {
+			fatal("%v", err)
+		} else if err := st.Clear(); err != nil {
+			fatal("%v", err)
+		}
+	}
+	var quarantined []fsjoin.QuarantinedRecord
+	if *skip {
+		opt.Fault.SkipBadRecords = true
+		opt.Fault.MaxSkippedRecords = *maxSk
+		opt.Fault.OnQuarantine = func(r fsjoin.QuarantinedRecord) {
+			quarantined = append(quarantined, r)
+		}
+	}
 	switch *fn {
 	case "jaccard":
 		opt.Function = fsjoin.Jaccard
@@ -101,11 +127,19 @@ func main() {
 	for _, p := range res.Pairs {
 		fmt.Printf("%d\t%d\t%.4f\n", p.A, p.B, p.Similarity)
 	}
+	for _, q := range quarantined {
+		fmt.Fprintf(os.Stderr, "fsjoin: quarantined record: job=%s phase=%s task=%d err=%s\n",
+			q.Job, q.Phase, q.Task, q.Err)
+	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "pairs=%d simulated=%.1fs shuffle=%d records (%d bytes) imbalance=%.2f candidates=%d\n",
 			len(res.Pairs), res.Stats.SimulatedTime.Seconds(),
 			res.Stats.ShuffleRecords, res.Stats.ShuffleBytes,
 			res.Stats.LoadImbalance, res.Stats.Candidates)
+		if *ckpt != "" || *skip {
+			fmt.Fprintf(os.Stderr, "checkpoint hits=%d misses=%d skipped-records=%d\n",
+				res.Stats.CheckpointHits, res.Stats.CheckpointMisses, res.Stats.RecordsSkipped)
+		}
 	}
 }
 

@@ -24,6 +24,7 @@ package fsjoin
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"fsjoin/internal/fragjoin"
@@ -207,6 +208,18 @@ type Options struct {
 	// SpillDir is the parent directory for spill files; "" uses the OS
 	// temp dir. Each join creates and removes its own subdirectories.
 	SpillDir string
+	// CheckpointDir, when non-empty, makes the join durable: after every
+	// MapReduce stage completes, its output, counters and metrics are
+	// atomically persisted there, and a later run with the same options
+	// and input replays finished stages from disk byte-identically instead
+	// of re-executing them — crash/restart recovery for long pipelines.
+	// Stage checkpoints are keyed by a fingerprint over the options and
+	// the stage's full input content, so stale or corrupt checkpoints
+	// (changed data, changed options, damaged files) are detected and
+	// recomputed, never trusted. The directory is created if missing;
+	// Stats.CheckpointHits/CheckpointMisses report the replay activity.
+	// Directories must not be reused across library versions.
+	CheckpointDir string
 }
 
 // FaultOptions is the public face of the engine's fault model (DESIGN.md
@@ -234,6 +247,42 @@ type FaultOptions struct {
 	// ChaosIntensity is the fraction of (phase, task) pairs the schedule
 	// targets; 0 means 0.3. Meaningful only with ChaosSeed set.
 	ChaosIntensity float64
+	// SkipBadRecords enables Hadoop-style skip mode: when a task exhausts
+	// its attempts on the same deterministic panic, the engine bisects to
+	// the poison input record, quarantines it (Stats.RecordsSkipped, the
+	// OnQuarantine sink) and re-runs the task without it, so one bad
+	// record does not abort a million-record join. A skipped record's
+	// contribution is missing from the result — pairs involving it may be
+	// absent — which is the point: a degraded answer instead of none.
+	SkipBadRecords bool
+	// MaxSkippedRecords bounds quarantined records per job before the join
+	// aborts anyway (systematic failure is a bug, not a poison record);
+	// 0 means 16.
+	MaxSkippedRecords int
+	// OnQuarantine, when non-nil, receives every quarantined record.
+	// Calls are serialised by the engine.
+	OnQuarantine func(QuarantinedRecord)
+
+	// injector lets in-package tests schedule precise faults (including
+	// poison records) without widening the public API.
+	injector mapreduce.Injector
+}
+
+// QuarantinedRecord identifies one input record (map side) or key group
+// (reduce side) that skip mode removed from a job.
+type QuarantinedRecord struct {
+	// Job names the MapReduce stage the record poisoned (e.g.
+	// "filtering").
+	Job string
+	// Phase is "map" for an input record, "reduce" for a key group.
+	Phase string
+	// Task is the task index within the phase.
+	Task int
+	// Key is the record's engine key — the algorithms use big-endian
+	// binary record/token ids, so treat it as opaque bytes.
+	Key string
+	// Err is the deterministic failure the record produced.
+	Err string
 }
 
 // faultPolicy lowers the public knobs onto the engine policy.
@@ -252,7 +301,36 @@ func (o Options) faultPolicy() mapreduce.FaultPolicy {
 			TargetRate: f.ChaosIntensity,
 		})
 	}
+	if f.injector != nil {
+		fp.Injector = f.injector
+	}
+	fp.SkipBadRecords = f.SkipBadRecords
+	fp.MaxSkippedRecords = f.MaxSkippedRecords
+	if sink := f.OnQuarantine; sink != nil {
+		fp.Quarantine = func(r mapreduce.QuarantinedRecord) {
+			sink(QuarantinedRecord{
+				Job: r.Job, Phase: r.Phase.String(), Task: r.Task,
+				Key: r.Key, Err: r.Err,
+			})
+		}
+	}
 	return fp
+}
+
+// checkpointSalt folds every option that changes a stage's semantics into
+// the checkpoint fingerprints, so a checkpoint directory reused with
+// different options recomputes instead of replaying mismatched state.
+// Execution-only knobs (parallelism, memory budget, fault tolerance) are
+// deliberately excluded: output is byte-identical across them, so their
+// checkpoints are interchangeable.
+func (o Options) checkpointSalt() string {
+	if o.CheckpointDir == "" {
+		return ""
+	}
+	return fmt.Sprintf("fsjoin/v1|fn=%d|algo=%d|theta=%s|vp=%d|hp=%d|pivot=%d|join=%d|nodes=%d|seed=%d|work=%d",
+		o.Function, o.Algorithm, strconv.FormatFloat(o.Threshold, 'g', -1, 64),
+		o.VerticalPartitions, o.HorizontalPivots, o.PivotSelection, o.JoinMethod,
+		o.Nodes, o.Seed, o.WorkBudget)
 }
 
 func (o Options) cluster() *mapreduce.Cluster {
@@ -305,6 +383,15 @@ type Stats struct {
 	// ShufflePeakBytes is the largest in-memory shuffle buffer any map
 	// task held, recorded only under an active memory budget.
 	ShufflePeakBytes int64
+	// RecordsSkipped counts input records and key groups quarantined under
+	// Fault.SkipBadRecords across all stages; always zero when skip mode
+	// is off.
+	RecordsSkipped int64
+	// CheckpointHits and CheckpointMisses count pipeline stages replayed
+	// from, respectively executed and persisted to, Options.CheckpointDir;
+	// both are zero when checkpointing is off.
+	CheckpointHits   int64
+	CheckpointMisses int64
 }
 
 // Result is a completed join.

@@ -1,0 +1,336 @@
+// Package checkpoint persists completed pipeline stages so a crashed or
+// killed join can restart without redoing upstream work — the durability
+// Hadoop got for free from inter-job HDFS output and this in-process
+// engine has to build itself (DESIGN.md §9).
+//
+// A checkpoint file holds one stage's complete result: its output KVs in
+// the spill run codec (so replayed values decode to the same concrete
+// types the shuffle restores), the job's counters, and its metrics. Files
+// are written to a temp name and atomically renamed into place, carry a
+// SHA-256 trailer over every preceding byte, and are keyed by a stage
+// fingerprint covering the pipeline identity, caller configuration and
+// the stage's full input content. A loader that finds a bad checksum, an
+// undecodable body or a fingerprint mismatch discards the file and
+// reports a miss — stale or corrupt state triggers recompute, never a
+// wrong resume.
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fsjoin/internal/spill"
+)
+
+// magic opens every checkpoint file; the trailing digit is the format
+// version and must change whenever the manifest or record framing does.
+const magic = "FSCKPT01"
+
+// tmpPrefix names in-flight checkpoint writes. Open sweeps leftovers from
+// crashed writers, so an aborted save never leaks files into the
+// directory (the same leak-checked discipline the spill path follows).
+const tmpPrefix = ".tmp-ckpt-"
+
+// checksumLen is the length of the SHA-256 trailer.
+const checksumLen = sha256.Size
+
+// ErrUnencodable marks a snapshot whose values have no spill codec. The
+// pipeline treats it as "this stage cannot be checkpointed" and keeps
+// running — mirroring the spill buffer, which pins unencodable values in
+// memory instead of failing the job.
+var ErrUnencodable = errors.New("checkpoint: value has no spill codec")
+
+// Record is one persisted output pair.
+type Record struct {
+	Key   string
+	Value any
+}
+
+// Manifest describes one checkpointed stage. It is embedded in the file
+// as JSON between the magic and the record frames.
+type Manifest struct {
+	// Format is the writer's format version (currently 1).
+	Format int `json:"format"`
+	// Pipeline and Stage locate the stage within its pipeline.
+	Pipeline string `json:"pipeline"`
+	Stage    int    `json:"stage"`
+	// Job is the stage's job name.
+	Job string `json:"job"`
+	// Fingerprint is the hex stage fingerprint the loader must match.
+	Fingerprint string `json:"fingerprint"`
+	// Records is the number of record frames that follow the manifest.
+	Records int64 `json:"records"`
+	// Counters is the stage's full counter snapshot.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Metrics is the stage's metrics, marshalled by the engine (the
+	// checkpoint layer treats it as opaque JSON so it does not import the
+	// engine).
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+}
+
+// Snapshot is one loaded checkpoint.
+type Snapshot struct {
+	Manifest Manifest
+	Records  []Record
+}
+
+// LoadStatus classifies a Load outcome.
+type LoadStatus int
+
+// Load outcomes. Stale and Corrupt both remove the offending file and
+// lead the caller to recompute; they are distinguished so callers can
+// count corruption separately from ordinary configuration drift.
+const (
+	// Hit: a valid checkpoint with the wanted fingerprint was replayed.
+	Hit LoadStatus = iota
+	// Miss: no checkpoint exists for the stage.
+	Miss
+	// Stale: a valid checkpoint exists but its fingerprint differs (the
+	// configuration or input changed); it was discarded.
+	Stale
+	// Corrupt: the file failed its checksum or could not be decoded; it
+	// was discarded.
+	Corrupt
+)
+
+// String implements fmt.Stringer.
+func (s LoadStatus) String() string {
+	switch s {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Stale:
+		return "stale"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("LoadStatus(%d)", int(s))
+	}
+}
+
+// Store is one checkpoint directory.
+type Store struct {
+	dir string
+}
+
+// Open creates the directory if needed and sweeps temp files left by
+// writers that died mid-save, so a crashed run's partial checkpoint can
+// never be confused with a durable one.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("checkpoint: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Clear removes every completed checkpoint file in the store, leaving
+// unrelated files alone. Used by callers that want fresh-run semantics in
+// a reused directory.
+func (s *Store) Clear() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ckpt") {
+			if err := os.Remove(filepath.Join(s.dir, e.Name())); err != nil {
+				return fmt.Errorf("checkpoint: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// fileName derives the stage's checkpoint path. Job names pass through a
+// conservative character filter so they are always valid path components.
+func (s *Store) fileName(stage int, job string) string {
+	clean := make([]byte, 0, len(job))
+	for i := 0; i < len(job); i++ {
+		c := job[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			clean = append(clean, c)
+		default:
+			clean = append(clean, '_')
+		}
+	}
+	return filepath.Join(s.dir, fmt.Sprintf("stage-%03d-%s.ckpt", stage, clean))
+}
+
+// Save atomically persists one stage: the file is streamed to a temp name
+// (hashed as it is written), fsynced, then renamed into place, so readers
+// only ever observe complete checkpoints. A value without a spill codec
+// aborts the write, removes the temp file and returns ErrUnencodable.
+func (s *Store) Save(m Manifest, recs []Record) (err error) {
+	m.Format = 1
+	m.Records = int64(len(recs))
+	manifest, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	f, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	h := sha256.New()
+	bw := bufio.NewWriterSize(io.MultiWriter(f, h), 64<<10)
+	var scratch []byte
+	write := func(b []byte) {
+		if err == nil {
+			_, err = bw.Write(b)
+		}
+	}
+	write([]byte(magic))
+	scratch = binary.AppendUvarint(scratch[:0], uint64(len(manifest)))
+	write(scratch)
+	write(manifest)
+	for _, r := range recs {
+		scratch = binary.AppendUvarint(scratch[:0], uint64(len(r.Key)))
+		scratch = append(scratch, r.Key...)
+		var val []byte
+		if val, err = spill.AppendEncoded(nil, r.Value); err != nil {
+			err = fmt.Errorf("%w: %v", ErrUnencodable, err)
+			return err
+		}
+		scratch = binary.AppendUvarint(scratch, uint64(len(val)))
+		scratch = append(scratch, val...)
+		write(scratch)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		_, err = f.Write(h.Sum(nil))
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err = os.Rename(tmp, s.fileName(m.Stage, m.Job)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load replays the stage's checkpoint if a valid one with the wanted
+// fingerprint exists. The checksum is verified over the whole file before
+// a single byte is parsed, so corrupt content is never interpreted; any
+// Stale or Corrupt file is removed so it cannot shadow a future save.
+func (s *Store) Load(stage int, job, fingerprint string) (*Snapshot, LoadStatus) {
+	name := s.fileName(stage, job)
+	raw, err := os.ReadFile(name)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, Miss
+	}
+	if err != nil {
+		os.Remove(name)
+		return nil, Corrupt
+	}
+	snap, err := decode(raw)
+	if err != nil {
+		os.Remove(name)
+		return nil, Corrupt
+	}
+	if snap.Manifest.Fingerprint != fingerprint ||
+		snap.Manifest.Stage != stage || snap.Manifest.Job != job {
+		os.Remove(name)
+		return nil, Stale
+	}
+	return snap, Hit
+}
+
+// decode parses and fully validates one checkpoint file image.
+func decode(raw []byte) (*Snapshot, error) {
+	if len(raw) < len(magic)+checksumLen {
+		return nil, errors.New("checkpoint: short file")
+	}
+	body, sum := raw[:len(raw)-checksumLen], raw[len(raw)-checksumLen:]
+	if got := sha256.Sum256(body); !bytes.Equal(got[:], sum) {
+		return nil, errors.New("checkpoint: checksum mismatch")
+	}
+	if string(body[:len(magic)]) != magic {
+		return nil, errors.New("checkpoint: bad magic")
+	}
+	d := spill.NewDec(body[len(magic):])
+	manifest := d.String()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("checkpoint: %w", d.Err())
+	}
+	snap := &Snapshot{}
+	dec := json.NewDecoder(strings.NewReader(manifest))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&snap.Manifest); err != nil {
+		return nil, fmt.Errorf("checkpoint: manifest: %w", err)
+	}
+	if snap.Manifest.Format != 1 {
+		return nil, fmt.Errorf("checkpoint: unsupported format %d", snap.Manifest.Format)
+	}
+	n := snap.Manifest.Records
+	if n < 0 {
+		return nil, errors.New("checkpoint: negative record count")
+	}
+	snap.Records = make([]Record, 0, minI64(n, 1<<16))
+	for i := int64(0); i < n; i++ {
+		key := d.String()
+		val := d.String()
+		if d.Err() != nil {
+			return nil, fmt.Errorf("checkpoint: record %d: %w", i, d.Err())
+		}
+		v, err := spill.DecodeEncoded([]byte(val))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: record %d: %w", i, err)
+		}
+		snap.Records = append(snap.Records, Record{Key: key, Value: v})
+	}
+	if d.Rest() != 0 {
+		return nil, errors.New("checkpoint: trailing bytes after records")
+	}
+	return snap, nil
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

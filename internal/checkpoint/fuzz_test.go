@@ -1,0 +1,106 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary byte images through the checkpoint decoder.
+// The safety property under test is the one DESIGN.md §9 promises: a
+// mutated or arbitrary file either fails decoding (→ recompute) or decodes
+// to a well-formed snapshot — it can never crash the loader or smuggle a
+// wrong resume past the fingerprint check. Seeds include a valid file so
+// the fuzzer explores the accept path's neighbourhood, where single-bit
+// flips must be caught by the checksum.
+func FuzzDecode(f *testing.F) {
+	dir := f.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	m := Manifest{
+		Pipeline:    "fuzz-pipe",
+		Stage:       1,
+		Job:         "job",
+		Fingerprint: "fp",
+		Counters:    map[string]int64{"n": 1},
+		Metrics:     json.RawMessage(`{"Job":"job"}`),
+	}
+	recs := []Record{
+		{Key: "a", Value: int(1)},
+		{Key: "b", Value: "text"},
+		{Key: "c", Value: []uint32{9, 8, 7}},
+	}
+	if err := s.Save(m, recs); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(s.fileName(1, "job"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(valid[:len(valid)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := decode(data)
+		if err != nil {
+			return // rejected: the loader reports Corrupt and recomputes
+		}
+		// Accepted images must be internally consistent...
+		if int64(len(snap.Records)) != snap.Manifest.Records {
+			t.Fatalf("accepted image with %d records but manifest says %d",
+				len(snap.Records), snap.Manifest.Records)
+		}
+		if snap.Manifest.Format != 1 {
+			t.Fatalf("accepted unsupported format %d", snap.Manifest.Format)
+		}
+		// ...and, with a checksum over every byte, an accepted image that
+		// claims our fingerprint must BE our checkpoint.
+		if snap.Manifest.Fingerprint == "fp" && snap.Manifest.Stage == 1 &&
+			snap.Manifest.Job == "job" && !reflect.DeepEqual(snap.Records, recs) {
+			t.Fatalf("fingerprint-matched image decoded different records: %#v", snap.Records)
+		}
+	})
+}
+
+// FuzzLoadViaStore drives the full Load path (file on disk, removal on
+// rejection) with mutated images, asserting a non-Hit never leaves the
+// file behind to shadow a future save.
+func FuzzLoadViaStore(f *testing.F) {
+	f.Add([]byte("FSCKPT01 garbage"), uint8(0))
+	f.Add([]byte{}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, flip uint8) {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := s.fileName(0, "j")
+		if err := os.WriteFile(name, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		snap, status := s.Load(0, "j", "want-fp")
+		switch status {
+		case Hit:
+			if snap.Manifest.Fingerprint != "want-fp" {
+				t.Fatal("hit with mismatched fingerprint")
+			}
+		case Miss, Stale, Corrupt:
+			if _, err := os.Stat(name); err == nil && status != Miss {
+				t.Fatalf("status %v left the file in place", status)
+			}
+		}
+		// The store directory must hold nothing but completed checkpoints.
+		entries, _ := os.ReadDir(dir)
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".ckpt" {
+				t.Fatalf("unexpected file %s in store", e.Name())
+			}
+		}
+	})
+}

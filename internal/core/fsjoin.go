@@ -70,6 +70,14 @@ type Options struct {
 	MemoryBudget int64
 	// SpillDir is the parent directory for spill files ("" = OS temp dir).
 	SpillDir string
+	// CheckpointDir, when non-empty, persists each completed pipeline
+	// stage there for crash/restart recovery; see
+	// mapreduce.Pipeline.CheckpointDir.
+	CheckpointDir string
+	// CheckpointSalt folds the caller's configuration into every stage
+	// fingerprint, so one checkpoint directory reused under different
+	// options recomputes instead of replaying mismatched state.
+	CheckpointSalt string
 }
 
 // withDefaults normalises an Options value.
@@ -157,6 +165,8 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	p.Fault = opt.Fault
 	p.MemoryBudgetBytes = opt.MemoryBudget
 	p.SpillDir = opt.SpillDir
+	p.CheckpointDir = opt.CheckpointDir
+	p.CheckpointSalt = opt.CheckpointSalt
 
 	// ---- Phase 1: Ordering (one MR job over the union) ----
 	union := r

@@ -6,9 +6,12 @@ import (
 	"fsjoin/internal/spill"
 )
 
-// Spill codec for partial, the verification job's shuffle value (DESIGN.md
-// §8). Its combiner fold is pure addition on C, so re-folding merged runs
-// is exact. Tag 41; this package owns tags 41–42 after fragjoin's 40.
+// Spill codecs for this package's stage values (DESIGN.md §8). partial is
+// the verification job's shuffle value; its combiner fold is pure
+// addition on C, so re-folding merged runs is exact. taggedRecord is the
+// filtering job's input (an R/S-tagged record), registered so R-S joins
+// checkpoint and fingerprint that stage boundary (DESIGN.md §9). Tags
+// 41–42; this package owns tags 41–42 after fragjoin's 40.
 func init() {
 	spill.RegisterValue(41, partial{},
 		func(buf []byte, v any) []byte {
@@ -21,5 +24,19 @@ func init() {
 			d := spill.NewDec(b)
 			p := partial{C: int32(d.Varint()), La: int32(d.Varint()), Lb: int32(d.Varint())}
 			return p, d.Err()
+		})
+	spill.RegisterValue(42, taggedRecord{},
+		func(buf []byte, v any) []byte {
+			t := v.(taggedRecord)
+			buf = append(buf, t.origin)
+			buf = binary.AppendVarint(buf, int64(t.rec.RID))
+			return spill.AppendU32s(buf, t.rec.Tokens)
+		},
+		func(b []byte) (any, error) {
+			d := spill.NewDec(b)
+			t := taggedRecord{origin: d.Byte()}
+			t.rec.RID = int32(d.Varint())
+			t.rec.Tokens = d.U32s()
+			return t, d.Err()
 		})
 }

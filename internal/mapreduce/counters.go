@@ -18,6 +18,17 @@ type Counters struct {
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
 
+// RestoreCounters rebuilds a counter set from a Snapshot copy — how a
+// checkpoint replay hands a stage back the exact counters its original
+// execution produced.
+func RestoreCounters(snap map[string]int64) *Counters {
+	c := &Counters{m: make(map[string]int64, len(snap))}
+	for k, v := range snap {
+		c.m[k] = v
+	}
+	return c
+}
+
 // Spill counters (DESIGN.md §8). Recorded only when a memory budget is
 // active, from winning attempts only, so they are deterministic at any
 // parallelism and under any chaos schedule for a fixed budget.
@@ -40,6 +51,17 @@ func (c *Counters) Inc(name string, delta int64) {
 	c.mu.Lock()
 	c.m[name] += delta
 	c.mu.Unlock()
+}
+
+// Add adds delta to the named counter and returns the new value — the
+// atomic check-and-act primitive budget enforcement needs (concurrent
+// tasks charging a shared limit each see a distinct running total).
+func (c *Counters) Add(name string, delta int64) int64 {
+	c.mu.Lock()
+	c.m[name] += delta
+	v := c.m[name]
+	c.mu.Unlock()
+	return v
 }
 
 // Max raises the named counter to v if v is larger. Because max is

@@ -62,6 +62,15 @@ const (
 	// normally. Recoverable only by waiting — or by speculative
 	// re-execution (FaultPolicy.SpeculativeDelay).
 	FaultDelay
+	// FaultRecordPanic panics when the task reaches its Fault.Record'th
+	// input record (map) or key group (reduce) — a poison record. Unlike
+	// the other kinds it fails on every attempt that replays the record,
+	// so it is recoverable only by FaultPolicy.SkipBadRecords; injectors
+	// modelling it must return the same fault for every attempt index,
+	// ProbeAttempt included, or the bisection probes cannot reproduce it.
+	// Realised in the map and reduce phases only (a combiner sees folded
+	// output, not input records). Not part of SeededPlan's default mix.
+	FaultRecordPanic
 )
 
 // String implements fmt.Stringer.
@@ -77,6 +86,8 @@ func (k FaultKind) String() string {
 		return "error"
 	case FaultDelay:
 		return "delay"
+	case FaultRecordPanic:
+		return "record-panic"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -91,7 +102,13 @@ type Fault struct {
 	// Msg labels injected panics and errors. Transient faults must vary it
 	// per attempt: the engine treats a retry failing with exactly the
 	// previous attempt's message as a deterministic bug and stops retrying.
+	// FaultRecordPanic faults must instead keep it attempt-invariant, so
+	// the early stop fires and skip mode takes over.
 	Msg string
+	// Record is the zero-based input record (map) or sorted key group
+	// (reduce) index a FaultRecordPanic fires on; an index past the task's
+	// input injects nothing.
+	Record int
 }
 
 // Injector schedules faults. Decide is consulted once per (phase, task,
@@ -103,12 +120,30 @@ type Injector interface {
 	Decide(phase Phase, task, attempt int) Fault
 }
 
+// JobAwareInjector is an optional Injector extension consulted with the
+// job's name, letting one injector inherited through a Pipeline target a
+// specific stage — how crash/recovery tests kill an algorithm "after
+// stage k" without knowing its task layout. When an injector implements
+// both interfaces, DecideJob wins; the same purity contract applies.
+type JobAwareInjector interface {
+	DecideJob(job string, phase Phase, task, attempt int) Fault
+}
+
 // SpeculativeAttempt is the offset added to the attempt index passed to
 // Decide for speculative backup copies (see FaultPolicy.SpeculativeDelay).
 // Backups model re-execution on a healthy node, so seeded plans leave
 // attempts at or above this offset fault-free; a custom Injector may
 // target them to chaos-test speculation itself.
 const SpeculativeAttempt = 1 << 16
+
+// ProbeAttempt is the attempt index skip-mode bisection probes pass to
+// Decide (see FaultPolicy.SkipBadRecords). Probes replay prefixes of a
+// deterministically failing task's input outside the normal attempt loop;
+// like speculative backups they sit above SpeculativeAttempt, so seeded
+// chaos plans leave them fault-free, while injectors modelling a poison
+// record (FaultRecordPanic, pure in phase and task) reproduce it for the
+// probes to find.
+const ProbeAttempt = 2 << 16
 
 // BackoffFunc maps a retry number (1 = first retry) to the sleep taken
 // before that retry starts.
@@ -150,12 +185,60 @@ type FaultPolicy struct {
 	// Injector, when non-nil, injects scheduled faults into every task
 	// attempt. Intended for tests; production jobs leave it nil.
 	Injector Injector
+	// SkipBadRecords enables Hadoop-style skip mode: when a task exhausts
+	// its attempts on the same deterministic panic, the engine bisects to
+	// the poison input record (map) or key group (reduce), quarantines it
+	// through the CounterRecordsSkipped counter and the Quarantine sink,
+	// and re-runs the task without it. Failures the task body alone cannot
+	// reproduce (transient faults, Setup/Cleanup or combiner crashes)
+	// are not skippable and abort as before.
+	SkipBadRecords bool
+	// MaxSkippedRecords bounds how many records one job may quarantine
+	// before skipping itself is treated as the bug and the job aborts;
+	// 0 means DefaultMaxSkippedRecords.
+	MaxSkippedRecords int
+	// Quarantine, when non-nil, receives every skipped record. The engine
+	// serialises calls, so the sink needs no locking of its own.
+	Quarantine func(QuarantinedRecord)
+}
+
+// DefaultMaxSkippedRecords is the skip-mode quarantine budget when
+// FaultPolicy.MaxSkippedRecords is zero: generous enough for scattered
+// poison records, small enough that systematic failure still aborts.
+const DefaultMaxSkippedRecords = 16
+
+// maxSkippedRecords resolves the job-wide quarantine budget.
+func (f FaultPolicy) maxSkippedRecords() int64 {
+	if f.MaxSkippedRecords > 0 {
+		return int64(f.MaxSkippedRecords)
+	}
+	return DefaultMaxSkippedRecords
 }
 
 // isZero reports whether the policy is entirely unset (FaultPolicy holds
 // funcs, so it is not comparable with ==).
 func (f FaultPolicy) isZero() bool {
-	return f.MaxAttempts == 0 && f.Backoff == nil && f.SpeculativeDelay == 0 && f.Injector == nil
+	return f.MaxAttempts == 0 && f.Backoff == nil && f.SpeculativeDelay == 0 &&
+		f.Injector == nil && !f.SkipBadRecords && f.MaxSkippedRecords == 0 &&
+		f.Quarantine == nil
+}
+
+// QuarantinedRecord identifies one input record (map) or key group
+// (reduce) that skip mode removed from a job, and the deterministic
+// failure it caused.
+type QuarantinedRecord struct {
+	// Job is the job the record poisoned.
+	Job string
+	// Phase is PhaseMap for an input record, PhaseReduce for a key group.
+	Phase Phase
+	// Task is the task index within the phase.
+	Task int
+	// Key and Value are the poison pair; Value is nil for a reduce-side
+	// key group (the group's values are not retained).
+	Key   string
+	Value any
+	// Err is the failure message the record deterministically produced.
+	Err string
 }
 
 // Counter names under which the engine surfaces every fault-handling
@@ -173,12 +256,20 @@ const (
 	// counterInjectedPrefix prefixes one counter per injected fault kind,
 	// e.g. "mapreduce.fault.injected.panic".
 	counterInjectedPrefix = "mapreduce.fault.injected."
+	// CounterRecordsSkipped counts records and key groups quarantined by
+	// skip mode (FaultPolicy.SkipBadRecords). Deliberately outside the
+	// bookkeeping namespaces: a skipped record changes job output, so
+	// equivalence checks must see it.
+	CounterRecordsSkipped = "fault.records.skipped"
 )
 
 // decideFault is the nil-safe injector lookup for one attempt.
 func (c Config) decideFault(phase Phase, task, attempt int) Fault {
 	if c.Fault.Injector == nil {
 		return Fault{}
+	}
+	if ja, ok := c.Fault.Injector.(JobAwareInjector); ok {
+		return ja.DecideJob(c.Name, phase, task, attempt)
 	}
 	return c.Fault.Injector.Decide(phase, task, attempt)
 }

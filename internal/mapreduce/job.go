@@ -132,6 +132,11 @@ type Config struct {
 	// SpillDir is the parent directory for spill files; "" defers to
 	// FSJOIN_SPILL_DIR, then the OS temp dir.
 	SpillDir string
+	// CheckpointDir, when non-empty and the job runs as a pipeline stage,
+	// persists the stage's result there after it completes and replays it
+	// on a fingerprint-matched re-run (crash/restart recovery, DESIGN.md
+	// §9). Plain Run ignores it; inheritance and replay live in Pipeline.
+	CheckpointDir string
 }
 
 // cancelled reports the context's error once it is done.
@@ -162,6 +167,20 @@ func (c Config) cluster() *Cluster {
 		return c.Cluster
 	}
 	return DefaultCluster()
+}
+
+// resolvedReduceTasks resolves the effective reduce-task count — shared
+// by Run and the pipeline's checkpoint fingerprinting, which must agree
+// with the execution for a replayed stage to be byte-identical.
+func (c Config) resolvedReduceTasks() int {
+	n := c.ReduceTasks
+	if n <= 0 {
+		n = 3 * c.cluster().Nodes
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // memoryBudget resolves the effective shuffle memory budget: an explicit
@@ -358,13 +377,7 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 	if mapTasks < 1 {
 		mapTasks = 1
 	}
-	reduceTasks := cfg.ReduceTasks
-	if reduceTasks <= 0 {
-		reduceTasks = 3 * cl.Nodes
-	}
-	if reduceTasks < 1 {
-		reduceTasks = 1
-	}
+	reduceTasks := cfg.resolvedReduceTasks()
 	part := cfg.Partitioner
 	if part == nil {
 		part = DefaultPartitioner
@@ -399,41 +412,51 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 		taskStats = make([]spill.Stats, mapTasks)
 	}
 	combineFolder, _ := cfg.Combiner.(Folder)
+	quarantine := &quarantineState{}
 	mapErr := runPhase(cfg.Parallelism, mapTasks, func(t int) error {
 		if err := cfg.cancelled(); err != nil {
 			return fmt.Errorf("mapreduce: job %q: %w", cfg.Name, err)
 		}
 		start := time.Now()
-		ctx, err := runAttempts(cfg, res.Counters, func(a int) (*Context, error) {
-			ctx := &Context{TaskID: t, Job: cfg, counters: res.Counters}
-			if reducer != nil {
-				ctx.shuffle = newShuffleSink(part, reduceTasks, combineFolder, budget, sdir)
-			} else {
-				ctx.out = make([]KV, 0, len(splits[t])+16)
-			}
-			f := cfg.decideFault(PhaseMap, t, a)
-			if err := f.injectErr(res.Counters); err != nil {
-				return ctx, err
-			}
-			return ctx, guard(func() {
-				f.injectEnter(res.Counters)
-				runTask(ctx, splits[t], mapper)
-				if cfg.Combiner != nil {
-					fc := cfg.decideFault(PhaseCombine, t, a)
-					fc.injectEnter(res.Counters)
-					switch {
-					case reducer == nil:
-						ctx.out = combine(cfg, ctx, cfg.Combiner, res.Counters)
-					case combineFolder == nil:
-						ctx.shuffle = combineSink(cfg, ctx, cfg.Combiner, res.Counters)
-					default:
-						// A Folder combiner already folded at Emit time.
-					}
-					fc.injectExit(res.Counters)
+		// The attempt loop is parameterised by its split so skip mode can
+		// re-enter it over a working set with poison records removed.
+		mapAttempts := func(split []KV) (*Context, error) {
+			return runAttempts(cfg, res.Counters, func(a int) (*Context, error) {
+				ctx := &Context{TaskID: t, Job: cfg, counters: res.Counters}
+				if reducer != nil {
+					ctx.shuffle = newShuffleSink(part, reduceTasks, combineFolder, budget, sdir)
+				} else {
+					ctx.out = make([]KV, 0, len(split)+16)
 				}
-				f.injectExit(res.Counters)
+				f := cfg.decideFault(PhaseMap, t, a)
+				if err := f.injectErr(res.Counters); err != nil {
+					return ctx, err
+				}
+				return ctx, guard(func() {
+					f.injectEnter(res.Counters)
+					runTask(ctx, split, recordFaultWrap(mapper, f, res.Counters))
+					if cfg.Combiner != nil {
+						fc := cfg.decideFault(PhaseCombine, t, a)
+						fc.injectEnter(res.Counters)
+						switch {
+						case reducer == nil:
+							ctx.out = combine(cfg, ctx, cfg.Combiner, res.Counters)
+						case combineFolder == nil:
+							ctx.shuffle = combineSink(cfg, ctx, cfg.Combiner, res.Counters)
+						default:
+							// A Folder combiner already folded at Emit time.
+						}
+						fc.injectExit(res.Counters)
+					}
+					f.injectExit(res.Counters)
+				})
 			})
-		})
+		}
+		ctx, err := mapAttempts(splits[t])
+		if err != nil && cfg.Fault.SkipBadRecords {
+			ctx, err = skipMapRecords(cfg, res.Counters, quarantine, t,
+				splits[t], mapper, mapAttempts, err)
+		}
 		if err != nil {
 			return fmt.Errorf("mapreduce: job %q map task %d: %w", cfg.Name, t, err)
 		}
@@ -574,32 +597,53 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 		}
 		groupCounts[t] = int64(len(keys))
 		start := time.Now()
-		ctx, err := runAttempts(cfg, res.Counters, func(a int) (*Context, error) {
-			ctx := &Context{TaskID: t, Job: cfg, counters: res.Counters}
-			f := cfg.decideFault(PhaseReduce, t, a)
-			if err := f.injectErr(res.Counters); err != nil {
-				return ctx, err
+		// reduceKeys is the task body shared by real attempts and skip-mode
+		// probes: the reducer run over one key slice, realising a
+		// FaultRecordPanic at its group index. counters is nil for probes,
+		// which inject without counting.
+		reduceKeys := func(ctx *Context, ks []string, f Fault, counters *Counters) {
+			if s, ok := reducer.(Setupper); ok {
+				s.Setup(ctx)
 			}
-			return ctx, guard(func() {
-				f.injectEnter(res.Counters)
-				if s, ok := reducer.(Setupper); ok {
-					s.Setup(ctx)
+			for i, k := range ks {
+				if f.Kind == FaultRecordPanic && i == f.Record {
+					if counters != nil {
+						counters.Inc(counterInjectedPrefix+f.Kind.String(), 1)
+					}
+					panic(f.Msg)
 				}
 				if folding {
-					for _, k := range keys {
-						foldingReducer.FinishFold(ctx, k, folded[k])
-					}
+					foldingReducer.FinishFold(ctx, k, folded[k])
 				} else {
-					for _, k := range keys {
-						reducer.Reduce(ctx, k, groups[k])
-					}
+					reducer.Reduce(ctx, k, groups[k])
 				}
-				if c, ok := reducer.(Cleanupper); ok {
-					c.Cleanup(ctx)
+			}
+			if c, ok := reducer.(Cleanupper); ok {
+				c.Cleanup(ctx)
+			}
+		}
+		reduceAttempts := func(ks []string) (*Context, error) {
+			return runAttempts(cfg, res.Counters, func(a int) (*Context, error) {
+				ctx := &Context{TaskID: t, Job: cfg, counters: res.Counters}
+				f := cfg.decideFault(PhaseReduce, t, a)
+				if err := f.injectErr(res.Counters); err != nil {
+					return ctx, err
 				}
-				f.injectExit(res.Counters)
+				return ctx, guard(func() {
+					f.injectEnter(res.Counters)
+					reduceKeys(ctx, ks, f, res.Counters)
+					f.injectExit(res.Counters)
+				})
 			})
-		})
+		}
+		ctx, err := reduceAttempts(keys)
+		if err != nil && cfg.Fault.SkipBadRecords {
+			probeBody := func(ctx *Context, ks []string, f Fault) {
+				reduceKeys(ctx, ks, f, nil)
+			}
+			ctx, err = skipReduceGroups(cfg, res.Counters, quarantine, t,
+				keys, probeBody, reduceAttempts, err)
+		}
 		if err != nil {
 			return fmt.Errorf("mapreduce: job %q reduce task %d: %w", cfg.Name, t, err)
 		}

@@ -2,9 +2,13 @@ package mapreduce
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
+
+	"fsjoin/internal/checkpoint"
 )
 
 // Pipeline chains MapReduce jobs, feeding each job's output into the next
@@ -32,8 +36,42 @@ type Pipeline struct {
 	// SpillDir is inherited by every stage that leaves its Config.SpillDir
 	// empty; see Config.SpillDir.
 	SpillDir string
+	// CheckpointDir, when non-empty, is inherited by every stage that
+	// leaves its Config.CheckpointDir empty and makes the pipeline
+	// durable: each completed stage's output, counters and metrics are
+	// atomically persisted there, and a later run whose stage fingerprint
+	// (pipeline name + CheckpointSalt + stage position + job name +
+	// reduce-task count + full input content) matches replays the stage
+	// from disk byte-identically instead of re-executing it. Stale or
+	// corrupt checkpoints are discarded and recomputed, never trusted.
+	// Stages whose input or output values have no spill codec are run
+	// uncheckpointed (counted in CheckpointStats.Skipped).
+	CheckpointDir string
+	// CheckpointSalt folds the caller's configuration into every stage
+	// fingerprint, so one directory reused under different algorithm
+	// options recomputes instead of replaying mismatched state.
+	CheckpointSalt string
 
 	stages []stageResult
+	stores map[string]*checkpoint.Store
+	ckpt   CheckpointStats
+}
+
+// CheckpointStats reports a pipeline's checkpoint activity. Every stage
+// that runs with a checkpoint directory lands in exactly one of Hits,
+// Misses or Skipped; Corrupt additionally counts the subset of misses
+// caused by a checksum-failing or undecodable file (a stale fingerprint —
+// ordinary configuration or input drift — is a plain miss).
+type CheckpointStats struct {
+	// Hits is the number of stages replayed from disk.
+	Hits int64
+	// Misses is the number of stages executed and persisted.
+	Misses int64
+	// Corrupt is the number of discarded corrupt checkpoint files.
+	Corrupt int64
+	// Skipped is the number of stages that could not be checkpointed
+	// because a value had no spill codec.
+	Skipped int64
 }
 
 type stageResult struct {
@@ -67,13 +105,144 @@ func (p *Pipeline) Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (
 	if cfg.SpillDir == "" {
 		cfg.SpillDir = p.SpillDir
 	}
+	if cfg.CheckpointDir == "" {
+		cfg.CheckpointDir = p.CheckpointDir
+	}
+	stage := len(p.stages)
+	var (
+		store *checkpoint.Store
+		fp    string
+	)
+	if cfg.CheckpointDir != "" {
+		var err error
+		if store, err = p.store(cfg.CheckpointDir); err != nil {
+			return nil, fmt.Errorf("pipeline %s: %w", p.Name, err)
+		}
+		fp = p.stageFingerprint(stage, cfg, input)
+		if fp == "" {
+			// An input value has no spill codec: the stage cannot be
+			// fingerprinted, so it runs uncheckpointed.
+			store, p.ckpt.Skipped = nil, p.ckpt.Skipped+1
+		} else if res := p.replay(store, stage, cfg, fp); res != nil {
+			p.stages = append(p.stages, stageResult{metrics: res.Metrics, counters: res.Counters.Snapshot()})
+			return res, nil
+		}
+	}
 	res, err := Run(cfg, input, mapper, reducer)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline %s: %w", p.Name, err)
 	}
+	if store != nil {
+		if err := p.save(store, stage, cfg, fp, res); err != nil {
+			return nil, fmt.Errorf("pipeline %s: %w", p.Name, err)
+		}
+	}
 	p.stages = append(p.stages, stageResult{metrics: res.Metrics, counters: res.Counters.Snapshot()})
 	return res, nil
 }
+
+// store opens (and caches) the checkpoint store for one directory.
+func (p *Pipeline) store(dir string) (*checkpoint.Store, error) {
+	if s, ok := p.stores[dir]; ok {
+		return s, nil
+	}
+	s, err := checkpoint.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p.stores == nil {
+		p.stores = map[string]*checkpoint.Store{}
+	}
+	p.stores[dir] = s
+	return s, nil
+}
+
+// stageFingerprint derives the stage's checkpoint key. It covers
+// everything a replay must agree on: the format epoch, pipeline identity,
+// caller configuration salt, stage position, job name, resolved
+// reduce-task count (partitioning differs with it) and the stage's full
+// input content in spill encoding. Returns "" when an input value has no
+// codec.
+func (p *Pipeline) stageFingerprint(stage int, cfg Config, input []KV) string {
+	f := checkpoint.NewFingerprint()
+	f.Str("fsjoin/checkpoint/v1")
+	f.Str(p.Name)
+	f.Str(p.CheckpointSalt)
+	f.I64(int64(stage))
+	f.Str(cfg.Name)
+	f.I64(int64(cfg.resolvedReduceTasks()))
+	f.I64(int64(len(input)))
+	for _, kv := range input {
+		f.KV(kv.Key, kv.Value)
+		if f.Err() != nil {
+			return ""
+		}
+	}
+	return f.Hex()
+}
+
+// replay loads a fingerprint-matched checkpoint for the stage, rebuilding
+// the stage result the original execution produced. A miss — including a
+// discarded stale or corrupt file — returns nil and the stage runs.
+func (p *Pipeline) replay(store *checkpoint.Store, stage int, cfg Config, fp string) *Result {
+	snap, status := store.Load(stage, cfg.Name, fp)
+	switch status {
+	case checkpoint.Corrupt:
+		p.ckpt.Corrupt++
+		fallthrough
+	case checkpoint.Miss, checkpoint.Stale:
+		p.ckpt.Misses++
+		return nil
+	}
+	res := &Result{
+		Output:   make([]KV, len(snap.Records)),
+		Counters: RestoreCounters(snap.Manifest.Counters),
+	}
+	for i, r := range snap.Records {
+		res.Output[i] = KV{Key: r.Key, Value: r.Value}
+	}
+	if err := json.Unmarshal(snap.Manifest.Metrics, &res.Metrics); err != nil {
+		// The checksum passed, so this is a writer/reader version skew the
+		// format bump should have caught; recompute rather than trust it.
+		p.ckpt.Corrupt++
+		p.ckpt.Misses++
+		return nil
+	}
+	p.ckpt.Hits++
+	return res
+}
+
+// save persists one completed stage. A stage whose output values have no
+// spill codec is left uncheckpointed (Skipped); any other failure is a
+// real durability error and aborts, because the caller asked for a
+// guarantee the engine cannot give.
+func (p *Pipeline) save(store *checkpoint.Store, stage int, cfg Config, fp string, res *Result) error {
+	metrics, err := json.Marshal(res.Metrics)
+	if err != nil {
+		return err
+	}
+	recs := make([]checkpoint.Record, len(res.Output))
+	for i, kv := range res.Output {
+		recs[i] = checkpoint.Record{Key: kv.Key, Value: kv.Value}
+	}
+	err = store.Save(checkpoint.Manifest{
+		Pipeline:    p.Name,
+		Stage:       stage,
+		Job:         cfg.Name,
+		Fingerprint: fp,
+		Counters:    res.Counters.Snapshot(),
+		Metrics:     metrics,
+	}, recs)
+	if errors.Is(err, checkpoint.ErrUnencodable) {
+		p.ckpt.Misses--
+		p.ckpt.Skipped++
+		return nil
+	}
+	return err
+}
+
+// CheckpointStats reports the pipeline's checkpoint activity so far.
+func (p *Pipeline) CheckpointStats() CheckpointStats { return p.ckpt }
 
 // Stages returns the metrics of every executed stage in order.
 func (p *Pipeline) Stages() []Metrics {

@@ -1,0 +1,187 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements skip mode (FaultPolicy.SkipBadRecords): Hadoop's
+// answer to the poison record. The attempt loop already classifies a
+// failure as deterministic when a retry reproduces the first attempt's
+// exact error (pool.go); once that happens, retrying cannot help — but
+// the job need not die if a single input unit is to blame. Skip mode
+// re-runs the task body over input prefixes with a throwaway context
+// (probes), binary-searches the smallest failing prefix — valid because
+// a deterministic single-record failure makes "prefix of length n fails"
+// monotone in n — quarantines the unit at its end, and re-enters the
+// real attempt loop without it, repeating while distinct poisons remain.
+// DESIGN.md §9 documents the model.
+
+// skipRun drives the skip loop for one task. probe(n) runs the task body
+// over the first n units of the current working set and returns its
+// failure, if any; quarantine(i, cause) removes unit i from the working
+// set and charges the job-wide budget (its error aborts the job); rerun
+// re-executes the real attempt loop over the shrunken working set. size
+// reports the working set's current length. orig is the attempt-loop
+// failure that triggered skip mode, returned verbatim whenever the
+// failure turns out not to be record-skippable.
+func skipRun(size func() int, probe func(n int) error,
+	quarantine func(i int, cause error) error,
+	rerun func() (*Context, error), orig error) (*Context, error) {
+	for {
+		n := size()
+		cause := probe(n)
+		if cause == nil {
+			// The task body alone cannot reproduce the failure — a
+			// transient fault, or one in a part of the attempt probes do
+			// not replay (combiner, injected attempt-scoped faults).
+			return nil, orig
+		}
+		if probe(0) != nil {
+			// Even the empty prefix fails: Setup/Cleanup is broken, no
+			// record is to blame.
+			return nil, orig
+		}
+		// Invariant: probe(lo) succeeds, probe(hi) fails.
+		lo, hi := 0, n
+		for hi-lo > 1 {
+			mid := lo + (hi-lo)/2
+			if err := probe(mid); err != nil {
+				hi, cause = mid, err
+			} else {
+				lo = mid
+			}
+		}
+		if err := quarantine(hi-1, cause); err != nil {
+			return nil, err
+		}
+		ctx, err := rerun()
+		if err == nil {
+			return ctx, nil
+		}
+		// Another poison (or a genuinely new failure) — keep bisecting.
+		orig = err
+	}
+}
+
+// quarantineState is one job's shared skip bookkeeping: the budget lives
+// in the job counters (so it is charged once across concurrent tasks) and
+// the mutex serialises the user's Quarantine sink.
+type quarantineState struct {
+	mu sync.Mutex
+}
+
+// quarantine charges one skipped unit against the job budget and reports
+// it to the policy's sink. Exceeding the budget returns the abort error.
+func (q *quarantineState) quarantine(cfg Config, counters *Counters, rec QuarantinedRecord) error {
+	limit := cfg.Fault.maxSkippedRecords()
+	if n := counters.Add(CounterRecordsSkipped, 1); n > limit {
+		return fmt.Errorf("mapreduce: job %q: %d skipped records exceed MaxSkippedRecords %d (last: %s)",
+			cfg.Name, n, limit, rec.Err)
+	}
+	if sink := cfg.Fault.Quarantine; sink != nil {
+		q.mu.Lock()
+		sink(rec)
+		q.mu.Unlock()
+	}
+	return nil
+}
+
+// skipMapRecords re-runs a deterministically failing map task with poison
+// records bisected out. rerun must execute the task's full attempt loop
+// over the given split. Probes feed the mapper alone — combiner faults
+// are deliberately not reproduced, so they stay unskippable.
+func skipMapRecords(cfg Config, counters *Counters, q *quarantineState, task int,
+	split []KV, mapper Mapper,
+	rerun func(split []KV) (*Context, error), orig error) (*Context, error) {
+	work := append([]KV(nil), split...)
+	pf := cfg.decideFault(PhaseMap, task, ProbeAttempt)
+	probe := func(n int) error {
+		sctx := &Context{TaskID: task, Job: cfg}
+		sctx.out = make([]KV, 0, n)
+		return guard(func() {
+			runTask(sctx, work[:n], recordFaultWrap(mapper, pf, nil))
+		})
+	}
+	quarantine := func(i int, cause error) error {
+		kv := work[i]
+		work = append(work[:i:i], work[i+1:]...)
+		return q.quarantine(cfg, counters, QuarantinedRecord{
+			Job: cfg.Name, Phase: PhaseMap, Task: task,
+			Key: kv.Key, Value: kv.Value, Err: cause.Error(),
+		})
+	}
+	return skipRun(func() int { return len(work) }, probe, quarantine,
+		func() (*Context, error) { return rerun(work) }, orig)
+}
+
+// skipReduceGroups is the reduce-phase analogue: the bisected units are
+// the task's sorted key groups. body runs the reducer over a key slice
+// into the given context, realising fault f (the probe passes the
+// ProbeAttempt decision, the rerun path its own per-attempt decision).
+func skipReduceGroups(cfg Config, counters *Counters, q *quarantineState, task int,
+	keys []string, body func(ctx *Context, keys []string, f Fault),
+	rerun func(keys []string) (*Context, error), orig error) (*Context, error) {
+	work := append([]string(nil), keys...)
+	pf := cfg.decideFault(PhaseReduce, task, ProbeAttempt)
+	probe := func(n int) error {
+		sctx := &Context{TaskID: task, Job: cfg}
+		sctx.out = make([]KV, 0, n)
+		return guard(func() { body(sctx, work[:n], pf) })
+	}
+	quarantine := func(i int, cause error) error {
+		key := work[i]
+		work = append(work[:i:i], work[i+1:]...)
+		return q.quarantine(cfg, counters, QuarantinedRecord{
+			Job: cfg.Name, Phase: PhaseReduce, Task: task,
+			Key: key, Err: cause.Error(),
+		})
+	}
+	return skipRun(func() int { return len(work) }, probe, quarantine,
+		func() (*Context, error) { return rerun(work) }, orig)
+}
+
+// recordFaultWrap arms a FaultRecordPanic on a mapper: the wrapped mapper
+// panics with the fault's message when the task reaches its Record'th
+// input record. Other kinds pass the mapper through untouched. counters
+// may be nil (probes inject without counting).
+func recordFaultWrap(m Mapper, f Fault, counters *Counters) Mapper {
+	if f.Kind != FaultRecordPanic {
+		return m
+	}
+	return &recordFaultMapper{inner: m, fault: f, counters: counters}
+}
+
+type recordFaultMapper struct {
+	inner    Mapper
+	fault    Fault
+	counters *Counters
+	n        int
+}
+
+// Map implements Mapper, firing the armed record fault at its index.
+func (m *recordFaultMapper) Map(ctx *Context, kv KV) {
+	if m.n == m.fault.Record {
+		if m.counters != nil {
+			m.counters.Inc(counterInjectedPrefix+m.fault.Kind.String(), 1)
+		}
+		panic(m.fault.Msg)
+	}
+	m.n++
+	m.inner.Map(ctx, kv)
+}
+
+// Setup forwards the lifecycle hook the wrapper would otherwise hide from
+// the engine's interface probes.
+func (m *recordFaultMapper) Setup(ctx *Context) {
+	if s, ok := m.inner.(Setupper); ok {
+		s.Setup(ctx)
+	}
+}
+
+// Cleanup forwards the lifecycle hook.
+func (m *recordFaultMapper) Cleanup(ctx *Context) {
+	if c, ok := m.inner.(Cleanupper); ok {
+		c.Cleanup(ctx)
+	}
+}

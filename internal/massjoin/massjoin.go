@@ -91,6 +91,14 @@ type Options struct {
 	MemoryBudget int64
 	// SpillDir is the parent directory for spill files ("" = OS temp dir).
 	SpillDir string
+	// CheckpointDir, when non-empty, persists each completed pipeline
+	// stage there for crash/restart recovery; see
+	// mapreduce.Pipeline.CheckpointDir.
+	CheckpointDir string
+	// CheckpointSalt folds the caller's configuration into every stage
+	// fingerprint, so one checkpoint directory reused under different
+	// options recomputes instead of replaying mismatched state.
+	CheckpointSalt string
 }
 
 // Result carries the join output and pipeline metrics.

@@ -26,6 +26,8 @@ func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
 	p.Fault = opt.Fault
 	p.MemoryBudgetBytes = opt.MemoryBudget
 	p.SpillDir = opt.SpillDir
+	p.CheckpointDir = opt.CheckpointDir
+	p.CheckpointSalt = opt.CheckpointSalt
 
 	// Job 1: global ordering (token frequency).
 	o, err := order.Compute(p, c)

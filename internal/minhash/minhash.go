@@ -56,6 +56,14 @@ type Params struct {
 	MemoryBudget int64
 	// SpillDir is the parent directory for spill files ("" = OS temp dir).
 	SpillDir string
+	// CheckpointDir, when non-empty, persists each completed pipeline
+	// stage there for crash/restart recovery; see
+	// mapreduce.Pipeline.CheckpointDir.
+	CheckpointDir string
+	// CheckpointSalt folds the caller's configuration into every stage
+	// fingerprint, so one checkpoint directory reused under different
+	// options recomputes instead of replaying mismatched state.
+	CheckpointSalt string
 }
 
 // Auto fills Bands and Rows so the S-curve's steep section brackets theta:
@@ -123,6 +131,8 @@ func SelfJoin(c *tokens.Collection, p Params) (*Result, error) {
 	pipe.Fault = p.Fault
 	pipe.MemoryBudgetBytes = p.MemoryBudget
 	pipe.SpillDir = p.SpillDir
+	pipe.CheckpointDir = p.CheckpointDir
+	pipe.CheckpointSalt = p.CheckpointSalt
 
 	// Job 1: band signatures → candidate pairs.
 	hashes := newFamily(p.Seed, p.Bands*p.Rows)

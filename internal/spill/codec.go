@@ -257,6 +257,17 @@ func min(a, b uint64) uint64 {
 	return b
 }
 
+// AppendEncoded appends v's tag + payload frame to buf — the exact bytes a
+// spill run stores for the value. Exported for the checkpoint subsystem,
+// which persists stage outputs (and fingerprints stage inputs) in the run
+// codec so replayed values decode to the same concrete types the shuffle
+// restores.
+func AppendEncoded(buf []byte, v any) ([]byte, error) { return appendValue(buf, v) }
+
+// DecodeEncoded reconstructs a value written by AppendEncoded. It never
+// retains b.
+func DecodeEncoded(b []byte) (any, error) { return decodeValue(b) }
+
 // ---- Helpers for custom codecs ----
 
 // AppendU32s appends a uvarint count followed by fixed little-endian words.
@@ -290,6 +301,10 @@ func NewDec(b []byte) *Dec { return &Dec{b: b} }
 
 // Err returns the first decode error, if any.
 func (d *Dec) Err() error { return d.err }
+
+// Rest returns the number of unconsumed bytes — strict decoders use it to
+// reject payloads with trailing garbage.
+func (d *Dec) Rest() int { return len(d.b) }
 
 func (d *Dec) fail() {
 	if d.err == nil {
@@ -347,6 +362,17 @@ func (d *Dec) U32() uint32 {
 	}
 	x := binary.LittleEndian.Uint32(d.b)
 	d.b = d.b[4:]
+	return x
+}
+
+// U64 consumes one fixed little-endian double-word (e.g. float64 bits).
+func (d *Dec) U64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	x := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
 	return x
 }
 

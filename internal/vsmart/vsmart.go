@@ -53,6 +53,14 @@ type Options struct {
 	MemoryBudget int64
 	// SpillDir is the parent directory for spill files ("" = OS temp dir).
 	SpillDir string
+	// CheckpointDir, when non-empty, persists each completed pipeline
+	// stage there for crash/restart recovery; see
+	// mapreduce.Pipeline.CheckpointDir.
+	CheckpointDir string
+	// CheckpointSalt folds the caller's configuration into every stage
+	// fingerprint, so one checkpoint directory reused under different
+	// options recomputes instead of replaying mismatched state.
+	CheckpointSalt string
 }
 
 // Result carries the join output and pipeline metrics.
@@ -94,6 +102,8 @@ func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
 	p.Fault = opt.Fault
 	p.MemoryBudgetBytes = opt.MemoryBudget
 	p.SpillDir = opt.SpillDir
+	p.CheckpointDir = opt.CheckpointDir
+	p.CheckpointSalt = opt.CheckpointSalt
 
 	// Ordering is not required for correctness here, but running the same
 	// frequency job keeps the end-to-end comparison fair across methods.

@@ -101,6 +101,8 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			Fault:              opt.faultPolicy(),
 			MemoryBudget:       opt.MemoryBudget,
 			SpillDir:           opt.SpillDir,
+			CheckpointDir:      opt.CheckpointDir,
+			CheckpointSalt:     opt.checkpointSalt(),
 		})
 		if err != nil {
 			return nil, err
@@ -111,6 +113,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			Fn: fn, Theta: opt.Threshold, Cluster: cl, Ctx: opt.Context,
 			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
+			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
 		})
 		if err != nil {
 			return nil, err
@@ -122,6 +125,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			Ctx: opt.Context, Parallelism: opt.localParallelism(),
 			Fault:        opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
+			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
 		})
 		if err != nil {
 			return nil, err
@@ -136,6 +140,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			Ctx: opt.Context, Parallelism: opt.localParallelism(),
 			Fault:        opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
+			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
 		})
 		if err != nil {
 			return nil, err
@@ -151,6 +156,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			MaxSignatures: opt.WorkBudget, Ctx: opt.Context,
 			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
+			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
 		})
 		if err != nil {
 			return nil, err
@@ -178,6 +184,7 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 			Fn: fn, Theta: opt.Threshold, Cluster: opt.cluster(), Ctx: opt.Context,
 			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
+			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
 		})
 		if err != nil {
 			return nil, err
@@ -206,6 +213,8 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 		Fault:              opt.faultPolicy(),
 		MemoryBudget:       opt.MemoryBudget,
 		SpillDir:           opt.SpillDir,
+		CheckpointDir:      opt.CheckpointDir,
+		CheckpointSalt:     opt.checkpointSalt(),
 	})
 	if err != nil {
 		return nil, err
@@ -219,6 +228,7 @@ func publish(pairs []result.Pair, p *mapreduce.Pipeline, candidates int64) *Resu
 	for i, pr := range pairs {
 		out.Pairs[i] = Pair{A: int(pr.A), B: int(pr.B), Common: pr.Common, Similarity: pr.Sim}
 	}
+	ck := p.CheckpointStats()
 	out.Stats = Stats{
 		SimulatedTime:    p.TotalSimulatedTime(),
 		ShuffleRecords:   p.TotalShuffleRecords(),
@@ -228,6 +238,9 @@ func publish(pairs []result.Pair, p *mapreduce.Pipeline, candidates int64) *Resu
 		SpillRuns:        p.Counter(mapreduce.CounterSpillRuns),
 		SpillBytes:       p.Counter(mapreduce.CounterSpillBytes),
 		ShufflePeakBytes: p.MaxCounter(mapreduce.CounterShufflePeak),
+		RecordsSkipped:   p.Counter(mapreduce.CounterRecordsSkipped),
+		CheckpointHits:   ck.Hits,
+		CheckpointMisses: ck.Misses,
 	}
 	return out
 }
