@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem test-recovery all
+.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem test-recovery test-serve all
 
 all: build vet test
 
@@ -28,10 +28,10 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelSpeedup|BenchmarkFig7' .
 	$(GO) test -run '^$$' -bench 'BenchmarkMemoryBudget' ./internal/mapreduce/
 
-# bench-report regenerates BENCH_PR3.json (engine, kernels, end-to-end and
-# memory-budget suites plus derived ratios).
+# bench-report regenerates BENCH_PR5.json (engine, kernels, end-to-end and
+# memory-budget suites plus derived ratios, robustness and serving probes).
 bench-report:
-	$(GO) run ./cmd/benchreport -o BENCH_PR3.json
+	$(GO) run ./cmd/benchreport -o BENCH_PR5.json
 
 # chaos runs the seeded fault-injection equivalence suites under the race
 # detector (DESIGN.md §7). Any failure is re-runnable from its seed.
@@ -66,6 +66,18 @@ test-recovery:
 	$(GO) test -race ./internal/checkpoint/
 	$(GO) test -fuzz 'FuzzDecode' -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -fuzz 'FuzzLoadViaStore' -fuzztime 10s ./internal/checkpoint/
+
+# test-serve runs the multi-job serving-layer suites (DESIGN.md §10) under
+# the race detector: admission/queue unit tests, concurrent-equivalence and
+# degradation-contract tests through fsjoin.Server, the shared-Options race
+# test, typed task errors, and the fine-grained cancellation tests across
+# the engine, kernels and spill merge. The 64 KiB environment budget keeps
+# every served job on the out-of-core shuffle so leases and spill-dir
+# hygiene are exercised for real. CI runs this as its serve job.
+test-serve:
+	FSJOIN_MEMORY_BUDGET=65536 $(GO) test -race \
+		-run 'TestServer|TestConcurrentJoins|TestJoinSurfaces|TestGate|Cancel' \
+		. ./internal/sched/ ./internal/mapreduce/ ./internal/fragjoin/ ./internal/spill/
 
 # cover enforces the CI total-coverage gate (baseline 79.8% when the gate
 # was set; fails below 78%).

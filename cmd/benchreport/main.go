@@ -2,25 +2,31 @@
 // engine shuffle throughput, the fragment-join kernels against their legacy
 // map-based baselines, the Figure 7-class end-to-end joins sequential vs
 // parallel, and the out-of-core shuffle across memory budgets — and writes
-// a machine-readable JSON report (BENCH_PR3.json) with the derived
-// speedup, allocation and spill-slowdown ratios, plus an in-process
-// robustness section (checkpoint hit/miss counters across a cold run and
-// a resume, and fault.records.skipped from a poisoned word count).
+// a machine-readable JSON report (BENCH_PR5.json) with the derived
+// speedup, allocation and spill-slowdown ratios, plus two in-process
+// sections: robustness (checkpoint hit/miss counters across a cold run and
+// a resume, fault.records.skipped from a poisoned word count) and serving
+// (a burst of jobs through fsjoin.Server — throughput, p50/p95 latency and
+// the shed rate under a deliberately tight queue).
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR3.json] [-benchtime 5x]
+//	go run ./cmd/benchreport [-o BENCH_PR5.json] [-benchtime 5x]
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"fsjoin"
@@ -48,6 +54,7 @@ type report struct {
 	Benchmarks []result           `json:"benchmarks"`
 	Derived    map[string]float64 `json:"derived"`
 	Robustness map[string]float64 `json:"robustness,omitempty"`
+	Serving    map[string]float64 `json:"serving,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(
@@ -161,8 +168,101 @@ func robustness() (map[string]float64, error) {
 	}, nil
 }
 
+// serving probes the multi-job serving layer in-process. First a burst of
+// jobs is pushed through a Server with a generous queue so every job
+// completes — that yields throughput and the queue-wait-inclusive latency
+// distribution. Then the same burst hits a server with no queue and one
+// slot, which pins the load-shedding path and its shed rate.
+func serving() (map[string]float64, error) {
+	const jobs = 24
+	texts := make([]string, 120)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("alpha beta gamma delta eps%d zeta%d eta%d", i%5, i%9, i%13)
+	}
+	opt := fsjoin.Options{Threshold: 0.6, Nodes: 4}
+	dict := fsjoin.NewDictionary()
+	sets := make([][]string, len(texts))
+	for i, t := range texts {
+		sets[i] = regexp.MustCompile(`\s+`).Split(t, -1)
+	}
+	coll := dict.NewCollection(sets)
+
+	run := func(maxConc, maxQueue int) (lat []time.Duration, shed int, wall time.Duration, err error) {
+		srv, serr := fsjoin.NewServer(fsjoin.ServerOptions{
+			MemoryBudget:  64 << 20,
+			MaxConcurrent: maxConc,
+			MaxQueue:      maxQueue,
+		})
+		if serr != nil {
+			return nil, 0, 0, serr
+		}
+		defer srv.Shutdown(context.Background())
+		lat = make([]time.Duration, jobs)
+		errs := make([]error, jobs)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for j := 0; j < jobs; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				t0 := time.Now()
+				_, errs[j] = srv.Run(context.Background(), fsjoin.Job{Collection: coll, Options: opt})
+				lat[j] = time.Since(t0)
+			}(j)
+		}
+		wg.Wait()
+		wall = time.Since(start)
+		kept := lat[:0]
+		for j, e := range errs {
+			switch {
+			case e == nil:
+				kept = append(kept, lat[j])
+			case errors.Is(e, fsjoin.ErrOverloaded) || errors.Is(e, fsjoin.ErrQueueTimeout):
+				shed++
+			default:
+				return nil, 0, 0, fmt.Errorf("serving job %d: %v", j, e)
+			}
+		}
+		return kept, shed, wall, nil
+	}
+
+	// Healthy configuration: everything queues, everything completes.
+	lat, shed, wall, err := run(0, jobs)
+	if err != nil {
+		return nil, err
+	}
+	if shed != 0 || len(lat) != jobs {
+		return nil, fmt.Errorf("healthy serving run shed %d of %d jobs", shed, jobs)
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	p := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i].Microseconds()) / 1e3
+	}
+	out := map[string]float64{
+		"jobs":              jobs,
+		"throughput_jobs_s": float64(jobs) / wall.Seconds(),
+		"latency_p50_ms":    p(0.50),
+		"latency_p95_ms":    p(0.95),
+		"latency_max_ms":    p(1.0),
+		"healthy_shed_jobs": 0,
+	}
+
+	// Overload configuration: one slot, no queue — the burst must shed.
+	_, shed, _, err = run(1, -1)
+	if err != nil {
+		return nil, err
+	}
+	if shed == 0 {
+		return nil, fmt.Errorf("overload serving run shed nothing; admission gate not engaging")
+	}
+	out["overload_shed_jobs"] = float64(shed)
+	out["overload_shed_rate"] = float64(shed) / float64(jobs)
+	return out, nil
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output file")
+	out := flag.String("o", "BENCH_PR5.json", "output file")
 	benchtime := flag.String("benchtime", "5x", "per-benchmark -benchtime")
 	flag.Parse()
 
@@ -216,6 +316,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	fmt.Fprintln(os.Stderr, "benchreport: running in-process serving probes")
+	srvStats, err := serving()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
 	rep := report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -223,6 +330,7 @@ func main() {
 		Benchmarks: all,
 		Derived:    derived,
 		Robustness: rob,
+		Serving:    srvStats,
 	}
 	if rep.CPUs == 1 {
 		rep.Note = "single-CPU machine: parallel and sequential runs share one core, " +

@@ -11,14 +11,23 @@
 // With one input file a self-join is performed; with two, an R-S join
 // (FS-Join only). Records are word-tokenised (lower-cased, split on
 // non-alphanumerics) or q-gram tokenised with -q.
+//
+// Batch serving mode runs one self-join per input file concurrently
+// through a fsjoin.Server sharing one memory pool:
+//
+//	fsjoin -serve [-serve-mem BYTES] [-serve-jobs N] [-serve-deadline D]
+//	       [-serve-timeout D] -theta 0.8 a.txt b.txt c.txt ...
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
+	"time"
 
 	"fsjoin"
 	"fsjoin/internal/checkpoint"
@@ -41,10 +50,17 @@ func main() {
 		resume = flag.Bool("resume", false, "reuse matching checkpoints from -checkpoint instead of starting fresh")
 		skip   = flag.Bool("skip-bad-records", false, "quarantine records that deterministically crash a task instead of failing the join")
 		maxSk  = flag.Int("max-skipped-records", 0, "abort after this many quarantined records (0 = default limit)")
+
+		serve         = flag.Bool("serve", false, "batch serving mode: one self-join per input file, run concurrently through a fsjoin.Server")
+		serveMem      = flag.Int64("serve-mem", 64<<20, "serving: global memory pool in bytes, shared by all jobs")
+		serveJobs     = flag.Int("serve-jobs", 0, "serving: max concurrent jobs (0 = one per core)")
+		serveQueue    = flag.Int("serve-queue", 0, "serving: admission queue bound (0 = 16, negative = no queue)")
+		serveDeadline = flag.Duration("serve-deadline", 0, "serving: per-job execution deadline (0 = none)")
+		serveTimeout  = flag.Duration("serve-timeout", 0, "serving: per-job queue-wait bound (0 = wait indefinitely)")
 	)
 	flag.Parse()
-	if flag.NArg() < 1 || flag.NArg() > 2 {
-		fmt.Fprintln(os.Stderr, "usage: fsjoin [flags] R.txt [S.txt]")
+	if flag.NArg() < 1 || (!*serve && flag.NArg() > 2) {
+		fmt.Fprintln(os.Stderr, "usage: fsjoin [flags] R.txt [S.txt]   or   fsjoin -serve [flags] FILE...")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -111,6 +127,14 @@ func main() {
 		}
 		return loadCollection(path, tk, dict)
 	}
+	if *serve {
+		runServe(opt, load, serveConfig{
+			mem: *serveMem, jobs: *serveJobs, queue: *serveQueue,
+			deadline: *serveDeadline, timeout: *serveTimeout,
+			checkpointRoot: *ckpt, stats: *stats,
+		})
+		return
+	}
 	r := load(flag.Arg(0))
 	var res *fsjoin.Result
 	var err error
@@ -140,6 +164,90 @@ func main() {
 			fmt.Fprintf(os.Stderr, "checkpoint hits=%d misses=%d skipped-records=%d\n",
 				res.Stats.CheckpointHits, res.Stats.CheckpointMisses, res.Stats.RecordsSkipped)
 		}
+	}
+}
+
+// serveConfig carries the serving-mode knobs into runServe.
+type serveConfig struct {
+	mem            int64
+	jobs           int
+	queue          int
+	deadline       time.Duration
+	timeout        time.Duration
+	checkpointRoot string
+	stats          bool
+}
+
+// runServe self-joins every input file concurrently through one Server.
+// Jobs share the options and the global memory pool; results print in
+// input order, each under a "== path" header, with shed, timed-out and
+// failed jobs reported per file instead of aborting the batch.
+func runServe(opt fsjoin.Options, load func(string) *fsjoin.Collection, sc serveConfig) {
+	// The per-job knobs move to the server; the shared options keep the
+	// join semantics only.
+	opt.CheckpointDir = ""
+	srv, err := fsjoin.NewServer(fsjoin.ServerOptions{
+		MemoryBudget:    sc.mem,
+		MaxConcurrent:   sc.jobs,
+		MaxQueue:        sc.queue,
+		DefaultDeadline: sc.deadline,
+		QueueTimeout:    sc.timeout,
+		CheckpointRoot:  sc.checkpointRoot,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	paths := flag.Args()
+	type outcome struct {
+		res *fsjoin.Result
+		err error
+		d   time.Duration
+	}
+	outs := make([]outcome, len(paths))
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		coll := load(path) // sequential: the dictionary is shared
+		wg.Add(1)
+		go func(i int, coll *fsjoin.Collection) {
+			defer wg.Done()
+			start := time.Now()
+			job := fsjoin.Job{Collection: coll, Options: opt}
+			if sc.checkpointRoot != "" {
+				job.Key = fmt.Sprintf("job-%d", i)
+			}
+			res, err := srv.Run(context.Background(), job)
+			outs[i] = outcome{res, err, time.Since(start)}
+		}(i, coll)
+	}
+	wg.Wait()
+
+	failed := 0
+	for i, path := range paths {
+		o := outs[i]
+		if o.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "fsjoin: %s: %v\n", path, o.err)
+			continue
+		}
+		fmt.Printf("== %s\n", path)
+		for _, p := range o.res.Pairs {
+			fmt.Printf("%d\t%d\t%.4f\n", p.A, p.B, p.Similarity)
+		}
+		if sc.stats {
+			fmt.Fprintf(os.Stderr, "%s: pairs=%d wall=%s queue-wait=%s lease=%dB\n",
+				path, len(o.res.Pairs), o.d.Round(time.Millisecond),
+				o.res.Stats.QueueWait.Round(time.Millisecond), o.res.Stats.MemoryLease)
+		}
+	}
+	if sc.stats {
+		st := srv.Stats()
+		fmt.Fprintf(os.Stderr, "server: admitted=%d completed=%d failed=%d shed=%d timed-out=%d peak-queue=%d\n",
+			st.Admitted, st.Completed, st.Failed, st.Shed, st.TimedOut, st.PeakQueued)
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

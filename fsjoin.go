@@ -392,6 +392,13 @@ type Stats struct {
 	// both are zero when checkpointing is off.
 	CheckpointHits   int64
 	CheckpointMisses int64
+	// QueueWait is how long the job waited for admission when run through
+	// a Server (zero for direct Join/SelfJoin calls, or when admitted
+	// immediately).
+	QueueWait time.Duration
+	// MemoryLease is the memory, in bytes, the job leased from its
+	// Server's global pool; zero for direct calls.
+	MemoryLease int64
 }
 
 // Result is a completed join.

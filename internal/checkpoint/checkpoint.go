@@ -145,6 +145,33 @@ func Open(dir string) (*Store, error) {
 	return &Store{dir: dir}, nil
 }
 
+// SweepTemps removes in-flight temp files under dir and every directory
+// below it, leaving durable checkpoints in place. The serving layer calls
+// it on shutdown: jobs cancelled mid-save (deadline, drain) may have died
+// between CreateTemp and the atomic rename, and their partials must not
+// outlive the server. A missing dir is not an error.
+func SweepTemps(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), tmpPrefix) {
+			os.Remove(path)
+		}
+		return nil
+	})
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 

@@ -1,0 +1,69 @@
+package fragjoin
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+// cancelSegs builds enough pairable segments that every kernel performs
+// well over a thousand comparisons — past the engine's cancellation
+// stride. Token 0 is shared by all segments, so the inverted-list kernels
+// see every prior segment as a candidate in every probe round.
+func cancelSegs(n int) []Seg {
+	segs := make([]Seg, n)
+	for i := range segs {
+		toks := []tokens.ID{0, tokens.ID(i%7 + 8), tokens.ID(i%7 + 16)}
+		segs[i] = Seg{RID: int32(i), StrLen: 3, Tokens: toks}
+	}
+	return segs
+}
+
+// TestKernelsCancelMidFragment proves every kernel aborts mid-fragment
+// when the job context is already cancelled: the panic the engine's guard
+// recovers carries context.Canceled. This is the satellite's "deadline
+// fires on a large fragment" path in isolation.
+func TestKernelsCancelMidFragment(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, m := range []Method{Loop, Index, Prefix} {
+		t.Run(m.String(), func(t *testing.T) {
+			mctx := &mapreduce.Context{Job: mapreduce.Config{Context: ctx}}
+			p := Params{Fn: similarity.Jaccard, Theta: 0.3, Method: m}
+			var recovered error
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if err, ok := r.(error); ok {
+							recovered = err
+							return
+						}
+						t.Fatalf("kernel panicked with non-error %v", r)
+					}
+				}()
+				Join(mctx, cancelSegs(120), p, func(a, b *Seg, c int) {})
+			}()
+			if !errors.Is(recovered, context.Canceled) {
+				t.Fatalf("recovered = %v, want context.Canceled", recovered)
+			}
+		})
+	}
+}
+
+// TestKernelsNilContextUncancellable pins the nil-safety of the kernels'
+// cancellation points: ctx-less callers (unit tests, standalone use) run
+// to completion.
+func TestKernelsNilContextUncancellable(t *testing.T) {
+	for _, m := range []Method{Loop, Index, Prefix} {
+		pairs := 0
+		Join(nil, cancelSegs(120), Params{Fn: similarity.Jaccard, Theta: 0.3, Method: m},
+			func(a, b *Seg, c int) { pairs++ })
+		if pairs == 0 {
+			t.Fatalf("%s: no pairs emitted from an overlapping corpus", m)
+		}
+	}
+}

@@ -178,6 +178,16 @@ func (j *joiner) inc(name string, d int64) {
 	}
 }
 
+// cancelPoint is the kernels' bounded-stride cancellation hook: placed in
+// each probe/comparison loop so a cancelled or deadline-expired job aborts
+// mid-fragment instead of finishing a possibly huge reduce group first.
+// Nil-safe for ctx-less callers (unit tests, standalone use).
+func (j *joiner) cancelPoint() {
+	if j.ctx != nil {
+		j.ctx.CheckCancel()
+	}
+}
+
 // pairable applies the origin and horizontal-role join rules.
 func (j *joiner) pairable(a, b *Seg) bool {
 	if j.p.RS {
@@ -240,6 +250,7 @@ func (j *joiner) loop() {
 	segs := j.segs
 	for i := range segs {
 		for k := i + 1; k < len(segs); k++ {
+			j.cancelPoint()
 			a, b := &segs[i], &segs[k]
 			if !j.pairable(a, b) {
 				continue
@@ -325,6 +336,7 @@ func (j *joiner) drain(k int, exact bool) {
 	slices.Sort(j.cands)
 	b := &j.segs[k]
 	for _, ci := range j.cands {
+		j.cancelPoint()
 		i := int(ci)
 		a := &j.segs[i]
 		if !j.pairable(a, b) {

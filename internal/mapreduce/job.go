@@ -148,7 +148,25 @@ func (c Config) cancelled() error {
 	case <-c.Context.Done():
 		return c.Context.Err()
 	default:
+	}
+	return nil
+}
+
+// cancelCheck returns the polling form of cancelled for components that
+// cannot see the Config (the spill merge); nil when the job has no
+// context, so the unconfigured path stays a nil comparison.
+func (c Config) cancelCheck() func() error {
+	if c.Context == nil {
 		return nil
+	}
+	ctx := c.Context
+	return func() error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return nil
+		}
 	}
 }
 
@@ -222,6 +240,7 @@ type Context struct {
 	shuffle  *shuffleSink
 	counters *Counters
 	local    map[string]int64
+	polls    uint32 // CheckCancel call count (per-task, single goroutine)
 }
 
 // Emit appends an output pair. Map tasks of jobs with a reduce phase route
@@ -424,7 +443,7 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 			return runAttempts(cfg, res.Counters, func(a int) (*Context, error) {
 				ctx := &Context{TaskID: t, Job: cfg, counters: res.Counters}
 				if reducer != nil {
-					ctx.shuffle = newShuffleSink(part, reduceTasks, combineFolder, budget, sdir)
+					ctx.shuffle = newShuffleSink(part, reduceTasks, combineFolder, budget, sdir, cfg.cancelCheck())
 				} else {
 					ctx.out = make([]KV, 0, len(split)+16)
 				}
@@ -453,12 +472,12 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 			})
 		}
 		ctx, err := mapAttempts(splits[t])
-		if err != nil && cfg.Fault.SkipBadRecords {
+		if err != nil && cfg.Fault.SkipBadRecords && !isCancellation(err) {
 			ctx, err = skipMapRecords(cfg, res.Counters, quarantine, t,
 				splits[t], mapper, mapAttempts, err)
 		}
 		if err != nil {
-			return fmt.Errorf("mapreduce: job %q map task %d: %w", cfg.Name, t, err)
+			return taskErr(cfg.Name, PhaseMap, t, err)
 		}
 		m.MapTaskTime[t] = time.Since(start)
 		if reducer == nil {
@@ -489,7 +508,7 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 		recs, bytes, terr := ctx.shuffle.totals()
 		if terr != nil {
 			ctx.shuffle.close()
-			return fmt.Errorf("mapreduce: job %q map task %d: %w", cfg.Name, t, terr)
+			return taskErr(cfg.Name, PhaseMap, t, terr)
 		}
 		sinks[t], taskRecs[t], taskBytes[t] = ctx.shuffle, recs, bytes
 		return nil
@@ -582,7 +601,7 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 					gBytes[key] += b
 				})
 				if derr != nil {
-					panic(fmt.Sprintf("mapreduce: shuffle fetch: %v", derr))
+					panic(&enginePanic{err: fmt.Errorf("shuffle fetch: %w", derr)})
 				}
 				if ways > maxWays {
 					maxWays = ways
@@ -590,7 +609,7 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 			}
 			sort.Strings(keys)
 		}); gerr != nil {
-			return fmt.Errorf("mapreduce: job %q reduce task %d: %w", cfg.Name, t, gerr)
+			return taskErr(cfg.Name, PhaseReduce, t, gerr)
 		}
 		if maxWays > 1 {
 			res.Counters.Max(CounterSpillMergeWays, int64(maxWays))
@@ -606,6 +625,7 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 				s.Setup(ctx)
 			}
 			for i, k := range ks {
+				ctx.CheckCancel()
 				if f.Kind == FaultRecordPanic && i == f.Record {
 					if counters != nil {
 						counters.Inc(counterInjectedPrefix+f.Kind.String(), 1)
@@ -637,7 +657,7 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 			})
 		}
 		ctx, err := reduceAttempts(keys)
-		if err != nil && cfg.Fault.SkipBadRecords {
+		if err != nil && cfg.Fault.SkipBadRecords && !isCancellation(err) {
 			probeBody := func(ctx *Context, ks []string, f Fault) {
 				reduceKeys(ctx, ks, f, nil)
 			}
@@ -645,7 +665,7 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 				keys, probeBody, reduceAttempts, err)
 		}
 		if err != nil {
-			return fmt.Errorf("mapreduce: job %q reduce task %d: %w", cfg.Name, t, err)
+			return taskErr(cfg.Name, PhaseReduce, t, err)
 		}
 		m.ReduceTaskTime[t] = time.Since(start)
 		ctx.flushCounters()
@@ -699,12 +719,14 @@ func closeSinks(sinks []*shuffleSink) {
 	}
 }
 
-// runTask feeds one split through a mapper with lifecycle hooks.
+// runTask feeds one split through a mapper with lifecycle hooks, polling
+// for cancellation on the engine's bounded stride.
 func runTask(ctx *Context, split []KV, mapper Mapper) {
 	if s, ok := mapper.(Setupper); ok {
 		s.Setup(ctx)
 	}
 	for _, kv := range split {
+		ctx.CheckCancel()
 		mapper.Map(ctx, kv)
 	}
 	if c, ok := mapper.(Cleanupper); ok {

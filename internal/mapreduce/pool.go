@@ -53,9 +53,17 @@ func runPhase(parallelism, n int, work func(t int) error) error {
 }
 
 // guard converts a task panic into an error, Hadoop-style task isolation.
+// Engine-internal failures travel as *enginePanic and come back out as
+// their carried error — errors.Is/As chain intact, which is what lets a
+// mid-task cancellation surface as context.Canceled — while user-code
+// panics stay opaque "task failed" errors.
 func guard(task func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			if p, ok := r.(*enginePanic); ok {
+				err = p.err
+				return
+			}
 			err = fmt.Errorf("task failed: %v", r)
 		}
 	}()
@@ -85,6 +93,11 @@ func withRetries(cfg Config, counters *Counters, attempt func(a int) error) erro
 		}
 		if err = attempt(a); err == nil {
 			return nil
+		}
+		if isCancellation(err) {
+			// Retrying cannot outrun a cancelled context; return at once so
+			// deadlines abort the job promptly instead of burning attempts.
+			return err
 		}
 		if first == nil {
 			first = err

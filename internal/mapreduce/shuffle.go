@@ -31,13 +31,14 @@ type shuffleSink struct {
 	prior spill.Stats
 }
 
-func newShuffleSink(part func(string, int) int, reducers int, folder Folder, budget int64, dir string) *shuffleSink {
+func newShuffleSink(part func(string, int) int, reducers int, folder Folder, budget int64, dir string, cancel func() error) *shuffleSink {
 	s := &shuffleSink{part: part, reducers: reducers, folder: folder}
 	sc := spill.Config{
 		Parts:  reducers,
 		Budget: budget,
 		Dir:    dir,
 		Size:   func(key string, v any) int64 { return int64(len(key) + sizeOf(v) + 8) },
+		Cancel: cancel,
 	}
 	if folder != nil {
 		sc.Fold = folder.Fold
@@ -53,10 +54,10 @@ func newShuffleSink(part func(string, int) int, reducers int, folder Folder, bud
 func (s *shuffleSink) add(key string, value any) {
 	r := s.part(key, s.reducers)
 	if r < 0 || r >= s.reducers {
-		panic(fmt.Sprintf("mapreduce: partitioner returned %d for %d reducers", r, s.reducers))
+		panic(&enginePanic{err: fmt.Errorf("partitioner returned %d for %d reducers", r, s.reducers)})
 	}
 	if err := s.buf.Add(r, key, value); err != nil {
-		panic(fmt.Sprintf("mapreduce: shuffle spill: %v", err))
+		panic(&enginePanic{err: fmt.Errorf("shuffle spill: %w", err)})
 	}
 }
 
@@ -118,7 +119,7 @@ func (s *shuffleSink) stats() spill.Stats {
 // attempt context, which the retry machinery discards.
 func combineSink(cfg Config, mapCtx *Context, combiner Reducer, counters *Counters) *shuffleSink {
 	src := mapCtx.shuffle
-	dst := newShuffleSink(src.part, src.reducers, nil, cfg.memoryBudget(), cfg.spillDir())
+	dst := newShuffleSink(src.part, src.reducers, nil, cfg.memoryBudget(), cfg.spillDir(), cfg.cancelCheck())
 	done := false
 	defer func() {
 		if !done {
@@ -139,7 +140,7 @@ func combineSink(cfg Config, mapCtx *Context, combiner Reducer, counters *Counte
 			}
 			grouped[key] = append(vs, v)
 		}); err != nil {
-			panic(fmt.Sprintf("mapreduce: combine fetch: %v", err))
+			panic(&enginePanic{err: fmt.Errorf("combine fetch: %w", err)})
 		}
 		for _, k := range order {
 			combiner.Reduce(cctx, k, grouped[k])

@@ -1,0 +1,291 @@
+// Package sched is the serving layer's admission control: a weighted
+// semaphore over a global memory pool plus a bounded priority/FIFO wait
+// queue with typed load shedding. Each admitted job holds a Lease — a
+// slice of the pool plus one concurrency slot — for its whole run; jobs
+// that cannot be admitted are either queued (bounded, priority-ordered,
+// deadline- and timeout-aware) or shed immediately with a typed error so
+// callers can distinguish "try later" from "never". DESIGN.md §10
+// documents the model; fsjoin.Server is the public face.
+package sched
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Typed admission failures. The public facade maps these onto its own
+// sentinels; inside the repo they are matched with errors.Is.
+var (
+	// ErrOverloaded sheds a request because the wait queue is full or the
+	// request can never fit the pool. The request did no work.
+	ErrOverloaded = errors.New("sched: overloaded")
+	// ErrQueueTimeout sheds a request that waited longer than its
+	// queue-wait bound. The request did no work.
+	ErrQueueTimeout = errors.New("sched: queue-wait timeout")
+	// ErrClosed rejects requests arriving at — or queued on — a closed
+	// gate (graceful drain: queued work is cancelled, running leases are
+	// left to finish).
+	ErrClosed = errors.New("sched: gate closed")
+)
+
+// Gate is the admission gate: Capacity bytes of memory and Slots
+// concurrent leases, granted in (priority desc, arrival) order through a
+// bounded wait queue. All methods are safe for concurrent use.
+type Gate struct {
+	capacity int64
+	slots    int
+	maxQueue int
+
+	mu        sync.Mutex
+	memFree   int64
+	slotsFree int
+	waiters   waiterHeap
+	seq       uint64
+	closed    bool
+
+	admitted  int64
+	shed      int64
+	timedOut  int64
+	cancelled int64
+	peakQueue int
+}
+
+// Stats is a point-in-time snapshot of a gate's activity.
+type Stats struct {
+	// Admitted counts leases granted since creation.
+	Admitted int64
+	// Shed counts requests rejected with ErrOverloaded.
+	Shed int64
+	// TimedOut counts requests rejected with ErrQueueTimeout.
+	TimedOut int64
+	// Cancelled counts queued requests abandoned by their context.
+	Cancelled int64
+	// Running is the number of leases currently held.
+	Running int
+	// Queued is the current wait-queue depth; PeakQueued its high-water
+	// mark.
+	Queued     int
+	PeakQueued int
+	// MemoryInUse is the leased share of the pool.
+	MemoryInUse int64
+}
+
+// New returns a gate over a capacity-byte memory pool with the given
+// concurrency slots and wait-queue bound. maxQueue 0 means no queue:
+// anything that cannot be admitted immediately is shed.
+func New(capacity int64, slots, maxQueue int) *Gate {
+	if capacity < 0 {
+		capacity = 0
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Gate{
+		capacity: capacity, slots: slots, maxQueue: maxQueue,
+		memFree: capacity, slotsFree: slots,
+	}
+}
+
+// Lease is one admitted request's hold on the gate: mem bytes of the pool
+// plus one slot, released exactly once by Release.
+type Lease struct {
+	g    *Gate
+	mem  int64
+	once sync.Once
+}
+
+// Bytes returns the lease's memory grant.
+func (l *Lease) Bytes() int64 { return l.mem }
+
+// Release returns the lease to the pool and wakes admissible waiters.
+// Idempotent.
+func (l *Lease) Release() {
+	l.once.Do(func() {
+		g := l.g
+		g.mu.Lock()
+		g.memFree += l.mem
+		g.slotsFree++
+		g.grantLocked()
+		g.mu.Unlock()
+	})
+}
+
+// waiter is one queued request. ready is closed when the request is
+// resolved; outcome (granted or err) is read back under the gate mutex.
+type waiter struct {
+	mem      int64
+	priority int
+	seq      uint64
+	ready    chan struct{}
+	granted  bool
+	err      error
+	index    int // heap index; -1 once popped or removed
+}
+
+// waiterHeap orders waiters by (priority desc, seq asc) — strict
+// head-of-line: the gate only ever grants the top waiter, so a large
+// lease at the head is never starved by smaller requests behind it.
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	w := old[n]
+	old[n] = nil
+	w.index = -1
+	*h = old[:n]
+	return w
+}
+
+// grantLocked admits queued waiters in heap order while the head fits.
+func (g *Gate) grantLocked() {
+	for len(g.waiters) > 0 {
+		w := g.waiters[0]
+		if w.mem > g.memFree || g.slotsFree == 0 {
+			return
+		}
+		heap.Pop(&g.waiters)
+		g.memFree -= w.mem
+		g.slotsFree--
+		g.admitted++
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// Acquire admits one request for mem bytes, blocking in the bounded wait
+// queue when the gate is saturated. queueTimeout > 0 bounds the wait;
+// ctx cancels it. A request that can never fit (mem exceeds the whole
+// pool) and a request arriving at a full queue are shed immediately with
+// ErrOverloaded; an expired wait returns ErrQueueTimeout; a closed gate
+// returns ErrClosed. On success the caller owns the returned Lease.
+func (g *Gate) Acquire(ctx context.Context, mem int64, priority int, queueTimeout time.Duration) (*Lease, error) {
+	if mem < 0 {
+		mem = 0
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if mem > g.capacity {
+		g.shed++
+		g.mu.Unlock()
+		return nil, fmt.Errorf("%w: lease of %d bytes exceeds the %d-byte pool", ErrOverloaded, mem, g.capacity)
+	}
+	if len(g.waiters) == 0 && mem <= g.memFree && g.slotsFree > 0 {
+		g.memFree -= mem
+		g.slotsFree--
+		g.admitted++
+		g.mu.Unlock()
+		return &Lease{g: g, mem: mem}, nil
+	}
+	if len(g.waiters) >= g.maxQueue {
+		g.shed++
+		g.mu.Unlock()
+		return nil, fmt.Errorf("%w: admission queue full (%d waiting)", ErrOverloaded, g.maxQueue)
+	}
+	w := &waiter{mem: mem, priority: priority, seq: g.seq, ready: make(chan struct{})}
+	g.seq++
+	heap.Push(&g.waiters, w)
+	if len(g.waiters) > g.peakQueue {
+		g.peakQueue = len(g.waiters)
+	}
+	g.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if queueTimeout > 0 {
+		t := time.NewTimer(queueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case <-w.ready:
+	case <-timeout:
+		if err := g.abandon(w, ErrQueueTimeout, &g.timedOut); err != nil {
+			return nil, err
+		}
+	case <-ctxDone:
+		if err := g.abandon(w, ctx.Err(), &g.cancelled); err != nil {
+			return nil, err
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if w.err != nil {
+		return nil, w.err
+	}
+	return &Lease{g: g, mem: w.mem}, nil
+}
+
+// abandon removes a waiter whose timer or context fired. It returns nil
+// when the grant won the race — the caller then owns the lease after all
+// — and the shed error (counting it in the given counter) otherwise.
+func (g *Gate) abandon(w *waiter, cause error, counter *int64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if w.granted || w.err != nil {
+		return nil // resolved concurrently; outcome read by the caller
+	}
+	heap.Remove(&g.waiters, w.index)
+	*counter++
+	return cause
+}
+
+// Close drains the gate: subsequent Acquires fail with ErrClosed and
+// every queued waiter is woken with ErrClosed. Leases already granted
+// stay valid until released. Idempotent.
+func (g *Gate) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, w := range g.waiters {
+		w.index = -1
+		w.err = ErrClosed
+		close(w.ready)
+	}
+	g.waiters = nil
+}
+
+// Stats snapshots the gate's counters and occupancy.
+func (g *Gate) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Stats{
+		Admitted: g.admitted, Shed: g.shed, TimedOut: g.timedOut,
+		Cancelled: g.cancelled,
+		Running:   g.slots - g.slotsFree,
+		Queued:    len(g.waiters), PeakQueued: g.peakQueue,
+		MemoryInUse: g.capacity - g.memFree,
+	}
+}

@@ -1,0 +1,227 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateImmediateAdmission(t *testing.T) {
+	g := New(100, 2, 4)
+	a, err := g.Acquire(context.Background(), 60, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Acquire(context.Background(), 40, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Running != 2 || st.MemoryInUse != 100 || st.Admitted != 2 {
+		t.Fatalf("stats = %+v, want 2 running / 100 in use", st)
+	}
+	a.Release()
+	b.Release()
+	if st := g.Stats(); st.Running != 0 || st.MemoryInUse != 0 {
+		t.Fatalf("after release: %+v", st)
+	}
+}
+
+func TestGateLeaseTooLargeIsShed(t *testing.T) {
+	g := New(100, 2, 4)
+	if _, err := g.Acquire(context.Background(), 101, 0, 0); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if st := g.Stats(); st.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", st.Shed)
+	}
+}
+
+func TestGateFullQueueSheds(t *testing.T) {
+	g := New(100, 1, 0)
+	l, err := g.Acquire(context.Background(), 100, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	if _, err := g.Acquire(context.Background(), 10, 0, 0); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+}
+
+func TestGateQueueTimeout(t *testing.T) {
+	g := New(100, 1, 4)
+	l, err := g.Acquire(context.Background(), 100, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	start := time.Now()
+	if _, err := g.Acquire(context.Background(), 10, 0, 5*time.Millisecond); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took far longer than the bound")
+	}
+	if st := g.Stats(); st.TimedOut != 1 || st.Queued != 0 {
+		t.Fatalf("stats = %+v, want 1 timed out, empty queue", st)
+	}
+}
+
+func TestGateContextCancelWhileQueued(t *testing.T) {
+	g := New(100, 1, 4)
+	l, err := g.Acquire(context.Background(), 100, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(2 * time.Millisecond); cancel() }()
+	if _, err := g.Acquire(ctx, 10, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := g.Stats(); st.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", st.Cancelled)
+	}
+}
+
+// TestGateWakesWaiterOnRelease proves a queued request is admitted as soon
+// as a lease that frees enough of the pool returns.
+func TestGateWakesWaiterOnRelease(t *testing.T) {
+	g := New(100, 2, 4)
+	l, err := g.Acquire(context.Background(), 80, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		l2, err := g.Acquire(context.Background(), 50, 0, 0)
+		if err == nil {
+			l2.Release()
+		}
+		got <- err
+	}()
+	// The waiter must be parked (50 > 20 free), not admitted.
+	deadline := time.After(2 * time.Second)
+	for g.Stats().Queued == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("second acquire never queued")
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	l.Release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire failed: %v", err)
+	}
+}
+
+// TestGatePriorityOrder parks three waiters behind a full gate and checks
+// they are admitted in (priority desc, arrival) order.
+func TestGatePriorityOrder(t *testing.T) {
+	g := New(10, 1, 8)
+	hold, err := g.Acquire(context.Background(), 10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	admit := func(id, priority int) {
+		defer wg.Done()
+		l, err := g.Acquire(context.Background(), 10, priority, 0)
+		if err != nil {
+			t.Errorf("waiter %d: %v", id, err)
+			return
+		}
+		mu.Lock()
+		order = append(order, id)
+		mu.Unlock()
+		l.Release()
+	}
+	for i, p := range []int{0, 5, 1} { // ids 0..2 queue in this order
+		wg.Add(1)
+		go admit(i, p)
+		// Ensure deterministic arrival order before queuing the next.
+		deadline := time.After(2 * time.Second)
+		for g.Stats().Queued != i+1 {
+			select {
+			case <-deadline:
+				t.Fatalf("waiter %d never queued", i)
+			default:
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+	hold.Release()
+	wg.Wait()
+	want := []int{1, 2, 0} // priority 5, then FIFO among priority 1 and 0
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("admission order = %v, want %v", order, want)
+	}
+}
+
+func TestGateCloseWakesQueuedAndRejectsNew(t *testing.T) {
+	g := New(10, 1, 8)
+	hold, err := g.Acquire(context.Background(), 10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(context.Background(), 5, 0, 0)
+		got <- err
+	}()
+	deadline := time.After(2 * time.Second)
+	for g.Stats().Queued == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never queued")
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	g.Close()
+	if err := <-got; !errors.Is(err, ErrClosed) {
+		t.Fatalf("queued waiter err = %v, want ErrClosed", err)
+	}
+	if _, err := g.Acquire(context.Background(), 1, 0, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close acquire err = %v, want ErrClosed", err)
+	}
+	// Existing leases survive a close and can still release.
+	hold.Release()
+	g.Close() // idempotent
+}
+
+// TestGateStress hammers the gate from many goroutines under -race and
+// checks conservation: the pool is whole once everything is released.
+func TestGateStress(t *testing.T) {
+	g := New(1000, 4, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				l, err := g.Acquire(context.Background(), int64(50+10*(i%5)), i%3, time.Second)
+				if err != nil {
+					continue
+				}
+				l.Release()
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := g.Stats()
+	if st.Running != 0 || st.MemoryInUse != 0 || st.Queued != 0 {
+		t.Fatalf("pool not whole after stress: %+v", st)
+	}
+	if st.Admitted == 0 {
+		t.Fatal("stress admitted nothing")
+	}
+}

@@ -46,6 +46,11 @@ type Config struct {
 	// pure function of (key, value) so spilled records account identically
 	// after decode.
 	Size func(key string, v any) int64
+	// Cancel, when non-nil, is polled on a bounded stride inside Drain's
+	// replay loops (including the k-way merge); a non-nil return aborts the
+	// drain with that error, so a cancelled job stops mid-merge instead of
+	// replaying every spilled record first.
+	Cancel func() error
 }
 
 // Stats is a Buffer's spill activity. Deterministic for a fixed input,
@@ -240,7 +245,12 @@ func (b *Buffer) Drain(part int, emit func(key string, v any, bytes int64)) (int
 		}
 	}
 	if len(sources) == 0 {
-		for _, e := range tail {
+		for i, e := range tail {
+			if b.cfg.Cancel != nil && i&(cancelStride-1) == 0 {
+				if err := b.cfg.Cancel(); err != nil {
+					return 0, err
+				}
+			}
 			emit(e.key, e.val, e.bytes)
 		}
 		if len(tail) == 0 {
@@ -261,7 +271,7 @@ func (b *Buffer) Drain(part int, emit func(key string, v any, bytes int64)) (int
 			break
 		}
 	}
-	err := kmerge(sources, b.cfg.Fold, func(k string, v any) {
+	err := kmerge(sources, b.cfg.Fold, b.cfg.Cancel, func(k string, v any) {
 		emit(k, v, b.cfg.Size(k, v))
 	})
 	return int(ways), err

@@ -72,14 +72,20 @@ func (h mergeHeap) down(i int) {
 	}
 }
 
+// cancelStride bounds how many records a drain replays between Cancel
+// polls — matched to the engine's per-record cancellation stride so a
+// deadline interrupts a wide merge within ~a thousand records.
+const cancelStride = 1024
+
 // kmerge replays sources in merged (key, source) order. With a non-nil
 // fold, maximal key-equal record groups collapse into a single folded
 // record, restoring the ≤-one-record-per-key invariant a fold-at-emit
 // buffer had before its keys were split across runs; fold application
 // order is exactly emission order, so any merge-capable Folder (fold over
 // accumulators ≡ fold over values, true of every combiner in this repo)
-// reproduces the in-memory accumulator bit-for-bit.
-func kmerge(sources []mergeSource, fold func(acc, v any) any, emit func(key string, v any)) error {
+// reproduces the in-memory accumulator bit-for-bit. A non-nil cancel is
+// polled every cancelStride records and aborts the merge when it errors.
+func kmerge(sources []mergeSource, fold func(acc, v any) any, cancel func() error, emit func(key string, v any)) error {
 	h := make(mergeHeap, 0, len(sources))
 	for i, s := range sources {
 		k, v, ok, err := s.next()
@@ -110,7 +116,16 @@ func kmerge(sources []mergeSource, fold func(acc, v any) any, emit func(key stri
 		}
 		return top, nil
 	}
+	var polls int
 	for len(h) > 0 {
+		if cancel != nil {
+			if polls&(cancelStride-1) == 0 {
+				if err := cancel(); err != nil {
+					return err
+				}
+			}
+			polls++
+		}
 		top, err := pop()
 		if err != nil {
 			return err

@@ -1,0 +1,451 @@
+package fsjoin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"fsjoin/internal/checkpoint"
+	"fsjoin/internal/sched"
+)
+
+// Typed serving-layer failures. A shed job did no work: it was rejected
+// before tokenising, partitioning or spilling anything.
+var (
+	// ErrOverloaded rejects a job the server cannot take: its lease
+	// exceeds the whole pool, or the admission queue is full.
+	ErrOverloaded = errors.New("fsjoin: server overloaded")
+	// ErrQueueTimeout rejects a job that waited in the admission queue
+	// longer than its queue-wait bound.
+	ErrQueueTimeout = errors.New("fsjoin: queue-wait timeout")
+	// ErrServerClosed rejects jobs submitted to — or still queued on — a
+	// server that has begun shutting down.
+	ErrServerClosed = errors.New("fsjoin: server closed")
+)
+
+// JobError is the typed failure of a job whose execution panicked. The
+// server recovers the panic, so sibling jobs keep running; the caller gets
+// the recovered value and stack instead of a crashed process.
+type JobError struct {
+	// Job labels the failed job (Job.Key when set, else a server-assigned
+	// sequence label).
+	Job string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	return fmt.Sprintf("fsjoin: job %s panicked: %v", e.Job, e.Value)
+}
+
+// Unwrap exposes the panic value when it is itself an error, so errors.Is
+// reaches a cause thrown through the panic.
+func (e *JobError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// MemoryBudget is the process-wide shuffle-memory pool, in bytes,
+	// shared by every concurrent job. Required (> 0): each admitted job
+	// holds a lease carved from this pool for its whole run.
+	MemoryBudget int64
+	// MaxConcurrent caps jobs running at once; 0 means one per CPU core.
+	MaxConcurrent int
+	// MaxQueue bounds jobs waiting for admission; jobs arriving at a full
+	// queue are shed with ErrOverloaded. 0 means 16; negative disables
+	// queueing entirely (anything not admitted immediately is shed).
+	MaxQueue int
+	// DefaultDeadline bounds each job's execution (queue wait excluded)
+	// unless the job sets its own; 0 means none. An expired deadline
+	// aborts the job with an error wrapping context.DeadlineExceeded.
+	DefaultDeadline time.Duration
+	// QueueTimeout bounds each job's admission wait unless the job sets
+	// its own; 0 means wait indefinitely (until the context or server
+	// says otherwise).
+	QueueTimeout time.Duration
+	// SpillRoot is the parent directory for all jobs' spill files; ""
+	// creates a private directory under the OS temp dir, removed on
+	// Shutdown.
+	SpillRoot string
+	// CheckpointRoot, when non-empty, enables durable stage checkpoints
+	// for jobs that set a Key: each keyed job checkpoints under its own
+	// subdirectory, so concurrent jobs never collide on stage files.
+	CheckpointRoot string
+}
+
+// Job is one join submitted to a Server.
+type Job struct {
+	// Collection is the input (the R side for R-S joins). Required.
+	Collection *Collection
+	// Other, when non-nil, makes the job an R-S join against this S side.
+	Other *Collection
+	// Options configures the join exactly as for direct calls. The value
+	// is owned by the caller and never mutated; the server applies its
+	// lease, context and directories to a private copy.
+	Options Options
+	// Priority orders admission: higher first, FIFO among equals.
+	Priority int
+	// Deadline overrides ServerOptions.DefaultDeadline; 0 inherits it.
+	Deadline time.Duration
+	// QueueTimeout overrides ServerOptions.QueueTimeout; 0 inherits it.
+	QueueTimeout time.Duration
+	// MemoryLease is the job's share of the global pool, in bytes. 0
+	// falls back to Options.MemoryBudget, then to an equal share of the
+	// pool (MemoryBudget / MaxConcurrent). A lease larger than the whole
+	// pool is shed with ErrOverloaded.
+	MemoryLease int64
+	// Key, with ServerOptions.CheckpointRoot, names the job's private
+	// checkpoint subdirectory — resubmitting the same Key with the same
+	// input and options replays finished stages. "" disables
+	// checkpointing for this job.
+	Key string
+
+	// testHookPreRun, when set by in-package tests, runs inside the
+	// panic-isolated execution region.
+	testHookPreRun func()
+}
+
+// ServerStats snapshots a server's serving activity.
+type ServerStats struct {
+	// Admitted, Shed, TimedOut and Cancelled count admission outcomes
+	// (see ErrOverloaded / ErrQueueTimeout; Cancelled is contexts expiring
+	// in the queue).
+	Admitted  int64
+	Shed      int64
+	TimedOut  int64
+	Cancelled int64
+	// Completed and Failed count finished jobs by outcome; Panicked is
+	// the subset of Failed recovered from a panic.
+	Completed int64
+	Failed    int64
+	Panicked  int64
+	// Running and Queued are current occupancy; PeakQueued the queue's
+	// high-water mark; MemoryInUse the leased share of the pool.
+	Running     int
+	Queued      int
+	PeakQueued  int
+	MemoryInUse int64
+}
+
+// Server runs many joins concurrently under one global contract: a shared
+// memory pool with per-job leases, bounded priority admission with
+// deadlines and queue-wait timeouts, typed load shedding, panic isolation,
+// and graceful drain. Methods are safe for concurrent use.
+//
+//	srv, _ := fsjoin.NewServer(fsjoin.ServerOptions{MemoryBudget: 64 << 20})
+//	defer srv.Shutdown(context.Background())
+//	res, err := srv.SelfJoin(ctx, coll, fsjoin.Options{Threshold: 0.8})
+type Server struct {
+	opt  ServerOptions
+	gate *sched.Gate
+
+	mu        sync.Mutex
+	closed    bool
+	nextID    int64
+	cancels   map[int64]context.CancelFunc
+	completed int64
+	failed    int64
+	panicked  int64
+
+	running   sync.WaitGroup
+	spillRoot string
+	ownSpill  bool
+}
+
+// NewServer validates the options and returns a running server.
+func NewServer(opt ServerOptions) (*Server, error) {
+	if opt.MemoryBudget <= 0 {
+		return nil, errors.New("fsjoin: ServerOptions.MemoryBudget must be positive")
+	}
+	slots := opt.MaxConcurrent
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	queue := opt.MaxQueue
+	switch {
+	case queue == 0:
+		queue = 16
+	case queue < 0:
+		queue = 0
+	}
+	s := &Server{
+		opt:     opt,
+		gate:    sched.New(opt.MemoryBudget, slots, queue),
+		cancels: make(map[int64]context.CancelFunc),
+	}
+	s.opt.MaxConcurrent = slots
+	if opt.SpillRoot != "" {
+		if err := os.MkdirAll(opt.SpillRoot, 0o700); err != nil {
+			return nil, fmt.Errorf("fsjoin: spill root: %w", err)
+		}
+		s.spillRoot = opt.SpillRoot
+	} else {
+		dir, err := os.MkdirTemp("", "fsjoin-serve-")
+		if err != nil {
+			return nil, fmt.Errorf("fsjoin: spill root: %w", err)
+		}
+		s.spillRoot, s.ownSpill = dir, true
+	}
+	return s, nil
+}
+
+// SelfJoin submits a self-join with default job settings. Equivalent to
+// Run with a Job carrying just the collection and options.
+func (s *Server) SelfJoin(ctx context.Context, c *Collection, opt Options) (*Result, error) {
+	return s.Run(ctx, Job{Collection: c, Options: opt})
+}
+
+// Run submits one job and blocks until it completes, is shed, or fails.
+// Admission may queue the job behind higher-priority work; ctx cancels
+// both the wait and (together with the job's deadline) the execution. The
+// error is ErrOverloaded / ErrQueueTimeout / ErrServerClosed for shed jobs
+// (no work was started), a *JobError for a panicking job, and otherwise
+// whatever the join returns — wrapping context.DeadlineExceeded when the
+// job's deadline expired mid-run.
+func (s *Server) Run(ctx context.Context, job Job) (*Result, error) {
+	if job.Collection == nil {
+		return nil, errors.New("fsjoin: job has no collection")
+	}
+	if job.Options.MemoryBudget < 0 || job.MemoryLease < 0 {
+		return nil, errors.New("fsjoin: server jobs cannot disable memory accounting (negative budget/lease)")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	lease := job.MemoryLease
+	if lease == 0 {
+		lease = job.Options.MemoryBudget
+	}
+	if lease == 0 {
+		lease = s.opt.MemoryBudget / int64(s.opt.MaxConcurrent)
+		if lease < 1 {
+			lease = 1
+		}
+	}
+	queueTimeout := job.QueueTimeout
+	if queueTimeout == 0 {
+		queueTimeout = s.opt.QueueTimeout
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	// Joining the WaitGroup before unlocking keeps Shutdown's Wait from
+	// missing a job admitted concurrently with the close.
+	s.running.Add(1)
+	s.mu.Unlock()
+	defer s.running.Done()
+
+	waitStart := time.Now()
+	grant, err := s.gate.Acquire(ctx, lease, job.Priority, queueTimeout)
+	if err != nil {
+		return nil, translateSched(err)
+	}
+	defer grant.Release()
+	queueWait := time.Since(waitStart)
+
+	// Per-job execution context: the job's own Context (when set) is the
+	// parent, else the submission context; the deadline bounds execution
+	// only — queue wait was already charged against queueTimeout.
+	parent := ctx
+	if job.Options.Context != nil {
+		parent = job.Options.Context
+	}
+	deadline := job.Deadline
+	if deadline == 0 {
+		deadline = s.opt.DefaultDeadline
+	}
+	var (
+		jctx   context.Context
+		cancel context.CancelFunc
+	)
+	if deadline > 0 {
+		jctx, cancel = context.WithTimeout(parent, deadline)
+	} else {
+		jctx, cancel = context.WithCancel(parent)
+	}
+	defer cancel()
+
+	s.mu.Lock()
+	if s.closed {
+		// Shutdown won the race after admission: refuse to start.
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	id := s.nextID
+	s.nextID++
+	s.cancels[id] = cancel
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.cancels, id)
+		s.mu.Unlock()
+	}()
+
+	res, err := s.execute(jctx, job, grant.Bytes())
+	s.mu.Lock()
+	if err != nil {
+		s.failed++
+		if _, ok := err.(*JobError); ok {
+			s.panicked++
+		}
+	} else {
+		s.completed++
+	}
+	s.mu.Unlock()
+	if res != nil {
+		res.Stats.QueueWait = queueWait
+		res.Stats.MemoryLease = grant.Bytes()
+	}
+	return res, err
+}
+
+// execute runs one admitted job with its lease applied, recovering any
+// panic into a *JobError so one broken job cannot take down its siblings.
+func (s *Server) execute(ctx context.Context, job Job, lease int64) (res *Result, err error) {
+	opt := job.Options // private copy; the caller's value is never touched
+	opt.Context = ctx
+	opt.MemoryBudget = lease
+	opt.SpillDir = s.spillRoot
+	opt.CheckpointDir = ""
+	if s.opt.CheckpointRoot != "" && job.Key != "" {
+		opt.CheckpointDir = filepath.Join(s.opt.CheckpointRoot, sanitizeKey(job.Key))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			label := job.Key
+			if label == "" {
+				label = "(unkeyed)"
+			}
+			res, err = nil, &JobError{Job: label, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if job.testHookPreRun != nil {
+		job.testHookPreRun()
+	}
+	if job.Other != nil {
+		return job.Collection.Join(job.Other, opt)
+	}
+	return job.Collection.SelfJoin(opt)
+}
+
+// Shutdown drains the server: new and queued jobs are rejected with
+// ErrServerClosed, running jobs continue until they finish, hit their
+// deadlines, or — once ctx is done — are cancelled. After every job has
+// returned, spill and checkpoint temp files are swept. Idempotent; safe
+// to call concurrently with Run.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.gate.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.running.Wait()
+		close(done)
+	}()
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case <-done:
+	case <-ctxDone:
+		// Out of patience: cancel every running job, then wait for the
+		// engines to unwind (prompt, thanks to mid-task cancellation).
+		s.mu.Lock()
+		for _, cancel := range s.cancels {
+			cancel()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return s.sweep()
+}
+
+// sweep removes serving temp state: the private spill root (or leftover
+// per-job spill dirs under a caller-provided one) and in-flight checkpoint
+// temp files. Durable checkpoints are kept.
+func (s *Server) sweep() error {
+	var firstErr error
+	if s.ownSpill {
+		if err := os.RemoveAll(s.spillRoot); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	} else {
+		entries, err := os.ReadDir(s.spillRoot)
+		if err != nil && firstErr == nil && !os.IsNotExist(err) {
+			firstErr = err
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "fsjoin-spill-") {
+				os.RemoveAll(filepath.Join(s.spillRoot, e.Name()))
+			}
+		}
+	}
+	if s.opt.CheckpointRoot != "" {
+		if err := checkpoint.SweepTemps(s.opt.CheckpointRoot); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stats snapshots the server's admission and completion counters.
+func (s *Server) Stats() ServerStats {
+	g := s.gate.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServerStats{
+		Admitted: g.Admitted, Shed: g.Shed, TimedOut: g.TimedOut,
+		Cancelled: g.Cancelled,
+		Completed: s.completed, Failed: s.failed, Panicked: s.panicked,
+		Running: g.Running, Queued: g.Queued, PeakQueued: g.PeakQueued,
+		MemoryInUse: g.MemoryInUse,
+	}
+}
+
+// translateSched maps the scheduler's typed failures onto the public
+// sentinels, preserving the detail text.
+func translateSched(err error) error {
+	switch {
+	case errors.Is(err, sched.ErrOverloaded):
+		return fmt.Errorf("%w: %v", ErrOverloaded, err)
+	case errors.Is(err, sched.ErrQueueTimeout):
+		return ErrQueueTimeout
+	case errors.Is(err, sched.ErrClosed):
+		return ErrServerClosed
+	default:
+		return err // context cancellation / deadline from the queue wait
+	}
+}
+
+// sanitizeKey maps an arbitrary job key onto a single path segment.
+func sanitizeKey(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+}
