@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem test-recovery test-serve all
+.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem test-recovery test-serve test-filters all
 
 all: build vet test
 
@@ -28,10 +28,11 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelSpeedup|BenchmarkFig7' .
 	$(GO) test -run '^$$' -bench 'BenchmarkMemoryBudget' ./internal/mapreduce/
 
-# bench-report regenerates BENCH_PR5.json (engine, kernels, end-to-end and
-# memory-budget suites plus derived ratios, robustness and serving probes).
+# bench-report regenerates BENCH_PR6.json (engine, kernels with the bitmap
+# filter on and off, end-to-end and memory-budget suites plus derived
+# ratios, filter-effectiveness, robustness and serving probes).
 bench-report:
-	$(GO) run ./cmd/benchreport -o BENCH_PR5.json
+	$(GO) run ./cmd/benchreport -o BENCH_PR6.json
 
 # chaos runs the seeded fault-injection equivalence suites under the race
 # detector (DESIGN.md §7). Any failure is re-runnable from its seed.
@@ -47,6 +48,7 @@ fuzz:
 	$(GO) test -fuzz 'FuzzValueCodec' -fuzztime 10s ./internal/spill/
 	$(GO) test -fuzz 'FuzzBufferMerge' -fuzztime 10s ./internal/spill/
 	$(GO) test -fuzz 'FuzzRunCodec' -fuzztime 10s ./internal/spill/
+	$(GO) test -fuzz 'FuzzBitmapSignature' -fuzztime 10s ./internal/filters/
 
 # test-lowmem forces every test through the out-of-core shuffle: a 4 KiB
 # budget via the environment (tests that set an explicit budget ignore it)
@@ -78,6 +80,18 @@ test-serve:
 	FSJOIN_MEMORY_BUDGET=65536 $(GO) test -race \
 		-run 'TestServer|TestConcurrentJoins|TestJoinSurfaces|TestGate|Cancel' \
 		. ./internal/sched/ ./internal/mapreduce/ ./internal/fragjoin/ ./internal/spill/
+
+# test-filters runs the bitmap signature filter suites (DESIGN.md §11)
+# under the race detector, then re-runs the equivalence and golden suites
+# with the filter forced on and forced off through the environment knob, so
+# both code paths are proven byte-identical whichever way the default
+# points. CI runs this as its filters job.
+test-filters:
+	$(GO) test -race ./internal/filters/
+	$(GO) test -race -run 'TestBitmap|TestGolden' .
+	$(GO) test -race -run 'Bitmap|Equivalence' ./internal/fragjoin/ ./internal/ridpairs/
+	FSJOIN_BITMAP=on $(GO) test -race -run 'TestGolden|TestAllAlgorithmsAgree' .
+	FSJOIN_BITMAP=off $(GO) test -race -run 'TestGolden|TestAllAlgorithmsAgree' .
 
 # cover enforces the CI total-coverage gate (baseline 79.8% when the gate
 # was set; fails below 78%).

@@ -1,0 +1,100 @@
+package fsjoin
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBitmapFilterGoldenEquivalence runs the golden corpus through every
+// FS-Join kernel and RIDPairsPPJoin with the bitmap filter forced on and
+// forced off: the emitted pairs must be byte-identical (the filter only
+// skips work), the on-run must actually build signatures and reject
+// candidates, and RIDPairsPPJoin's verified-candidate count must shrink.
+func TestBitmapFilterGoldenEquivalence(t *testing.T) {
+	texts, _ := loadGolden(t)
+	run := func(opt Options) *Result {
+		t.Helper()
+		res, err := SelfJoinStrings(texts, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, cfg := range []struct {
+		name string
+		opt  Options
+	}{
+		{"fsjoin-prefix", Options{Threshold: goldenTheta, Nodes: 3, JoinMethod: PrefixJoin}},
+		{"fsjoin-index", Options{Threshold: goldenTheta, Nodes: 3, JoinMethod: IndexJoin}},
+		{"fsjoin-loop", Options{Threshold: goldenTheta, Nodes: 3, JoinMethod: LoopJoin}},
+		{"ridpairs", Options{Threshold: goldenTheta, Nodes: 3, Algorithm: RIDPairsPPJoin}},
+	} {
+		off := cfg.opt
+		off.BitmapFilter = BitmapOff
+		on := cfg.opt
+		on.BitmapFilter = BitmapOn
+		resOff, resOn := run(off), run(on)
+		if !reflect.DeepEqual(formatPairs(resOn.Pairs), formatPairs(resOff.Pairs)) {
+			t.Fatalf("%s: pairs differ with bitmap filter on (%d) vs off (%d)",
+				cfg.name, len(resOn.Pairs), len(resOff.Pairs))
+		}
+		if resOff.Stats.BitmapBuilt != 0 || resOff.Stats.BitmapRejected != 0 || resOff.Stats.BitmapPassed != 0 {
+			t.Fatalf("%s: bitmap counters nonzero with filter off: %+v", cfg.name, resOff.Stats)
+		}
+		if resOn.Stats.BitmapBuilt == 0 {
+			t.Fatalf("%s: no signatures built with filter on", cfg.name)
+		}
+		if resOn.Stats.BitmapRejected == 0 {
+			t.Fatalf("%s: bitmap filter never rejected on the golden corpus", cfg.name)
+		}
+		if cfg.name == "ridpairs" && resOn.Stats.VerifiedCandidates >= resOff.Stats.VerifiedCandidates {
+			t.Fatalf("%s: verified candidates %d not below unfiltered %d",
+				cfg.name, resOn.Stats.VerifiedCandidates, resOff.Stats.VerifiedCandidates)
+		}
+	}
+}
+
+// TestBitmapWidthPinned checks the explicit-width path end to end and the
+// validation error for unsupported widths.
+func TestBitmapWidthPinned(t *testing.T) {
+	texts, _ := loadGolden(t)
+	base, err := SelfJoinStrings(texts, Options{Threshold: goldenTheta, BitmapFilter: BitmapOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{64, 128, 256} {
+		res, err := SelfJoinStrings(texts, Options{Threshold: goldenTheta, BitmapWidth: w})
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if !reflect.DeepEqual(formatPairs(res.Pairs), formatPairs(base.Pairs)) {
+			t.Fatalf("width %d: pairs differ from unfiltered run", w)
+		}
+	}
+	for _, algo := range []Algorithm{FSJoin, RIDPairsPPJoin} {
+		if _, err := SelfJoinStrings(texts, Options{Threshold: goldenTheta, Algorithm: algo, BitmapWidth: 100}); err == nil {
+			t.Fatalf("%v: invalid bitmap width accepted", algo)
+		}
+	}
+}
+
+// TestBitmapEnvOverride checks the FSJOIN_BITMAP environment knob: auto
+// mode defers to it, explicit modes ignore it.
+func TestBitmapEnvOverride(t *testing.T) {
+	texts, _ := loadGolden(t)
+	t.Setenv("FSJOIN_BITMAP", "off")
+	res, err := SelfJoinStrings(texts, Options{Threshold: goldenTheta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BitmapBuilt != 0 {
+		t.Fatalf("auto mode ignored FSJOIN_BITMAP=off: built %d", res.Stats.BitmapBuilt)
+	}
+	res, err = SelfJoinStrings(texts, Options{Threshold: goldenTheta, BitmapFilter: BitmapOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BitmapBuilt == 0 {
+		t.Fatal("explicit BitmapOn overridden by environment")
+	}
+}

@@ -1,17 +1,20 @@
 // Command benchreport runs the performance-regression benchmark subset —
-// engine shuffle throughput, the fragment-join kernels against their legacy
-// map-based baselines, the Figure 7-class end-to-end joins sequential vs
-// parallel, and the out-of-core shuffle across memory budgets — and writes
-// a machine-readable JSON report (BENCH_PR5.json) with the derived
-// speedup, allocation and spill-slowdown ratios, plus two in-process
-// sections: robustness (checkpoint hit/miss counters across a cold run and
-// a resume, fault.records.skipped from a poisoned word count) and serving
-// (a burst of jobs through fsjoin.Server — throughput, p50/p95 latency and
-// the shed rate under a deliberately tight queue).
+// engine shuffle throughput, the fragment-join kernels (bitmap filter on
+// and off) against their legacy map-based baselines, the Figure 7-class
+// end-to-end joins sequential vs parallel, and the out-of-core shuffle
+// across memory budgets — and writes a machine-readable JSON report
+// (BENCH_PR6.json) with the derived speedup, allocation and spill-slowdown
+// ratios, plus three in-process sections: filter_effectiveness (the bitmap
+// signature filter's reject rates and verified-candidate reduction on the
+// golden corpus, with output equality enforced), robustness (checkpoint
+// hit/miss counters across a cold run and a resume, fault.records.skipped
+// from a poisoned word count) and serving (a burst of jobs through
+// fsjoin.Server — throughput, p50/p95 latency and the shed rate under a
+// deliberately tight queue).
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR5.json] [-benchtime 5x]
+//	go run ./cmd/benchreport [-o BENCH_PR6.json] [-benchtime 5x]
 package main
 
 import (
@@ -47,14 +50,16 @@ type result struct {
 
 // report is the emitted JSON document.
 type report struct {
-	Generated  string             `json:"generated"`
-	GoVersion  string             `json:"go_version"`
-	CPUs       int                `json:"cpus"`
-	Note       string             `json:"note,omitempty"`
-	Benchmarks []result           `json:"benchmarks"`
-	Derived    map[string]float64 `json:"derived"`
-	Robustness map[string]float64 `json:"robustness,omitempty"`
-	Serving    map[string]float64 `json:"serving,omitempty"`
+	Generated           string             `json:"generated"`
+	GoVersion           string             `json:"go_version"`
+	CPUs                int                `json:"cpus"`
+	GoMaxProcs          int                `json:"gomaxprocs"`
+	Note                string             `json:"note,omitempty"`
+	Benchmarks          []result           `json:"benchmarks"`
+	Derived             map[string]float64 `json:"derived"`
+	FilterEffectiveness map[string]float64 `json:"filter_effectiveness,omitempty"`
+	Robustness          map[string]float64 `json:"robustness,omitempty"`
+	Serving             map[string]float64 `json:"serving,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(
@@ -108,6 +113,68 @@ func runBench(benchtime, pattern, pkg string, mem bool) ([]result, error) {
 		return nil, fmt.Errorf("go %v: no benchmark lines in output:\n%s", args, out)
 	}
 	return rs, nil
+}
+
+// filterEffectiveness measures the bitmap signature filter on the golden
+// corpus: every FS-Join kernel and RIDPairsPPJoin run with the filter
+// forced on and forced off. Output equality is enforced — any divergence
+// is an error, the filter may only skip work — and the section reports the
+// per-kernel reject rate plus the verification stage's candidate
+// reduction.
+func filterEffectiveness() (map[string]float64, error) {
+	raw, err := os.ReadFile("testdata/golden/texts.txt")
+	if err != nil {
+		return nil, fmt.Errorf("golden corpus (run from the repo root): %v", err)
+	}
+	var texts []string
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(raw), -1) {
+		if line != "" {
+			texts = append(texts, line)
+		}
+	}
+	out := map[string]float64{}
+	for _, cfg := range []struct {
+		name string
+		opt  fsjoin.Options
+	}{
+		{"fsjoin_prefix", fsjoin.Options{Threshold: 0.7, Nodes: 3, JoinMethod: fsjoin.PrefixJoin}},
+		{"fsjoin_index", fsjoin.Options{Threshold: 0.7, Nodes: 3, JoinMethod: fsjoin.IndexJoin}},
+		{"fsjoin_loop", fsjoin.Options{Threshold: 0.7, Nodes: 3, JoinMethod: fsjoin.LoopJoin}},
+		{"ridpairs", fsjoin.Options{Threshold: 0.7, Nodes: 3, Algorithm: fsjoin.RIDPairsPPJoin}},
+	} {
+		on := cfg.opt
+		on.BitmapFilter = fsjoin.BitmapOn
+		off := cfg.opt
+		off.BitmapFilter = fsjoin.BitmapOff
+		resOn, err := fsjoin.SelfJoinStrings(texts, on)
+		if err != nil {
+			return nil, fmt.Errorf("%s bitmap on: %v", cfg.name, err)
+		}
+		resOff, err := fsjoin.SelfJoinStrings(texts, off)
+		if err != nil {
+			return nil, fmt.Errorf("%s bitmap off: %v", cfg.name, err)
+		}
+		if len(resOn.Pairs) != len(resOff.Pairs) {
+			return nil, fmt.Errorf("%s: %d pairs with filter on, %d off — filter changed output",
+				cfg.name, len(resOn.Pairs), len(resOff.Pairs))
+		}
+		for i := range resOn.Pairs {
+			if resOn.Pairs[i] != resOff.Pairs[i] {
+				return nil, fmt.Errorf("%s: pair %d differs with filter on vs off", cfg.name, i)
+			}
+		}
+		screened := resOn.Stats.BitmapRejected + resOn.Stats.BitmapPassed
+		if resOn.Stats.BitmapRejected == 0 || screened == 0 {
+			return nil, fmt.Errorf("%s: bitmap filter rejected nothing on the golden corpus", cfg.name)
+		}
+		out[cfg.name+"_reject_rate"] = float64(resOn.Stats.BitmapRejected) / float64(screened)
+		out[cfg.name+"_rejected"] = float64(resOn.Stats.BitmapRejected)
+		if resOff.Stats.VerifiedCandidates > 0 {
+			out[cfg.name+"_verify_reduction_x"] =
+				float64(resOff.Stats.VerifiedCandidates) / float64(max(resOn.Stats.VerifiedCandidates, 1))
+		}
+	}
+	return out, nil
 }
 
 // poisonMapper is a word-count mapper that deterministically panics on
@@ -262,7 +329,7 @@ func serving() (map[string]float64, error) {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output file")
+	out := flag.String("o", "BENCH_PR6.json", "output file")
 	benchtime := flag.String("benchtime", "5x", "per-benchmark -benchtime")
 	flag.Parse()
 
@@ -303,11 +370,23 @@ func main() {
 	ratio("kernel_index_speedup_x", "BenchmarkKernels/index/legacy", "BenchmarkKernels/index/new", ns)
 	ratio("kernel_prefix_speedup_x", "BenchmarkKernels/prefix/legacy", "BenchmarkKernels/prefix/new", ns)
 	ratio("kernel_loop_speedup_x", "BenchmarkKernels/loop/legacy", "BenchmarkKernels/loop/new", ns)
+	// Bitmap-filter gain: the same kernel with the signature pre-check
+	// forced off vs on. > 1 means the filter pays for itself.
+	ratio("kernel_index_bitmap_gain_x", "BenchmarkKernels/index/nobitmap", "BenchmarkKernels/index/new", ns)
+	ratio("kernel_prefix_bitmap_gain_x", "BenchmarkKernels/prefix/nobitmap", "BenchmarkKernels/prefix/new", ns)
+	ratio("kernel_loop_bitmap_gain_x", "BenchmarkKernels/loop/nobitmap", "BenchmarkKernels/loop/new", ns)
 	ratio("parallel_speedup_x", "BenchmarkParallelSpeedup/sequential", "BenchmarkParallelSpeedup/parallel", ns)
 	// Out-of-core overhead: how much slower the same job runs when the
 	// shuffle is forced through sorted runs on disk.
 	ratio("spill_64k_slowdown_x", "BenchmarkMemoryBudget/64KiB", "BenchmarkMemoryBudget/unbounded", ns)
 	ratio("spill_4k_slowdown_x", "BenchmarkMemoryBudget/4KiB", "BenchmarkMemoryBudget/unbounded", ns)
+
+	fmt.Fprintln(os.Stderr, "benchreport: running in-process filter-effectiveness probes")
+	filt, err := filterEffectiveness()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
 
 	fmt.Fprintln(os.Stderr, "benchreport: running in-process robustness probes")
 	rob, err := robustness()
@@ -324,13 +403,15 @@ func main() {
 	}
 
 	rep := report{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		CPUs:       runtime.NumCPU(),
-		Benchmarks: all,
-		Derived:    derived,
-		Robustness: rob,
-		Serving:    srvStats,
+		Generated:           time.Now().UTC().Format(time.RFC3339),
+		GoVersion:           runtime.Version(),
+		CPUs:                runtime.NumCPU(),
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		Benchmarks:          all,
+		Derived:             derived,
+		FilterEffectiveness: filt,
+		Robustness:          rob,
+		Serving:             srvStats,
 	}
 	if rep.CPUs == 1 {
 		rep.Note = "single-CPU machine: parallel and sequential runs share one core, " +

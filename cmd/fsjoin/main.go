@@ -6,6 +6,7 @@
 //
 //	fsjoin -theta 0.8 [-algo fs|fs-v|ridpairs|vsmart|massjoin|massjoin-light]
 //	       [-fn jaccard|dice|cosine] [-q N] [-nodes N] [-stats]
+//	       [-bitmap auto|on|off] [-bitmap-width 0|64|128|256]
 //	       [-checkpoint DIR [-resume]] [-skip-bad-records] R.txt [S.txt]
 //
 // With one input file a self-join is performed; with two, an R-S join
@@ -50,6 +51,8 @@ func main() {
 		resume = flag.Bool("resume", false, "reuse matching checkpoints from -checkpoint instead of starting fresh")
 		skip   = flag.Bool("skip-bad-records", false, "quarantine records that deterministically crash a task instead of failing the join")
 		maxSk  = flag.Int("max-skipped-records", 0, "abort after this many quarantined records (0 = default limit)")
+		bitmap = flag.String("bitmap", "auto", "bitmap signature filter: auto, on, off")
+		bmW    = flag.Int("bitmap-width", 0, "bitmap signature width in bits: 0 (auto), 64, 128, 256")
 
 		serve         = flag.Bool("serve", false, "batch serving mode: one self-join per input file, run concurrently through a fsjoin.Server")
 		serveMem      = flag.Int64("serve-mem", 64<<20, "serving: global memory pool in bytes, shared by all jobs")
@@ -86,6 +89,17 @@ func main() {
 			quarantined = append(quarantined, r)
 		}
 	}
+	switch *bitmap {
+	case "auto":
+		opt.BitmapFilter = fsjoin.BitmapAuto
+	case "on":
+		opt.BitmapFilter = fsjoin.BitmapOn
+	case "off":
+		opt.BitmapFilter = fsjoin.BitmapOff
+	default:
+		fatal("unknown bitmap filter mode %q (want auto, on or off)", *bitmap)
+	}
+	opt.BitmapWidth = *bmW
 	switch *fn {
 	case "jaccard":
 		opt.Function = fsjoin.Jaccard
@@ -160,6 +174,9 @@ func main() {
 			len(res.Pairs), res.Stats.SimulatedTime.Seconds(),
 			res.Stats.ShuffleRecords, res.Stats.ShuffleBytes,
 			res.Stats.LoadImbalance, res.Stats.Candidates)
+		fmt.Fprintf(os.Stderr, "bitmap built=%d rejected=%d passed=%d verified-candidates=%d\n",
+			res.Stats.BitmapBuilt, res.Stats.BitmapRejected,
+			res.Stats.BitmapPassed, res.Stats.VerifiedCandidates)
 		if *ckpt != "" || *skip {
 			fmt.Fprintf(os.Stderr, "checkpoint hits=%d misses=%d skipped-records=%d\n",
 				res.Stats.CheckpointHits, res.Stats.CheckpointMisses, res.Stats.RecordsSkipped)

@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"time"
 
+	"fsjoin/internal/filters"
 	"fsjoin/internal/fragjoin"
 	"fsjoin/internal/mapreduce"
 	"fsjoin/internal/partition"
@@ -155,6 +156,51 @@ func (j JoinMethod) internal() fragjoin.Method {
 	}
 }
 
+// BitmapFilterMode selects how the bitmap signature filter (DESIGN.md §11)
+// is applied: per-record/segment fixed-width hashed token bitmaps whose
+// XOR+popcount overlap upper bound rejects candidate pairs before any
+// exact intersection or verification. The filter is exact — join results
+// are byte-identical in every mode; only the amount of exact work (and the
+// Stats.Bitmap* counters) changes.
+type BitmapFilterMode int
+
+// Supported bitmap filter modes.
+const (
+	// BitmapAuto (the default) enables the filter with its width chosen
+	// from length statistics, and honours the FSJOIN_BITMAP ("on"/"off")
+	// and FSJOIN_BITMAP_WIDTH (64/128/256) environment overrides.
+	BitmapAuto BitmapFilterMode = iota
+	// BitmapOn forces the filter on, ignoring the environment.
+	BitmapOn
+	// BitmapOff disables the filter, ignoring the environment.
+	BitmapOff
+)
+
+// String implements fmt.Stringer.
+func (m BitmapFilterMode) String() string {
+	switch m {
+	case BitmapAuto:
+		return "auto"
+	case BitmapOn:
+		return "on"
+	case BitmapOff:
+		return "off"
+	default:
+		return fmt.Sprintf("BitmapFilterMode(%d)", int(m))
+	}
+}
+
+func (m BitmapFilterMode) internal() filters.BitmapMode {
+	switch m {
+	case BitmapOn:
+		return filters.BitmapOn
+	case BitmapOff:
+		return filters.BitmapOff
+	default:
+		return filters.BitmapAuto
+	}
+}
+
 // Options configures a join.
 type Options struct {
 	// Threshold is the similarity threshold θ in (0, 1]. Required.
@@ -173,6 +219,14 @@ type Options struct {
 	PivotSelection PivotSelection
 	// JoinMethod is FS-Join's fragment join kernel (default PrefixJoin).
 	JoinMethod JoinMethod
+	// BitmapFilter toggles the bitmap signature filter (default BitmapAuto:
+	// on, width from length statistics). Applied by every FS-Join kernel
+	// before exact intersections and by RIDPairsPPJoin before verification;
+	// results are byte-identical in every mode.
+	BitmapFilter BitmapFilterMode
+	// BitmapWidth pins the signature width in bits (64, 128 or 256);
+	// 0 (the default) picks it per fragment/group from length statistics.
+	BitmapWidth int
 	// Nodes is the simulated cluster size (default 10, the paper's).
 	Nodes int
 	// Seed drives RandomPivots.
@@ -333,6 +387,15 @@ func (o Options) checkpointSalt() string {
 		o.Nodes, o.Seed, o.WorkBudget)
 }
 
+// bitmapConfig lowers the public bitmap knobs onto the filter config.
+func (o Options) bitmapConfig() (filters.BitmapConfig, error) {
+	cfg := filters.BitmapConfig{Mode: o.BitmapFilter.internal(), Width: o.BitmapWidth}
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("fsjoin: BitmapWidth %d (want 0, 64, 128 or 256)", o.BitmapWidth)
+	}
+	return cfg, nil
+}
+
 func (o Options) cluster() *mapreduce.Cluster {
 	cl := mapreduce.DefaultCluster()
 	if o.Nodes > 0 {
@@ -375,6 +438,18 @@ type Stats struct {
 	// Candidates is the number of candidate-pair records generated before
 	// verification.
 	Candidates int64
+	// BitmapBuilt, BitmapRejected and BitmapPassed report the bitmap
+	// signature filter's activity (Options.BitmapFilter): signatures built,
+	// candidate pairs rejected by the popcount bound before exact work, and
+	// pairs that survived it. All zero when the filter is off.
+	BitmapBuilt    int64
+	BitmapRejected int64
+	BitmapPassed   int64
+	// VerifiedCandidates counts candidate pairs that reached exact
+	// verification — the quantity the bitmap filter cuts for
+	// RIDPairsPPJoin (FS-Join's verification input is already exact and
+	// unchanged by the filter).
+	VerifiedCandidates int64
 	// SpillRuns and SpillBytes total the sorted runs (and their accounted
 	// bytes) the out-of-core shuffle wrote under Options.MemoryBudget;
 	// both are zero when no budget is active or nothing spilled.

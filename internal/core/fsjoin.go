@@ -78,6 +78,12 @@ type Options struct {
 	// fingerprint, so one checkpoint directory reused under different
 	// options recomputes instead of replaying mismatched state.
 	CheckpointSalt string
+	// Bitmap configures the hashed signature filter every join kernel
+	// applies before exact intersections (DESIGN.md §11). The zero value is
+	// auto: enabled, width from per-fragment length statistics, overridable
+	// through FSJOIN_BITMAP / FSJOIN_BITMAP_WIDTH. Results are
+	// byte-identical with the filter on or off.
+	Bitmap filters.BitmapConfig
 }
 
 // withDefaults normalises an Options value.
@@ -100,6 +106,10 @@ func (o Options) withDefaults() (Options, error) {
 	} else {
 		o.Filters &^= filters.Prefix
 	}
+	if err := o.Bitmap.Validate(); err != nil {
+		return o, err
+	}
+	o.Bitmap = o.Bitmap.ResolveEnv()
 	return o, nil
 }
 
@@ -219,6 +229,7 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 		Method:      opt.JoinMethod,
 		RS:          rs,
 		PaperPrefix: opt.PaperPrefix,
+		Bitmap:      opt.Bitmap,
 	}
 	filterRes, err := p.Run(mapreduce.Config{
 		Name: "filtering",
@@ -376,6 +387,7 @@ func (r *verifyReducer) Fold(acc, v any) any {
 
 // FinishFold implements mapreduce.FoldingReducer.
 func (r *verifyReducer) FinishFold(ctx *mapreduce.Context, key string, acc any) {
+	ctx.Inc(filters.CtrVerifyCandidates, 1)
 	sum := acc.(partial)
 	if r.fn.AtLeast(int(sum.C), int(sum.La), int(sum.Lb), r.theta) {
 		ctx.Emit(key, sum)

@@ -1,0 +1,72 @@
+package filters
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzBitmapSignature stresses the signature build and popcount bound with
+// arbitrary byte-derived token sets: raw bytes become two token slices
+// (duplicates and any ordering allowed), and the invariants of DESIGN.md
+// §11 must hold exactly for every width:
+//
+//   - every token's hashed bit is set in its own signature;
+//   - no word outside the configured width is written;
+//   - the XOR+popcount upper bound is never below the true deduplicated
+//     overlap (soundness — collisions may only loosen the bound);
+//   - SigPrune is consistent with the bound and monotone in the
+//     requirement.
+func FuzzBitmapSignature(f *testing.F) {
+	f.Add([]byte{}, []byte{1, 2, 3, 4}, uint8(0))
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 1}, []byte{0, 0, 0, 1}, uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, []byte{9, 10, 11, 12}, uint8(2))
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, wsel uint8) {
+		w := []int{1, 2, 4}[int(wsel)%3]
+		decode := func(raw []byte) []uint32 {
+			toks := make([]uint32, 0, len(raw)/4)
+			for len(raw) >= 4 {
+				toks = append(toks, binary.LittleEndian.Uint32(raw))
+				raw = raw[4:]
+			}
+			return toks
+		}
+		a, b := decode(rawA), decode(rawB)
+		var sa, sb Signature
+		BuildSignature(&sa, a, w)
+		BuildSignature(&sb, b, w)
+		shift := sigShift(w)
+		for _, side := range []struct {
+			toks []uint32
+			sig  *Signature
+		}{{a, &sa}, {b, &sb}} {
+			for _, tok := range side.toks {
+				idx := (uint64(tok) * sigMix) >> shift
+				if side.sig[idx>>6]&(1<<(idx&63)) == 0 {
+					t.Fatalf("w=%d: token %d bit missing", w, tok)
+				}
+			}
+		}
+		for i := w; i < SigMaxWords; i++ {
+			if sa[i] != 0 || sb[i] != 0 {
+				t.Fatalf("w=%d: word %d written outside width", w, i)
+			}
+		}
+		c, la, lb := exactOverlap(a, b)
+		ub := SigOverlapUB(&sa, &sb, w, la, lb)
+		if ub < c {
+			t.Fatalf("w=%d: bound %d below true overlap %d (la=%d lb=%d)", w, ub, c, la, lb)
+		}
+		if ub > min(la, lb) || ub < 0 {
+			t.Fatalf("w=%d: bound %d outside [0, %d]", w, ub, min(la, lb))
+		}
+		// SigPrune ⇔ ub < required, and must never fire at required ≤ c.
+		for req := 0; req <= c; req++ {
+			if SigPrune(&sa, &sb, w, la, lb, req) {
+				t.Fatalf("w=%d: pruned at required %d ≤ overlap %d", w, req, c)
+			}
+		}
+		if !SigPrune(&sa, &sb, w, la, lb, ub+1) {
+			t.Fatalf("w=%d: not pruned above its own bound %d", w, ub)
+		}
+	})
+}

@@ -224,30 +224,33 @@ func TestLegacyKernelEquivalence(t *testing.T) {
 	}
 }
 
-// BenchmarkKernels compares the slice-based kernels against the legacy
-// map-based versions on the same fragment; allocs/op is the headline.
+// BenchmarkKernels compares the slice-based kernels — with the bitmap
+// signature filter on ("new", the default) and forced off ("nobitmap") —
+// against the legacy map-based versions on the same fragment; allocs/op
+// and the loop kernel's legacy ratio are the headlines.
 func BenchmarkKernels(b *testing.B) {
 	segs := benchFragment(600, 4096, 1)
 	for _, m := range []Method{Index, Prefix, Loop} {
 		m := m
-		p := benchParams(m)
 		sink := 0
 		emit := func(a, bs *Seg, c int) { sink += c }
-		b.Run(m.String()+"/new", func(b *testing.B) {
-			b.ReportAllocs()
-			cp := make([]Seg, len(segs))
-			for i := 0; i < b.N; i++ {
-				copy(cp, segs)
-				Join(nil, cp, p, emit)
-			}
-		})
-		b.Run(m.String()+"/legacy", func(b *testing.B) {
-			b.ReportAllocs()
-			cp := make([]Seg, len(segs))
-			for i := 0; i < b.N; i++ {
-				copy(cp, segs)
-				legacyJoin(cp, p, emit)
-			}
-		})
+		run := func(name string, p Params, join func([]Seg, Params, Emit)) {
+			b.Run(m.String()+"/"+name, func(b *testing.B) {
+				b.ReportAllocs()
+				cp := make([]Seg, len(segs))
+				for i := 0; i < b.N; i++ {
+					copy(cp, segs)
+					join(cp, p, emit)
+				}
+			})
+		}
+		newJoin := func(s []Seg, p Params, e Emit) { Join(nil, s, p, e) }
+		on := benchParams(m)
+		on.Bitmap = filters.BitmapConfig{Mode: filters.BitmapOn}
+		off := benchParams(m)
+		off.Bitmap = filters.BitmapConfig{Mode: filters.BitmapOff}
+		run("new", on, newJoin)
+		run("nobitmap", off, newJoin)
+		run("legacy", off, legacyJoin)
 	}
 }

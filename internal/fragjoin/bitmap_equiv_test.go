@@ -1,0 +1,81 @@
+package fragjoin
+
+// Bitmap-filter equivalence: the signature pre-check may only skip work,
+// never change output. These tests pin filtered kernels byte-identical to
+// unfiltered ones — exhaustively over a small token universe, and on random
+// fragments across kernels, widths and similarity functions.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fsjoin/internal/filters"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
+)
+
+// TestBitmapEquivalenceExhaustive enumerates every non-empty subset of a
+// 6-token universe as one segment each (63 segments, all pairs compared)
+// and checks that every kernel emits byte-identical pairs with the bitmap
+// filter forced on — at every supported width — and forced off. The tiny
+// universe maximises hash collisions per word, exactly the regime where an
+// unsound bound would reject a qualifying pair.
+func TestBitmapEquivalenceExhaustive(t *testing.T) {
+	const universe = 6
+	var segs []Seg
+	for mask := 1; mask < 1<<universe; mask++ {
+		var toks []tokens.ID
+		for b := 0; b < universe; b++ {
+			if mask&(1<<b) != 0 {
+				toks = append(toks, tokens.ID(b))
+			}
+		}
+		segs = append(segs, Seg{
+			RID:    int32(mask),
+			StrLen: int32(len(toks)),
+			Tokens: toks,
+		})
+	}
+	for _, fn := range []similarity.Func{similarity.Jaccard, similarity.Cosine, similarity.Dice} {
+		for _, theta := range []float64{0.5, 0.8} {
+			for _, m := range []Method{Loop, Index, Prefix} {
+				p := Params{Fn: fn, Theta: theta, Filters: filters.All, Method: m}
+				p.Bitmap = filters.BitmapConfig{Mode: filters.BitmapOff}
+				want := collect(segs, p)
+				if len(want) == 0 {
+					t.Fatalf("%v θ=%g %v: empty baseline, test is vacuous", fn, theta, m)
+				}
+				for _, width := range []int{64, 128, 256} {
+					p.Bitmap = filters.BitmapConfig{Mode: filters.BitmapOn, Width: width}
+					if got := collect(segs, p); !reflect.DeepEqual(got, want) {
+						t.Fatalf("%v θ=%g %v w=%d: %d pairs filtered vs %d unfiltered",
+							fn, theta, m, width, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBitmapEquivalenceRandom drives the same on-vs-off identity over
+// random fragments (self and R-S, auto width) for every kernel.
+func TestBitmapEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		rs := trial%2 == 1
+		segs := randomFragment(rng, rng.Intn(50)+2, rs)
+		theta := 0.3 + rng.Float64()*0.65
+		fn := similarity.Func(trial % 3)
+		for _, m := range []Method{Loop, Index, Prefix} {
+			p := Params{Fn: fn, Theta: theta, Filters: filters.All, Method: m, RS: rs}
+			p.Bitmap = filters.BitmapConfig{Mode: filters.BitmapOff}
+			want := collect(segs, p)
+			p.Bitmap = filters.BitmapConfig{Mode: filters.BitmapOn}
+			if got := collect(segs, p); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d %v θ=%g %v: %d pairs filtered vs %d unfiltered",
+					trial, fn, theta, m, len(got), len(want))
+			}
+		}
+	}
+}

@@ -14,9 +14,14 @@
 // indexed by token offset (token ids are dense dictionary ranks confined to
 // the fragment's vertical range), candidate overlap counts use
 // generation-stamped sparse counters, and candidate buffers are reused
-// across segments. Exact intersections of short-span segments take a
-// word-packed bitmap AND+popcount fast path (per Sandes et al.'s Bitmap
-// Filter) instead of a merge.
+// across segments. Candidate pairs are pre-screened by Sandes et al.'s
+// bitmap filter (filters.Signature, DESIGN.md §11): a fixed-width hashed
+// token bitmap per segment whose XOR+popcount overlap upper bound rejects
+// pairs early in every kernel — before the exact intersection in Loop, and
+// at candidate registration (a pair's first shared posting) in Index and
+// Prefix, so rejected pairs are never registered, sorted or drained. Exact
+// intersections of short-span segments take a word-packed bitmap
+// AND+popcount fast path instead of a merge.
 package fragjoin
 
 import (
@@ -103,13 +108,21 @@ type Params struct {
 	// length |Seg| − ⌈θ|Seg|⌉ + 1, which prunes candidates far harder but
 	// can miss pairs whose co-occurring segments are individually below θ.
 	PaperPrefix bool
+	// Bitmap configures the hashed signature filter (DESIGN.md §11): a
+	// per-segment fixed-width token bitmap whose XOR+popcount overlap
+	// upper bound rejects candidate pairs before any exact intersection.
+	// Callers resolve the environment override (BitmapConfig.ResolveEnv)
+	// once per pipeline; the zero value here means auto = enabled.
+	Bitmap filters.BitmapConfig
 }
 
 // Emit receives one qualifying pair and its exact segment intersection
 // size. For self-joins a.RID < b.RID; for R-S joins a is the R side.
 type Emit func(a, b *Seg, common int)
 
-// Counter names incremented on the context during joins.
+// Counter names incremented on the context during joins. The bitmap
+// filter's built/rejected/passed counters use the shared filters.CtrBitmap*
+// names so fragjoin and ridpairs aggregate into the same Stats fields.
 const (
 	CtrComparisons = "fragjoin.comparisons"
 	CtrPrunedStrL  = "fragjoin.pruned.strl"
@@ -130,6 +143,7 @@ func Join(ctx *mapreduce.Context, segs []Seg, p Params, emit Emit) {
 		return int(a.RID) - int(b.RID)
 	})
 	j := &joiner{ctx: ctx, p: p, emit: emit, segs: segs}
+	j.buildSigs()
 	switch p.Method {
 	case Loop:
 		j.bitmaps = make([]segBitmap, len(segs))
@@ -165,6 +179,54 @@ type joiner struct {
 	// bitmaps are the lazily built word-packed token sets for the exact
 	// intersection fast path (Loop and Prefix kernels).
 	bitmaps []segBitmap
+
+	// sigs are the fixed-width hashed signatures (filters.Signature) built
+	// once per segment; sigW is their word width, 0 when the bitmap filter
+	// is off.
+	sigs []filters.Signature
+	sigW int
+}
+
+// buildSigs builds every segment's hashed signature up front when the
+// bitmap filter is enabled, with the width picked from the fragment's mean
+// segment length (unless pinned by config).
+func (j *joiner) buildSigs() {
+	if !j.p.Bitmap.Enabled() || len(j.segs) < 2 {
+		return
+	}
+	total := 0
+	for i := range j.segs {
+		total += len(j.segs[i].Tokens)
+	}
+	j.sigW = j.p.Bitmap.Words(float64(total) / float64(len(j.segs)))
+	j.sigs = make([]filters.Signature, len(j.segs))
+	for i := range j.segs {
+		filters.BuildSignature(&j.sigs[i], j.segs[i].Tokens, j.sigW)
+	}
+	j.inc(filters.CtrBitmapBuilt, int64(len(j.segs)))
+}
+
+// sigReject is the bitmap-filter pre-check: the signature overlap upper
+// bound is run through the same SegI/SegD threshold algebra the exact count
+// will face, so a rejected pair is exactly one finish() would drop — output
+// is byte-identical with the filter on or off, only the exact intersection
+// and candidate bookkeeping are skipped. Loop calls it per pair before
+// intersecting; Index and Prefix call it from accumulate at a pair's first
+// shared posting.
+func (j *joiner) sigReject(i, k int, a, b *Seg) bool {
+	if j.sigW == 0 {
+		return false
+	}
+	ub := filters.SigOverlapUB(&j.sigs[i], &j.sigs[k], j.sigW, len(a.Tokens), len(b.Tokens))
+	pass := ub > 0 &&
+		!(j.p.Filters.Has(filters.SegI) && filters.SegIPrune(j.p.Fn, j.p.Theta, ub, a.Meta(), b.Meta())) &&
+		!(j.p.Filters.Has(filters.SegD) && filters.SegDPrune(j.p.Fn, j.p.Theta, ub, a.Meta(), b.Meta()))
+	if pass {
+		j.inc(filters.CtrBitmapPassed, 1)
+		return false
+	}
+	j.inc(filters.CtrBitmapRejected, 1)
+	return true
 }
 
 func (j *joiner) initScratch() {
@@ -259,6 +321,9 @@ func (j *joiner) loop() {
 			if j.lengthPrune(a, b) {
 				continue
 			}
+			if j.sigReject(i, k, a, b) {
+				continue
+			}
 			j.finish(a, b, j.intersect(i, k))
 		}
 	}
@@ -272,7 +337,7 @@ func (j *joiner) index() {
 	for k := range j.segs {
 		j.beginRound()
 		for _, t := range j.segs[k].Tokens {
-			j.accumulate(inv.get(t))
+			j.accumulate(inv.get(t), k)
 		}
 		j.drain(k, true)
 		for _, t := range j.segs[k].Tokens {
@@ -297,7 +362,7 @@ func (j *joiner) prefix() {
 	for k := range j.segs {
 		j.beginRound()
 		for _, t := range j.segs[k].Tokens[:plens[k]] {
-			j.accumulate(inv.get(t))
+			j.accumulate(inv.get(t), k)
 		}
 		j.drain(k, false)
 		for _, t := range j.segs[k].Tokens[:plens[k]] {
@@ -313,11 +378,20 @@ func (j *joiner) beginRound() {
 }
 
 // accumulate bumps the overlap counter of every segment on one posting
-// list, registering first-touched segments as candidates.
-func (j *joiner) accumulate(list []int32) {
+// list, registering first-touched segments as candidates. The bitmap
+// filter's pre-check runs here, at a pair's first shared posting: a
+// rejected segment is stamped but never registered, so it accumulates no
+// further counts and never reaches drain. Unregistered segments may keep
+// receiving counter bumps on later postings; their counts are stale and
+// never read.
+func (j *joiner) accumulate(list []int32, k int) {
+	b := &j.segs[k]
 	for _, i := range list {
 		if j.stamp[i] != j.gen {
 			j.stamp[i] = j.gen
+			if j.sigW != 0 && j.sigReject(int(i), k, &j.segs[i], b) {
+				continue
+			}
 			j.counts[i] = 0
 			j.cands = append(j.cands, i)
 		}

@@ -226,20 +226,33 @@ func TestCountersTrackPruning(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	segs := randomFragment(rng, 30, false)
 	// Run through a real MapReduce context to exercise the counter path.
-	in := []mapreduce.KV{{Key: "frag", Value: segs}}
-	res, err := mapreduce.Run(mapreduce.Config{Name: "frag-test"},
-		in, mapreduce.IdentityMapper,
-		mapreduce.ReduceFunc(func(ctx *mapreduce.Context, key string, values []any) {
-			ss := append([]Seg{}, values[0].([]Seg)...)
-			Join(ctx, ss, Params{
-				Fn: similarity.Jaccard, Theta: 0.9, Filters: filters.All, Method: Prefix,
-			}, func(a, b *Seg, c int) {})
-		}))
-	if err != nil {
-		t.Fatal(err)
+	run := func(bm filters.BitmapMode) *mapreduce.Result {
+		in := []mapreduce.KV{{Key: "frag", Value: segs}}
+		res, err := mapreduce.Run(mapreduce.Config{Name: "frag-test"},
+			in, mapreduce.IdentityMapper,
+			mapreduce.ReduceFunc(func(ctx *mapreduce.Context, key string, values []any) {
+				ss := append([]Seg{}, values[0].([]Seg)...)
+				Join(ctx, ss, Params{
+					Fn: similarity.Jaccard, Theta: 0.9, Filters: filters.All, Method: Prefix,
+					Bitmap: filters.BitmapConfig{Mode: bm},
+				}, func(a, b *Seg, c int) {})
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
 	}
-	if res.Counters.Get(CtrComparisons) == 0 {
+	// With the bitmap filter off every discovered candidate reaches drain.
+	if run(filters.BitmapOff).Counters.Get(CtrComparisons) == 0 {
 		t.Fatal("no comparisons counted")
+	}
+	// With it on the pairs are accounted as built/rejected/passed instead.
+	on := run(filters.BitmapOn)
+	if on.Counters.Get(filters.CtrBitmapBuilt) == 0 {
+		t.Fatal("no signatures built")
+	}
+	if on.Counters.Get(filters.CtrBitmapRejected)+on.Counters.Get(filters.CtrBitmapPassed) == 0 {
+		t.Fatal("no candidates screened by the bitmap filter")
 	}
 }
 

@@ -1,0 +1,55 @@
+package ridpairs
+
+import (
+	"testing"
+
+	"fsjoin/internal/filters"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/testutil"
+)
+
+// TestBitmapFilterEquivalence pins the verification-stage bitmap filter to
+// byte-identical output: the same pairs with the signature pre-check forced
+// on (every width) and forced off, for self and R-S joins — while the
+// rejected counter proves the filter actually fired and the
+// verify-candidates counter shrinks accordingly.
+func TestBitmapFilterEquivalence(t *testing.T) {
+	c := testutil.RandomCollection(120, 60, 24, 31)
+	s := testutil.RandomCollection(90, 50, 22, 32)
+	for _, fn := range []similarity.Func{similarity.Jaccard, similarity.Cosine} {
+		for _, theta := range []float64{0.6, 0.8} {
+			base := Options{Fn: fn, Theta: theta, Cluster: testutil.SmallCluster()}
+			base.Bitmap = filters.BitmapConfig{Mode: filters.BitmapOff}
+			off, err := SelfJoin(c, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			offRS, err := Join(c, s, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, width := range []int{0, 64, 128, 256} {
+				opt := base
+				opt.Bitmap = filters.BitmapConfig{Mode: filters.BitmapOn, Width: width}
+				on, err := SelfJoin(c, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				testutil.AssertSameResults(t, "bitmap-on self", on.Pairs, off.Pairs)
+				if on.Pipeline.Counter(filters.CtrBitmapRejected) == 0 {
+					t.Fatalf("%v θ=%g w=%d: bitmap filter never rejected", fn, theta, width)
+				}
+				if onV, offV := on.Pipeline.Counter(filters.CtrVerifyCandidates),
+					off.Pipeline.Counter(filters.CtrVerifyCandidates); onV >= offV {
+					t.Fatalf("%v θ=%g w=%d: verified candidates %d not below unfiltered %d",
+						fn, theta, width, onV, offV)
+				}
+				onRS, err := Join(c, s, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				testutil.AssertSameResults(t, "bitmap-on rs", onRS.Pairs, offRS.Pairs)
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fsjoin/internal/filters"
 	"fsjoin/internal/mapreduce"
 	"fsjoin/internal/order"
 	"fsjoin/internal/result"
@@ -51,6 +52,12 @@ type Options struct {
 	// fingerprint, so one checkpoint directory reused under different
 	// options recomputes instead of replaying mismatched state.
 	CheckpointSalt string
+	// Bitmap configures the hashed signature filter applied before
+	// verification (DESIGN.md §11): per-record fixed-width token bitmaps
+	// whose XOR+popcount overlap upper bound skips verifyOverlap calls
+	// that cannot reach the required overlap. Output is identical with the
+	// filter on or off; only verified-candidate counts change.
+	Bitmap filters.BitmapConfig
 }
 
 // Result carries the join output and pipeline metrics.
@@ -137,7 +144,7 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	kernelRes, err := p.Run(mapreduce.Config{Name: "rid-pairs"},
 		input,
 		&prefixMapper{fn: opt.Fn, theta: opt.Theta},
-		&groupJoiner{fn: opt.Fn, theta: opt.Theta, rs: rs})
+		&groupJoiner{fn: opt.Fn, theta: opt.Theta, rs: rs, bitmap: opt.Bitmap.ResolveEnv()})
 	if err != nil {
 		return nil, err
 	}
@@ -200,9 +207,10 @@ func (m *prefixMapper) Map(ctx *mapreduce.Context, kv mapreduce.KV) {
 // in; stage 3 dedups. Pruning inside a group is safe because the group of
 // the pair's smallest common token always passes the positional bound.
 type groupJoiner struct {
-	fn    similarity.Func
-	theta float64
-	rs    bool
+	fn     similarity.Func
+	theta  float64
+	rs     bool
+	bitmap filters.BitmapConfig
 }
 
 // Reduce implements mapreduce.Reducer.
@@ -213,6 +221,22 @@ func (g *groupJoiner) Reduce(ctx *mapreduce.Context, key string, values []any) {
 	for i, v := range values {
 		recs[i] = v.(prefixValue)
 		pos[i] = tokenPos(recs[i].rec.Tokens, w)
+	}
+	// Bitmap filter (DESIGN.md §11): one hashed signature per record in the
+	// group, built once, pre-screens every pair before verification.
+	sigW := 0
+	var sigs []filters.Signature
+	if g.bitmap.Enabled() && len(recs) > 1 {
+		total := 0
+		for i := range recs {
+			total += recs[i].rec.Len()
+		}
+		sigW = g.bitmap.Words(float64(total) / float64(len(recs)))
+		sigs = make([]filters.Signature, len(recs))
+		for i := range recs {
+			filters.BuildSignature(&sigs[i], recs[i].rec.Tokens, sigW)
+		}
+		ctx.Inc(filters.CtrBitmapBuilt, int64(len(recs)))
 	}
 	for i := range recs {
 		for j := i + 1; j < len(recs); j++ {
@@ -241,6 +265,17 @@ func (g *groupJoiner) Reduce(ctx *mapreduce.Context, key string, values []any) {
 				ctx.Inc("ridpairs.pruned.positional", 1)
 				continue
 			}
+			if sigW != 0 {
+				// Skip verification when the signature bound already proves
+				// the required overlap unreachable; verifyOverlap would
+				// return ok=false for any such pair, so output is identical.
+				if filters.SigPrune(&sigs[i], &sigs[j], sigW, la, lb, required) {
+					ctx.Inc(filters.CtrBitmapRejected, 1)
+					continue
+				}
+				ctx.Inc(filters.CtrBitmapPassed, 1)
+			}
+			ctx.Inc(filters.CtrVerifyCandidates, 1)
 			c, ok := verifyOverlap(a.rec.Tokens, b.rec.Tokens, required)
 			if !ok || !g.fn.AtLeast(c, la, lb, g.theta) {
 				continue

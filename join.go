@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"fsjoin/internal/core"
+	"fsjoin/internal/filters"
 	"fsjoin/internal/mapreduce"
 	"fsjoin/internal/massjoin"
 	"fsjoin/internal/minhash"
@@ -78,6 +79,10 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	bm, err := opt.bitmapConfig()
+	if err != nil {
+		return nil, err
+	}
 	cl := opt.cluster()
 	switch opt.Algorithm {
 	case FSJoin, FSJoinV:
@@ -103,6 +108,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			SpillDir:           opt.SpillDir,
 			CheckpointDir:      opt.CheckpointDir,
 			CheckpointSalt:     opt.checkpointSalt(),
+			Bitmap:             bm,
 		})
 		if err != nil {
 			return nil, err
@@ -114,6 +120,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
+			Bitmap: bm,
 		})
 		if err != nil {
 			return nil, err
@@ -177,6 +184,10 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	bm, err := opt.bitmapConfig()
+	if err != nil {
+		return nil, err
+	}
 	switch opt.Algorithm {
 	case FSJoin, FSJoinV:
 	case RIDPairsPPJoin:
@@ -185,6 +196,7 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
+			Bitmap: bm,
 		})
 		if err != nil {
 			return nil, err
@@ -215,6 +227,7 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 		SpillDir:           opt.SpillDir,
 		CheckpointDir:      opt.CheckpointDir,
 		CheckpointSalt:     opt.checkpointSalt(),
+		Bitmap:             bm,
 	})
 	if err != nil {
 		return nil, err
@@ -230,17 +243,21 @@ func publish(pairs []result.Pair, p *mapreduce.Pipeline, candidates int64) *Resu
 	}
 	ck := p.CheckpointStats()
 	out.Stats = Stats{
-		SimulatedTime:    p.TotalSimulatedTime(),
-		ShuffleRecords:   p.TotalShuffleRecords(),
-		ShuffleBytes:     p.TotalShuffleBytes(),
-		LoadImbalance:    p.MaxLoadImbalance(),
-		Candidates:       candidates,
-		SpillRuns:        p.Counter(mapreduce.CounterSpillRuns),
-		SpillBytes:       p.Counter(mapreduce.CounterSpillBytes),
-		ShufflePeakBytes: p.MaxCounter(mapreduce.CounterShufflePeak),
-		RecordsSkipped:   p.Counter(mapreduce.CounterRecordsSkipped),
-		CheckpointHits:   ck.Hits,
-		CheckpointMisses: ck.Misses,
+		SimulatedTime:      p.TotalSimulatedTime(),
+		ShuffleRecords:     p.TotalShuffleRecords(),
+		ShuffleBytes:       p.TotalShuffleBytes(),
+		LoadImbalance:      p.MaxLoadImbalance(),
+		Candidates:         candidates,
+		BitmapBuilt:        p.Counter(filters.CtrBitmapBuilt),
+		BitmapRejected:     p.Counter(filters.CtrBitmapRejected),
+		BitmapPassed:       p.Counter(filters.CtrBitmapPassed),
+		VerifiedCandidates: p.Counter(filters.CtrVerifyCandidates),
+		SpillRuns:          p.Counter(mapreduce.CounterSpillRuns),
+		SpillBytes:         p.Counter(mapreduce.CounterSpillBytes),
+		ShufflePeakBytes:   p.MaxCounter(mapreduce.CounterShufflePeak),
+		RecordsSkipped:     p.Counter(mapreduce.CounterRecordsSkipped),
+		CheckpointHits:     ck.Hits,
+		CheckpointMisses:   ck.Misses,
 	}
 	return out
 }
