@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem test-recovery test-serve test-filters all
+.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem test-recovery test-serve test-filters test-rs all
 
 all: build vet test
 
@@ -28,11 +28,11 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelSpeedup|BenchmarkFig7' .
 	$(GO) test -run '^$$' -bench 'BenchmarkMemoryBudget' ./internal/mapreduce/
 
-# bench-report regenerates BENCH_PR6.json (engine, kernels with the bitmap
+# bench-report regenerates BENCH_PR7.json (engine, kernels with the bitmap
 # filter on and off, end-to-end and memory-budget suites plus derived
-# ratios, filter-effectiveness, robustness and serving probes).
+# ratios, filter-effectiveness, robustness, serving and r-s join probes).
 bench-report:
-	$(GO) run ./cmd/benchreport -o BENCH_PR6.json
+	$(GO) run ./cmd/benchreport -o BENCH_PR7.json
 
 # chaos runs the seeded fault-injection equivalence suites under the race
 # detector (DESIGN.md §7). Any failure is re-runnable from its seed.
@@ -93,8 +93,19 @@ test-filters:
 	FSJOIN_BITMAP=on $(GO) test -race -run 'TestGolden|TestAllAlgorithmsAgree' .
 	FSJOIN_BITMAP=off $(GO) test -race -run 'TestGolden|TestAllAlgorithmsAgree' .
 
-# cover enforces the CI total-coverage gate (baseline 79.8% when the gate
-# was set; fails below 78%).
+# test-rs runs the R-S (two-table) join suites (DESIGN.md §12) under the
+# race detector: the quick.Check differential oracle, the RSJoin(R,R) ≡
+# SelfJoin equivalence matrix, the golden R-S fixture, quarantine-key
+# disambiguation, the R-S chaos schedules and the R-S crash-resume matrix
+# entries, plus the internal R-S oracle tests. CI runs this as its rs job.
+test-rs:
+	$(GO) test -race -run 'TestRSJoin|TestGoldenRS|TestChaosEquivalenceRS|TestServerRSJoin|TestCrashResumeEquivalence/(fs-rs|fs-v-rs|ridpairs-rs|vsmart-rs|approx-rs)' .
+	$(GO) test -race -run 'RS|Join' ./internal/vsmart/ ./internal/minhash/ ./internal/ridpairs/ ./internal/core/
+
+# cover enforces the CI total-coverage gate over the library packages
+# (the main packages under cmd/ and examples/ are thin wrappers with no
+# unit tests and are excluded so the gate tracks the code the tests pin;
+# baseline 85.5% when the gate was last re-anchored; fails below 78%).
 cover:
-	$(GO) test -coverprofile=cover.out ./...
+	$(GO) test -coverprofile=cover.out $$($(GO) list ./... | grep -v -e '/cmd/' -e '/examples/')
 	$(GO) tool cover -func=cover.out | awk '/^total:/ { sub("%","",$$3); if ($$3+0 < 78.0) { printf "coverage %s%% below 78%% gate\n", $$3; exit 1 } else printf "coverage %s%% (gate 78%%)\n", $$3 }'

@@ -89,6 +89,60 @@ func TestChaosEquivalenceAllAlgorithms(t *testing.T) {
 	}
 }
 
+// TestChaosEquivalenceRS runs the R-S join paths (two halves of the
+// corpus as R and S, overlapping rid spaces) under ten chaos schedules at
+// parallelism 4 (and, for a third of them, sequentially) and asserts
+// pairs, deterministic statistics and the rs.pairs.* counters are
+// byte-identical to the fault-free run.
+func TestChaosEquivalenceRS(t *testing.T) {
+	texts := corpus(60, 7)
+	type detStats struct {
+		ShuffleRecords, ShuffleBytes, Candidates int64
+		RSCandidates, RSPairs                    int64
+	}
+	det := func(s Stats) detStats {
+		return detStats{
+			ShuffleRecords: s.ShuffleRecords, ShuffleBytes: s.ShuffleBytes,
+			Candidates: s.Candidates, RSCandidates: s.RSCandidates, RSPairs: s.RSPairs,
+		}
+	}
+	for _, algo := range []Algorithm{FSJoin, RIDPairsPPJoin, VSmartJoin} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			opts := Options{Threshold: 0.7, Algorithm: algo, Nodes: 3, LocalParallelism: 1}
+			want, err := runMatrixJoin(texts, opts, true)
+			if err != nil {
+				t.Fatalf("fault-free run: %v", err)
+			}
+			if algo == FSJoin && len(want.Pairs) == 0 {
+				t.Fatal("fault-free run found no pairs — corpus too sparse to prove anything")
+			}
+			for i, fault := range chaosSchedules(10) {
+				pars := []int{4}
+				if i%3 == 0 {
+					pars = []int{1, 4}
+				}
+				for _, par := range pars {
+					opts.LocalParallelism = par
+					opts.Fault = fault
+					got, err := runMatrixJoin(texts, opts, true)
+					if err != nil {
+						t.Fatalf("schedule %d (seed %d) par %d: %v", i, fault.ChaosSeed, par, err)
+					}
+					if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+						t.Fatalf("schedule %d (seed %d) par %d: pairs differ (%d vs %d)",
+							i, fault.ChaosSeed, par, len(got.Pairs), len(want.Pairs))
+					}
+					if g, w := det(got.Stats), det(want.Stats); g != w {
+						t.Fatalf("schedule %d (seed %d) par %d: stats differ\n got %+v\nwant %+v",
+							i, fault.ChaosSeed, par, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
 // waitNoSpillFiles asserts dir drains to empty, polling briefly because a
 // lost speculative attempt's spill files are discarded by a reaper
 // goroutine after the loser finishes, which may be shortly after the job

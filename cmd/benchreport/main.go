@@ -8,13 +8,15 @@
 // signature filter's reject rates and verified-candidate reduction on the
 // golden corpus, with output equality enforced), robustness (checkpoint
 // hit/miss counters across a cold run and a resume, fault.records.skipped
-// from a poisoned word count) and serving (a burst of jobs through
+// from a poisoned word count), serving (a burst of jobs through
 // fsjoin.Server — throughput, p50/p95 latency and the shed rate under a
-// deliberately tight queue).
+// deliberately tight queue) and rs_join (the R-S FS-Join raced against the
+// brute-force cross-join oracle on the golden R-S fixture, byte-identical
+// agreement enforced).
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR6.json] [-benchtime 5x]
+//	go run ./cmd/benchreport [-o BENCH_PR7.json] [-benchtime 5x]
 package main
 
 import (
@@ -33,7 +35,10 @@ import (
 	"time"
 
 	"fsjoin"
+	"fsjoin/internal/bruteforce"
 	"fsjoin/internal/mapreduce"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/tokens"
 )
 
 // result is one parsed benchmark line. Metrics carries any custom
@@ -60,6 +65,7 @@ type report struct {
 	FilterEffectiveness map[string]float64 `json:"filter_effectiveness,omitempty"`
 	Robustness          map[string]float64 `json:"robustness,omitempty"`
 	Serving             map[string]float64 `json:"serving,omitempty"`
+	RSJoin              map[string]float64 `json:"rs_join,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(
@@ -328,8 +334,83 @@ func serving() (map[string]float64, error) {
 	return out, nil
 }
 
+// readLines loads a one-record-per-line fixture file.
+func readLines(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%s (run from the repo root): %v", path, err)
+	}
+	var lines []string
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(raw), -1) {
+		if line != "" {
+			lines = append(lines, line)
+		}
+	}
+	return lines, nil
+}
+
+// rsJoin races the R-S FS-Join against the brute-force cross-join oracle
+// on the committed golden R-S fixture (rs_queries.txt × texts.txt at
+// θ = 0.7). Agreement must be byte-identical — same pairs, same counts,
+// same float scores — and the section reports both wall times, the pair
+// count, and the rs.pairs.* pipeline counters.
+func rsJoin() (map[string]float64, error) {
+	queries, err := readLines("testdata/golden/rs_queries.txt")
+	if err != nil {
+		return nil, err
+	}
+	corpus, err := readLines("testdata/golden/texts.txt")
+	if err != nil {
+		return nil, err
+	}
+	const theta = 0.7
+
+	start := time.Now()
+	res, err := fsjoin.JoinStrings(queries, corpus, fsjoin.Options{Threshold: theta, Nodes: 3})
+	if err != nil {
+		return nil, fmt.Errorf("rs fs-join: %v", err)
+	}
+	fsWall := time.Since(start)
+
+	// The oracle shares the dictionary and tokenizer with the real join.
+	dict := tokens.NewDictionary()
+	encode := func(texts []string) *tokens.Collection {
+		raws := make([]tokens.Raw, len(texts))
+		for i, t := range texts {
+			raws[i] = tokens.Raw{RID: int32(i), Text: t}
+		}
+		return dict.Encode(raws, tokens.WordTokenizer{})
+	}
+	r, s := encode(queries), encode(corpus)
+	start = time.Now()
+	want := bruteforce.Join(r, s, similarity.Jaccard, theta)
+	oracleWall := time.Since(start)
+
+	if len(res.Pairs) == 0 {
+		return nil, fmt.Errorf("rs join found no pairs on the golden fixture")
+	}
+	if len(res.Pairs) != len(want) {
+		return nil, fmt.Errorf("rs join found %d pairs, oracle %d", len(res.Pairs), len(want))
+	}
+	for i, p := range res.Pairs {
+		w := want[i]
+		if p.A != int(w.A) || p.B != int(w.B) || p.Common != w.Common || p.Similarity != w.Sim {
+			return nil, fmt.Errorf("rs join pair %d = %+v, oracle %+v — agreement not byte-identical", i, p, w)
+		}
+	}
+	return map[string]float64{
+		"pairs":                  float64(len(res.Pairs)),
+		"oracle_agreement":       1,
+		"rs_candidates":          float64(res.Stats.RSCandidates),
+		"rs_pairs_counter":       float64(res.Stats.RSPairs),
+		"fsjoin_wall_ms":         float64(fsWall.Microseconds()) / 1e3,
+		"oracle_wall_ms":         float64(oracleWall.Microseconds()) / 1e3,
+		"fsjoin_vs_bruteforce_x": oracleWall.Seconds() / fsWall.Seconds(),
+	}, nil
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR6.json", "output file")
+	out := flag.String("o", "BENCH_PR7.json", "output file")
 	benchtime := flag.String("benchtime", "5x", "per-benchmark -benchtime")
 	flag.Parse()
 
@@ -402,6 +483,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	fmt.Fprintln(os.Stderr, "benchreport: racing the r-s join against the brute-force oracle")
+	rsStats, err := rsJoin()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
 	rep := report{
 		Generated:           time.Now().UTC().Format(time.RFC3339),
 		GoVersion:           runtime.Version(),
@@ -412,6 +500,7 @@ func main() {
 		FilterEffectiveness: filt,
 		Robustness:          rob,
 		Serving:             srvStats,
+		RSJoin:              rsStats,
 	}
 	if rep.CPUs == 1 {
 		rep.Note = "single-CPU machine: parallel and sequential runs share one core, " +

@@ -7,11 +7,15 @@
 //	fsjoin -theta 0.8 [-algo fs|fs-v|ridpairs|vsmart|massjoin|massjoin-light]
 //	       [-fn jaccard|dice|cosine] [-q N] [-nodes N] [-stats]
 //	       [-bitmap auto|on|off] [-bitmap-width 0|64|128|256]
-//	       [-checkpoint DIR [-resume]] [-skip-bad-records] R.txt [S.txt]
+//	       [-checkpoint DIR [-resume]] [-skip-bad-records] [-rs] R.txt [S.txt]
 //
-// With one input file a self-join is performed; with two, an R-S join
-// (FS-Join only). Records are word-tokenised (lower-cased, split on
-// non-alphanumerics) or q-gram tokenised with -q.
+// With one input file a self-join is performed; with two, an R-S join:
+// every output pair matches a line of R.txt (first column) with a line of
+// S.txt (second column). All algorithms except the MassJoin baselines
+// support R-S mode. -rs makes the intent explicit — it demands exactly two
+// inputs, guarding scripts against an accidental self-join. Records are
+// word-tokenised (lower-cased, split on non-alphanumerics) or q-gram
+// tokenised with -q.
 //
 // Batch serving mode runs one self-join per input file concurrently
 // through a fsjoin.Server sharing one memory pool:
@@ -53,6 +57,7 @@ func main() {
 		maxSk  = flag.Int("max-skipped-records", 0, "abort after this many quarantined records (0 = default limit)")
 		bitmap = flag.String("bitmap", "auto", "bitmap signature filter: auto, on, off")
 		bmW    = flag.Int("bitmap-width", 0, "bitmap signature width in bits: 0 (auto), 64, 128, 256")
+		rs     = flag.Bool("rs", false, "require an R-S join: exactly two input files (implied when two files are given)")
 
 		serve         = flag.Bool("serve", false, "batch serving mode: one self-join per input file, run concurrently through a fsjoin.Server")
 		serveMem      = flag.Int64("serve-mem", 64<<20, "serving: global memory pool in bytes, shared by all jobs")
@@ -70,6 +75,9 @@ func main() {
 
 	if *resume && *ckpt == "" {
 		fatal("-resume requires -checkpoint DIR")
+	}
+	if *rs && (*serve || flag.NArg() != 2) {
+		fatal("-rs requires exactly two input files (got %d) and is incompatible with -serve", flag.NArg())
 	}
 	opt := fsjoin.Options{Threshold: *theta, Nodes: *nodes, WorkBudget: *budget, LocalParallelism: *par, CheckpointDir: *ckpt}
 	if *ckpt != "" && !*resume {
@@ -150,9 +158,10 @@ func main() {
 		return
 	}
 	r := load(flag.Arg(0))
+	isRS := flag.NArg() == 2
 	var res *fsjoin.Result
 	var err error
-	if flag.NArg() == 2 {
+	if isRS {
 		s := load(flag.Arg(1))
 		res, err = r.Join(s, opt)
 	} else {
@@ -177,6 +186,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bitmap built=%d rejected=%d passed=%d verified-candidates=%d\n",
 			res.Stats.BitmapBuilt, res.Stats.BitmapRejected,
 			res.Stats.BitmapPassed, res.Stats.VerifiedCandidates)
+		if isRS {
+			fmt.Fprintf(os.Stderr, "rs candidates=%d pairs=%d\n",
+				res.Stats.RSCandidates, res.Stats.RSPairs)
+		}
 		if *ckpt != "" || *skip {
 			fmt.Fprintf(os.Stderr, "checkpoint hits=%d misses=%d skipped-records=%d\n",
 				res.Stats.CheckpointHits, res.Stats.CheckpointMisses, res.Stats.RecordsSkipped)

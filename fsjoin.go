@@ -467,6 +467,13 @@ type Stats struct {
 	// both are zero when checkpointing is off.
 	CheckpointHits   int64
 	CheckpointMisses int64
+	// RSCandidates and RSPairs report R-S join activity at the final
+	// verifying stage (the rs.pairs.* counters): cross-relation pairs it
+	// examined and pairs that passed the threshold. For RIDPairsPPJoin both
+	// count per prefix group, before the dedup stage, so RSPairs may exceed
+	// len(Result.Pairs) there. Always zero for self-joins.
+	RSCandidates int64
+	RSPairs      int64
 	// QueueWait is how long the job waited for admission when run through
 	// a Server (zero for direct Join/SelfJoin calls, or when admitted
 	// immediately).

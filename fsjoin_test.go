@@ -148,10 +148,21 @@ func TestRSJoinBaselinesRejected(t *testing.T) {
 	dict := NewDictionary()
 	r := dict.NewCollection([][]string{{"a"}})
 	s := dict.NewCollection([][]string{{"a"}})
-	for _, algo := range []Algorithm{VSmartJoin, MassJoinMerge, MassJoinMergeLight, ApproxLSHJoin} {
+	for _, algo := range []Algorithm{MassJoinMerge, MassJoinMergeLight} {
 		_, err := r.Join(s, Options{Threshold: 0.5, Algorithm: algo})
 		if !errors.Is(err, ErrSelfJoinOnly) {
 			t.Fatalf("%v: err = %v, want ErrSelfJoinOnly", algo, err)
+		}
+	}
+	// Every other algorithm accepts R-S input — including the overlapping
+	// rid-space case above, where R#0 and S#0 are distinct records.
+	for _, algo := range []Algorithm{FSJoin, FSJoinV, RIDPairsPPJoin, VSmartJoin, ApproxLSHJoin} {
+		res, err := r.Join(s, Options{Threshold: 0.5, Algorithm: algo, Nodes: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if len(res.Pairs) != 1 || res.Pairs[0].A != 0 || res.Pairs[0].B != 0 {
+			t.Fatalf("%v: pairs = %+v, want the single (0,0) cross pair", algo, res.Pairs)
 		}
 	}
 }

@@ -248,7 +248,7 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	verifyRes, err := p.Run(mapreduce.Config{
 		Name:     "verification",
 		Combiner: sumPartials{},
-	}, filterRes.Output, mapreduce.IdentityMapper, &verifyReducer{fn: opt.Fn, theta: opt.Theta})
+	}, filterRes.Output, mapreduce.IdentityMapper, &verifyReducer{fn: opt.Fn, theta: opt.Theta, rs: rs})
 	if err != nil {
 		return nil, err
 	}
@@ -264,12 +264,14 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	}, nil
 }
 
-// tagInput converts a collection into filtering-job input pairs.
+// tagInput converts a collection into filtering-job input pairs. The key
+// carries the origin (mapreduce.OriginKey), so skip-mode quarantine reports
+// distinguish R#x from S#x when the two rid spaces overlap.
 func tagInput(c *tokens.Collection, origin uint8) []mapreduce.KV {
 	kvs := make([]mapreduce.KV, 0, len(c.Records))
 	for _, rec := range c.Records {
 		kvs = append(kvs, mapreduce.KV{
-			Key:   mapreduce.U32Key(uint32(rec.RID)),
+			Key:   mapreduce.OriginKey(origin, uint32(rec.RID)),
 			Value: taggedRecord{rec: rec, origin: origin},
 		})
 	}
@@ -364,9 +366,12 @@ func (sumPartials) Fold(acc, v any) any {
 
 // verifyReducer implements Section V-B: aggregate common-token counts and
 // apply the threshold algebraically. It uses the engine's fold fast path.
+// In R-S mode it also feeds the rs.pairs.* counters surfaced through
+// fsjoin.Stats.
 type verifyReducer struct {
 	fn    similarity.Func
 	theta float64
+	rs    bool
 }
 
 // Reduce implements mapreduce.Reducer.
@@ -388,8 +393,14 @@ func (r *verifyReducer) Fold(acc, v any) any {
 // FinishFold implements mapreduce.FoldingReducer.
 func (r *verifyReducer) FinishFold(ctx *mapreduce.Context, key string, acc any) {
 	ctx.Inc(filters.CtrVerifyCandidates, 1)
+	if r.rs {
+		ctx.Inc(result.CtrRSCandidates, 1)
+	}
 	sum := acc.(partial)
 	if r.fn.AtLeast(int(sum.C), int(sum.La), int(sum.Lb), r.theta) {
+		if r.rs {
+			ctx.Inc(result.CtrRSEmitted, 1)
+		}
 		ctx.Emit(key, sum)
 	}
 }

@@ -32,3 +32,25 @@ func DecodePairKey(k string) (a, b uint32) {
 	bs := []byte(k)
 	return binary.BigEndian.Uint32(bs[:4]), binary.BigEndian.Uint32(bs[4:])
 }
+
+// OriginKey encodes an input-record key for a join that may read two
+// relations whose rid spaces overlap. Origin 0 (R, and every self-join
+// record) keeps the plain 4-byte rid key; other origins get the 8-byte
+// (origin, rid) form. Map input keys are informational — splits are
+// positional — but skip-mode quarantine reports quote them, so R#x and
+// S#x must not collide (DESIGN.md §12).
+func OriginKey(origin uint8, rid uint32) string {
+	if origin == 0 {
+		return U32Key(rid)
+	}
+	return PairKey(uint32(origin), rid)
+}
+
+// DecodeOriginKey decodes a key produced by OriginKey.
+func DecodeOriginKey(k string) (origin uint8, rid uint32) {
+	if len(k) == 4 {
+		return 0, DecodeU32Key(k)
+	}
+	a, b := DecodePairKey(k)
+	return uint8(a), b
+}

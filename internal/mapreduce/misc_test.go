@@ -30,6 +30,26 @@ func TestPairKeyRoundTrip(t *testing.T) {
 	}
 }
 
+func TestOriginKeyRoundTripAndDisambiguation(t *testing.T) {
+	f := func(origin uint8, rid uint32) bool {
+		o, r := DecodeOriginKey(OriginKey(origin, rid))
+		if o != origin || r != rid {
+			return false
+		}
+		// R#rid and S#rid must never share a key — the rid spaces of the
+		// two relations of an R-S join overlap.
+		if origin != 0 && OriginKey(origin, rid) == OriginKey(0, rid) {
+			return false
+		}
+		// Origin 0 keys stay the plain U32Key so self-join inputs (and
+		// their checkpoint fingerprints) are unchanged by R-S support.
+		return origin != 0 || OriginKey(0, rid) == U32Key(rid)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCountersMergeAndSnapshot(t *testing.T) {
 	a, b := NewCounters(), NewCounters()
 	a.Inc("x", 2)

@@ -15,13 +15,13 @@ package minhash
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"sort"
 
 	"fsjoin/internal/mapreduce"
-	"fsjoin/internal/order"
 	"fsjoin/internal/result"
 	"fsjoin/internal/similarity"
 	"fsjoin/internal/tokens"
@@ -95,14 +95,17 @@ type Result struct {
 	Pipeline *mapreduce.Pipeline
 }
 
-// sigValue ships a record's id, length and one band signature.
+// sigValue ships a record's id, length and one band signature. The origin
+// tag (0 = R/self, 1 = S) — not rid inequality — decides pairability in
+// R-S mode, because R and S rid spaces may overlap.
 type sigValue struct {
-	rid int32
-	l   int32
+	rid    int32
+	l      int32
+	origin uint8
 }
 
 // SizeBytes implements mapreduce.Sized.
-func (sigValue) SizeBytes() int { return 8 }
+func (sigValue) SizeBytes() int { return 9 }
 
 // recValue ships a full record for verification.
 type recValue struct {
@@ -112,10 +115,47 @@ type recValue struct {
 // SizeBytes implements mapreduce.Sized.
 func (v recValue) SizeBytes() int { return 4 + 4*len(v.rec.Tokens) }
 
+// taggedRecord is the banding job's input value: a record plus its origin
+// relation (0 = R/self, 1 = S).
+type taggedRecord struct {
+	rec    tokens.Record
+	origin uint8
+}
+
+// SizeBytes implements mapreduce.Sized.
+func (t taggedRecord) SizeBytes() int { return 5 + 4*len(t.rec.Tokens) }
+
+// tagInput converts a collection into banding-job input pairs.
+func tagInput(c *tokens.Collection, origin uint8) []mapreduce.KV {
+	kvs := make([]mapreduce.KV, 0, len(c.Records))
+	for _, rec := range c.Records {
+		kvs = append(kvs, mapreduce.KV{
+			Key:   mapreduce.OriginKey(origin, uint32(rec.RID)),
+			Value: taggedRecord{rec: rec, origin: origin},
+		})
+	}
+	return kvs
+}
+
 // SelfJoin runs the two-job approximate pipeline: banding (map: signatures,
 // reduce: bucket pair enumeration + dedup) and verification (records
 // shipped to candidate pairs, exact Jaccard check).
 func SelfJoin(c *tokens.Collection, p Params) (*Result, error) {
+	return run(c, nil, p)
+}
+
+// Join runs the R-S variant: signatures are built for both relations, only
+// cross-relation bucket pairs become candidates, and verification routes by
+// the R-side rid with partner records resolved against S — so overlapping
+// R and S rid spaces never alias. Result pairs carry the R-side id first.
+func Join(r, s *tokens.Collection, p Params) (*Result, error) {
+	if s == nil {
+		return nil, errors.New("minhash: nil S collection")
+	}
+	return run(r, s, p)
+}
+
+func run(r, s *tokens.Collection, p Params) (*Result, error) {
 	if p.Theta <= 0 || p.Theta > 1 {
 		return nil, fmt.Errorf("minhash: theta %v outside (0, 1]", p.Theta)
 	}
@@ -125,6 +165,7 @@ func SelfJoin(c *tokens.Collection, p Params) (*Result, error) {
 	if p.Cluster == nil {
 		p.Cluster = mapreduce.DefaultCluster()
 	}
+	rs := s != nil
 	pipe := mapreduce.NewPipeline("minhash-lsh", p.Cluster)
 	pipe.Context = p.Ctx
 	pipe.Parallelism = p.Parallelism
@@ -134,22 +175,28 @@ func SelfJoin(c *tokens.Collection, p Params) (*Result, error) {
 	pipe.CheckpointDir = p.CheckpointDir
 	pipe.CheckpointSalt = p.CheckpointSalt
 
-	// Job 1: band signatures → candidate pairs.
+	// Job 1: band signatures → candidate pairs. Token ids hash directly, so
+	// no global ordering job is needed; r and s share a dictionary.
+	input := tagInput(r, 0)
+	if rs {
+		input = append(input, tagInput(s, 1)...)
+	}
 	hashes := newFamily(p.Seed, p.Bands*p.Rows)
 	bandRes, err := pipe.Run(mapreduce.Config{Name: "banding"},
-		order.RecordsToKV(c),
+		input,
 		mapreduce.MapFunc(func(ctx *mapreduce.Context, kv mapreduce.KV) {
-			rec := order.KVRecord(kv)
+			tr := kv.Value.(taggedRecord)
+			rec := tr.rec
 			if rec.Len() == 0 {
 				return
 			}
 			sig := hashes.signature(rec.Tokens)
 			for b := 0; b < p.Bands; b++ {
 				key := bandKey(b, sig[b*p.Rows:(b+1)*p.Rows])
-				ctx.Emit(key, sigValue{rid: rec.RID, l: int32(rec.Len())})
+				ctx.Emit(key, sigValue{rid: rec.RID, l: int32(rec.Len()), origin: tr.origin})
 			}
 		}),
-		&bucketJoiner{theta: p.Theta})
+		&bucketJoiner{theta: p.Theta, rs: rs})
 	if err != nil {
 		return nil, err
 	}
@@ -159,9 +206,16 @@ func SelfJoin(c *tokens.Collection, p Params) (*Result, error) {
 		return nil, err
 	}
 
-	// Job 2: verification with shipped records (Merge-style routing).
-	verifyIn := make([]mapreduce.KV, 0, len(dedup.Output)*2+c.Len())
-	for _, rec := range c.Records {
+	// Job 2: verification with shipped records (Merge-style routing). Each
+	// candidate routes to its R-side (self: smaller) rid; the partner side
+	// resolves from the driver-shared index — S for R-S joins, so equal R
+	// and S rids never alias.
+	partnerSide := r
+	if rs {
+		partnerSide = s
+	}
+	verifyIn := make([]mapreduce.KV, 0, len(dedup.Output)+r.Len())
+	for _, rec := range r.Records {
 		verifyIn = append(verifyIn, mapreduce.KV{
 			Key:   mapreduce.U32Key(uint32(rec.RID)),
 			Value: recValue{rec: rec},
@@ -172,7 +226,8 @@ func SelfJoin(c *tokens.Collection, p Params) (*Result, error) {
 		verifyIn = append(verifyIn, mapreduce.KV{Key: mapreduce.U32Key(a), Value: partner(b)})
 	}
 	verRes, err := pipe.Run(mapreduce.Config{Name: "verify"},
-		verifyIn, mapreduce.IdentityMapper, &verifier{theta: p.Theta, byRID: indexRecords(c)})
+		verifyIn, mapreduce.IdentityMapper,
+		&verifier{theta: p.Theta, byRID: indexRecords(partnerSide), rs: rs})
 	if err != nil {
 		return nil, err
 	}
@@ -247,8 +302,12 @@ func bandKey(band int, rows []uint64) string {
 }
 
 // bucketJoiner enumerates pairs within one band bucket, length-filtered.
+// In R-S mode only cross-relation pairs qualify (origin, not rid
+// inequality, decides — R#x may legitimately pair with S#x) and the
+// candidate key carries the R-side rid first.
 type bucketJoiner struct {
 	theta float64
+	rs    bool
 }
 
 // Reduce implements mapreduce.Reducer.
@@ -257,12 +316,24 @@ func (j *bucketJoiner) Reduce(ctx *mapreduce.Context, key string, values []any) 
 	for i, v := range values {
 		ps[i] = v.(sigValue)
 	}
-	sort.Slice(ps, func(a, b int) bool { return ps[a].rid < ps[b].rid })
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].origin != ps[b].origin {
+			return ps[a].origin < ps[b].origin
+		}
+		return ps[a].rid < ps[b].rid
+	})
 	fn := similarity.Jaccard
 	for i := range ps {
 		for k := i + 1; k < len(ps); k++ {
 			a, b := ps[i], ps[k]
-			if a.rid == b.rid {
+			if j.rs {
+				if a.origin == b.origin {
+					continue
+				}
+				if a.origin != 0 {
+					a, b = b, a
+				}
+			} else if a.rid == b.rid {
 				continue
 			}
 			la, lb := int(a.l), int(b.l)
@@ -302,12 +373,13 @@ func (verified) SizeBytes() int { return 12 }
 
 // verifier resolves candidate partners against its routed record and checks
 // the exact similarity. Like MassJoin's Merge, partner records are looked
-// up from the driver-shared index while the candidate list arrives through
-// the shuffle; the routed record itself travels as a recValue so shuffle
-// accounting includes it.
+// up from the driver-shared index (the S side for R-S joins) while the
+// candidate list arrives through the shuffle; the routed record itself
+// travels as a recValue so shuffle accounting includes it.
 type verifier struct {
 	theta float64
 	byRID map[int32]tokens.Record
+	rs    bool
 }
 
 // Reduce implements mapreduce.Reducer.
@@ -334,8 +406,14 @@ func (v *verifier) Reduce(ctx *mapreduce.Context, key string, values []any) {
 			continue
 		}
 		ctx.Inc("minhash.verifications", 1)
+		if v.rs {
+			ctx.Inc(result.CtrRSCandidates, 1)
+		}
 		c := tokens.Intersect(own.Tokens, other.Tokens)
 		if fn.AtLeast(c, own.Len(), other.Len(), v.theta) {
+			if v.rs {
+				ctx.Inc(result.CtrRSEmitted, 1)
+			}
 			ctx.Emit(mapreduce.PairKey(uint32(rid), uint32(p)),
 				verified{c: int32(c), sim: fn.Sim(c, own.Len(), other.Len())})
 		}

@@ -53,6 +53,40 @@ func TestApproxJoinDeterministic(t *testing.T) {
 	}
 }
 
+func TestApproxJoinRSHighRecallPerfectPrecision(t *testing.T) {
+	// Overlapping rid spaces: verification must resolve a candidate's S
+	// side against S, never against the R record that shares the rid.
+	r := testutil.RandomCollection(80, 60, 25, 7)
+	s := testutil.RandomCollection(80, 60, 25, 8)
+	theta := 0.7
+	want := bruteforce.Join(r, s, similarity.Jaccard, theta)
+	res, err := Join(r, s, Params{Theta: theta, Cluster: testutil.SmallCluster(), Bands: 48, Rows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := map[uint64]bool{}
+	for _, p := range want {
+		wantKeys[p.Key()] = true
+	}
+	for _, p := range res.Pairs {
+		if !wantKeys[p.Key()] {
+			t.Fatalf("false positive %v", p)
+		}
+	}
+	if len(want) > 0 {
+		if recall := float64(len(res.Pairs)) / float64(len(want)); recall < 0.95 {
+			t.Fatalf("recall %.2f (%d/%d)", recall, len(res.Pairs), len(want))
+		}
+	}
+}
+
+func TestApproxJoinNilS(t *testing.T) {
+	c := testutil.RandomCollection(5, 10, 5, 9)
+	if _, err := Join(c, nil, Params{Theta: 0.5, Cluster: testutil.SmallCluster()}); err == nil {
+		t.Fatal("nil S collection accepted")
+	}
+}
+
 func TestAutoBandShape(t *testing.T) {
 	for _, theta := range []float64{0.5, 0.7, 0.9} {
 		b, r := Auto(theta)

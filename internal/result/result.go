@@ -22,6 +22,17 @@ type Pair struct {
 // Key returns a canonical 64-bit key for the pair ids.
 func (p Pair) Key() uint64 { return uint64(uint32(p.A))<<32 | uint64(uint32(p.B)) }
 
+// Counter names every R-S join path increments at its final verifying
+// stage, surfaced through fsjoin.Stats (always zero for self-joins).
+const (
+	// CtrRSCandidates counts cross-relation pairs the verifying stage
+	// examined (for RIDPairsPPJoin: per prefix group, before dedup).
+	CtrRSCandidates = "rs.pairs.candidates"
+	// CtrRSEmitted counts cross-relation pairs that passed the threshold
+	// (for RIDPairsPPJoin: per prefix group, before dedup).
+	CtrRSEmitted = "rs.pairs.emitted"
+)
+
 // String implements fmt.Stringer.
 func (p Pair) String() string {
 	return fmt.Sprintf("(%d,%d c=%d sim=%.4f)", p.A, p.B, p.Common, p.Sim)

@@ -169,12 +169,14 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	return &Result{Pairs: pairs, Pipeline: p}, nil
 }
 
-// tagInput converts a collection into kernel input pairs.
+// tagInput converts a collection into kernel input pairs. The key carries
+// the origin (mapreduce.OriginKey), so skip-mode quarantine reports
+// distinguish R#x from S#x when the two rid spaces overlap.
 func tagInput(c *tokens.Collection, origin uint8) []mapreduce.KV {
 	kvs := make([]mapreduce.KV, 0, len(c.Records))
 	for _, rec := range c.Records {
 		kvs = append(kvs, mapreduce.KV{
-			Key:   mapreduce.U32Key(uint32(rec.RID)),
+			Key:   mapreduce.OriginKey(origin, uint32(rec.RID)),
 			Value: prefixValue{rec: rec, origin: origin},
 		})
 	}
@@ -276,12 +278,16 @@ func (g *groupJoiner) Reduce(ctx *mapreduce.Context, key string, values []any) {
 				ctx.Inc(filters.CtrBitmapPassed, 1)
 			}
 			ctx.Inc(filters.CtrVerifyCandidates, 1)
+			if g.rs {
+				ctx.Inc(result.CtrRSCandidates, 1)
+			}
 			c, ok := verifyOverlap(a.rec.Tokens, b.rec.Tokens, required)
 			if !ok || !g.fn.AtLeast(c, la, lb, g.theta) {
 				continue
 			}
 			x, y := a, b
 			if g.rs {
+				ctx.Inc(result.CtrRSEmitted, 1)
 				if a.origin != 0 {
 					x, y = b, a
 				}

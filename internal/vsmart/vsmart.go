@@ -71,14 +71,17 @@ type Result struct {
 	Pipeline *mapreduce.Pipeline
 }
 
-// posting is one inverted-list entry: rid and record length.
+// posting is one inverted-list entry: rid, record length and origin
+// relation (0 = R/self, 1 = S). The origin tag — not rid inequality —
+// decides pairability in R-S mode, because R and S rid spaces may overlap.
 type posting struct {
-	rid int32
-	l   int32
+	rid    int32
+	l      int32
+	origin uint8
 }
 
 // SizeBytes implements mapreduce.Sized.
-func (posting) SizeBytes() int { return 8 }
+func (posting) SizeBytes() int { return 9 }
 
 // partial is a per-token pair contribution: one common token plus lengths.
 type partial struct {
@@ -88,14 +91,50 @@ type partial struct {
 // SizeBytes implements mapreduce.Sized.
 func (partial) SizeBytes() int { return 12 }
 
+// taggedRecord is the join phase's input value: a record plus its origin
+// relation (0 = R/self, 1 = S).
+type taggedRecord struct {
+	rec    tokens.Record
+	origin uint8
+}
+
+// SizeBytes implements mapreduce.Sized.
+func (t taggedRecord) SizeBytes() int { return 5 + 4*len(t.rec.Tokens) }
+
+// tagInput converts a collection into join-phase input pairs.
+func tagInput(c *tokens.Collection, origin uint8) []mapreduce.KV {
+	kvs := make([]mapreduce.KV, 0, len(c.Records))
+	for _, rec := range c.Records {
+		kvs = append(kvs, mapreduce.KV{
+			Key:   mapreduce.OriginKey(origin, uint32(rec.RID)),
+			Value: taggedRecord{rec: rec, origin: origin},
+		})
+	}
+	return kvs
+}
+
 // SelfJoin runs the two-phase Online-Aggregation pipeline.
 func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
+	return run(c, nil, opt)
+}
+
+// Join runs the R-S variant: only cross-relation pairs are enumerated and
+// result pairs carry the R-side id first. R and S rid spaces may overlap.
+func Join(r, s *tokens.Collection, opt Options) (*Result, error) {
+	if s == nil {
+		return nil, errors.New("vsmart: nil S collection")
+	}
+	return run(r, s, opt)
+}
+
+func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	if opt.Theta <= 0 || opt.Theta > 1 {
 		return nil, fmt.Errorf("vsmart: theta %v outside (0, 1]", opt.Theta)
 	}
 	if opt.Cluster == nil {
 		opt.Cluster = mapreduce.DefaultCluster()
 	}
+	rs := s != nil
 	p := mapreduce.NewPipeline("v-smart-join", opt.Cluster)
 	p.Context = opt.Ctx
 	p.Parallelism = opt.Parallelism
@@ -107,25 +146,38 @@ func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
 
 	// Ordering is not required for correctness here, but running the same
 	// frequency job keeps the end-to-end comparison fair across methods.
-	o, err := order.Compute(p, c)
+	union := r
+	if rs {
+		union = &tokens.Collection{Records: append(append([]tokens.Record{}, r.Records...), s.Records...)}
+	}
+	o, err := order.Compute(p, union)
 	if err != nil {
 		return nil, err
 	}
-	ordered, err := o.Apply(c)
+	ordered, err := o.Apply(r)
 	if err != nil {
 		return nil, err
+	}
+	input := tagInput(ordered, 0)
+	if rs {
+		orderedS, err := o.Apply(s)
+		if err != nil {
+			return nil, err
+		}
+		input = append(input, tagInput(orderedS, 1)...)
 	}
 
 	// Join phase: emit every token, enumerate pairs per posting list.
 	joinRes, err := p.Run(mapreduce.Config{Name: "join"},
-		order.RecordsToKV(ordered),
+		input,
 		mapreduce.MapFunc(func(ctx *mapreduce.Context, kv mapreduce.KV) {
-			rec := order.KVRecord(kv)
-			for _, t := range rec.Tokens {
-				ctx.Emit(mapreduce.U32Key(t), posting{rid: rec.RID, l: int32(rec.Len())})
+			tr := kv.Value.(taggedRecord)
+			for _, t := range tr.rec.Tokens {
+				ctx.Emit(mapreduce.U32Key(t),
+					posting{rid: tr.rec.RID, l: int32(tr.rec.Len()), origin: tr.origin})
 			}
 		}),
-		&pairEnumerator{budget: opt.MaxPairEmits})
+		&pairEnumerator{budget: opt.MaxPairEmits, rs: rs})
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +189,7 @@ func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
 	// Similarity phase: aggregate counts per pair, apply the threshold.
 	simRes, err := p.Run(mapreduce.Config{Name: "similarity", Combiner: sumPartials{}},
 		joinRes.Output, mapreduce.IdentityMapper,
-		&thresholdReducer{fn: opt.Fn, theta: opt.Theta})
+		&thresholdReducer{fn: opt.Fn, theta: opt.Theta, rs: rs})
 	if err != nil {
 		return nil, err
 	}
@@ -157,12 +209,15 @@ func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
 
 // pairEnumerator emits a partial for every pair of records in one token's
 // posting list — quadratic per list, with no filtering (the algorithm's
-// defining drawback). Emission stops once the budget is exhausted so the
-// process stays bounded; the driver then reports the failure. One instance
-// is shared by all reduce tasks, which may run concurrently, so the running
-// count is atomic.
+// defining drawback). In R-S mode only cross-relation pairs qualify
+// (origin, not rid inequality, decides — R#x may legitimately pair with
+// S#x) and the pair key carries the R-side rid first. Emission stops once
+// the budget is exhausted so the process stays bounded; the driver then
+// reports the failure. One instance is shared by all reduce tasks, which
+// may run concurrently, so the running count is atomic.
 type pairEnumerator struct {
 	budget  int64
+	rs      bool
 	emitted atomic.Int64
 }
 
@@ -175,11 +230,20 @@ func (e *pairEnumerator) Reduce(ctx *mapreduce.Context, key string, values []any
 	for i := range ps {
 		for j := i + 1; j < len(ps); j++ {
 			a, b := ps[i], ps[j]
-			if a.rid == b.rid {
-				continue
-			}
-			if a.rid > b.rid {
-				a, b = b, a
+			if e.rs {
+				if a.origin == b.origin {
+					continue
+				}
+				if a.origin != 0 {
+					a, b = b, a
+				}
+			} else {
+				if a.rid == b.rid {
+					continue
+				}
+				if a.rid > b.rid {
+					a, b = b, a
+				}
 			}
 			if e.budget > 0 && e.emitted.Add(1) > e.budget {
 				ctx.Inc("vsmart.pair.dropped", 1)
@@ -212,10 +276,12 @@ func (sumPartials) Fold(acc, v any) any {
 }
 
 // thresholdReducer aggregates per-pair counts and applies the threshold,
-// using the engine's fold fast path.
+// using the engine's fold fast path. In R-S mode it also feeds the
+// rs.pairs.* counters surfaced through fsjoin.Stats.
 type thresholdReducer struct {
 	fn    similarity.Func
 	theta float64
+	rs    bool
 }
 
 // Reduce implements mapreduce.Reducer.
@@ -237,7 +303,13 @@ func (r *thresholdReducer) Fold(acc, v any) any {
 // FinishFold implements mapreduce.FoldingReducer.
 func (r *thresholdReducer) FinishFold(ctx *mapreduce.Context, key string, acc any) {
 	sum := acc.(partial)
+	if r.rs {
+		ctx.Inc(result.CtrRSCandidates, 1)
+	}
 	if r.fn.AtLeast(int(sum.c), int(sum.la), int(sum.lb), r.theta) {
+		if r.rs {
+			ctx.Inc(result.CtrRSEmitted, 1)
+		}
 		ctx.Emit(key, sum)
 	}
 }

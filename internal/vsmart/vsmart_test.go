@@ -39,6 +39,30 @@ func TestVSmartShuffleInsensitiveToTheta(t *testing.T) {
 	}
 }
 
+func TestVSmartJoinRSMatchesOracle(t *testing.T) {
+	// Both collections number their records from zero, so the rid spaces
+	// overlap — pairing must be decided by relation, never by rid.
+	r := testutil.RandomCollection(70, 50, 18, 31)
+	s := testutil.RandomCollection(70, 50, 18, 32)
+	for _, fn := range []similarity.Func{similarity.Jaccard, similarity.Dice, similarity.Cosine} {
+		for _, theta := range []float64{0.5, 0.8} {
+			want := bruteforce.Join(r, s, fn, theta)
+			res, err := Join(r, s, Options{Fn: fn, Theta: theta, Cluster: testutil.SmallCluster()})
+			if err != nil {
+				t.Fatalf("Join(%v, theta=%v): %v", fn, theta, err)
+			}
+			testutil.AssertSameResults(t, "vsmart-rs", res.Pairs, want)
+		}
+	}
+}
+
+func TestVSmartJoinNilS(t *testing.T) {
+	c := testutil.RandomCollection(5, 10, 5, 33)
+	if _, err := Join(c, nil, Options{Theta: 0.5, Cluster: testutil.SmallCluster()}); err == nil {
+		t.Fatal("nil S collection accepted")
+	}
+}
+
 func TestVSmartBudget(t *testing.T) {
 	c := testutil.RandomCollection(80, 30, 15, 23)
 	_, err := SelfJoin(c, Options{Theta: 0.8, Cluster: testutil.SmallCluster(), MaxPairEmits: 5})

@@ -16,9 +16,9 @@ import (
 )
 
 // ErrSelfJoinOnly is returned when an R-S join is requested with an
-// algorithm that only supports self-joins (V-Smart-Join, MassJoin,
-// ApproxLSHJoin — the forms the paper evaluates).
-var ErrSelfJoinOnly = errors.New("fsjoin: algorithm supports self-joins only (use FSJoin, FSJoinV or RIDPairsPPJoin)")
+// algorithm that only supports self-joins (the MassJoin variants — the
+// form the paper evaluates them in).
+var ErrSelfJoinOnly = errors.New("fsjoin: algorithm supports self-joins only (use FSJoin, FSJoinV, RIDPairsPPJoin, VSmartJoin or ApproxLSHJoin)")
 
 // Collection is a prepared set of records ready to join. Building a
 // Collection once lets several joins share the tokenisation work.
@@ -71,6 +71,31 @@ func SelfJoinSets(sets [][]string, opt Options) (*Result, error) {
 // SelfJoinStrings tokenises texts with the word tokenizer and self-joins.
 func SelfJoinStrings(texts []string, opt Options) (*Result, error) {
 	return NewDictionary().NewTextCollection(texts).SelfJoin(opt)
+}
+
+// JoinSets runs an R-S join between two pre-tokenised collections: every
+// result pair matches one R record (Pair.A) with one S record (Pair.B).
+// R and S are encoded against one fresh dictionary; record ids are the
+// slice indices within each relation, so the two id spaces overlap — pairs
+// are oriented, never deduplicated across relations, and (i, i) is a
+// legitimate result when R[i] and S[i] are similar (DESIGN.md §12).
+func JoinSets(r, s [][]string, opt Options) (*Result, error) {
+	d := NewDictionary()
+	return d.NewCollection(r).Join(d.NewCollection(s), opt)
+}
+
+// JoinStrings tokenises both relations with the word tokenizer and runs an
+// R-S join; see JoinSets for the pairing semantics.
+func JoinStrings(r, s []string, opt Options) (*Result, error) {
+	d := NewDictionary()
+	return d.NewTextCollection(r).Join(d.NewTextCollection(s), opt)
+}
+
+// RSJoin runs an R-S join between two prepared collections sharing a
+// Dictionary. It is Collection.Join as a free function, named for symmetry
+// with the paper's R-S formulation.
+func RSJoin(r, s *Collection, opt Options) (*Result, error) {
+	return r.Join(s, opt)
 }
 
 // SelfJoin runs the configured algorithm over the collection.
@@ -174,9 +199,14 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 	}
 }
 
-// Join runs an R-S join between two collections sharing a dictionary. Only
-// FSJoin and FSJoinV support R-S joins.
+// Join runs an R-S join between two collections sharing a dictionary: the
+// receiver is R, s is S, and every result pair carries the R-side id in
+// Pair.A. All algorithms except the MassJoin variants support R-S joins
+// (ApproxLSHJoin remains Jaccard-only); MassJoin returns ErrSelfJoinOnly.
 func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
+	if s == nil {
+		return nil, errors.New("fsjoin: nil S collection")
+	}
 	if c.c != s.c {
 		return nil, errors.New("fsjoin: collections must share a Dictionary")
 	}
@@ -202,6 +232,33 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 			return nil, err
 		}
 		return publish(res.Pairs, res.Pipeline, res.Pipeline.Counter("ridpairs.comparisons")), nil
+	case VSmartJoin:
+		res, err := vsmart.Join(c.t, s.t, vsmart.Options{
+			Fn: fn, Theta: opt.Threshold, Cluster: opt.cluster(), MaxPairEmits: opt.WorkBudget,
+			Ctx: opt.Context, Parallelism: opt.localParallelism(),
+			Fault:        opt.faultPolicy(),
+			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
+			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return publish(res.Pairs, res.Pipeline, res.Pipeline.Counter("vsmart.pair.emits")), nil
+	case ApproxLSHJoin:
+		if opt.Function != Jaccard {
+			return nil, errors.New("fsjoin: ApproxLSHJoin supports Jaccard only")
+		}
+		res, err := minhash.Join(c.t, s.t, minhash.Params{
+			Theta: opt.Threshold, Seed: uint64(opt.Seed), Cluster: opt.cluster(),
+			Ctx: opt.Context, Parallelism: opt.localParallelism(),
+			Fault:        opt.faultPolicy(),
+			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
+			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return publish(res.Pairs, res.Pipeline, res.Candidates), nil
 	default:
 		return nil, ErrSelfJoinOnly
 	}
@@ -258,6 +315,8 @@ func publish(pairs []result.Pair, p *mapreduce.Pipeline, candidates int64) *Resu
 		RecordsSkipped:     p.Counter(mapreduce.CounterRecordsSkipped),
 		CheckpointHits:     ck.Hits,
 		CheckpointMisses:   ck.Misses,
+		RSCandidates:       p.Counter(result.CtrRSCandidates),
+		RSPairs:            p.Counter(result.CtrRSEmitted),
 	}
 	return out
 }

@@ -54,7 +54,7 @@ func (k jobKiller) DecideJob(job string, phase mapreduce.Phase, task, attempt in
 }
 
 // recoveryMatrix is every algorithm crossed with FS-Join's fragment join
-// kernels, plus the two R-S join paths.
+// kernels, plus every R-S-capable algorithm in R-S mode.
 func recoveryMatrix() []struct {
 	name string
 	opt  Options
@@ -90,7 +90,10 @@ func recoveryMatrix() []struct {
 		mk("massjoin-light", MassJoinMergeLight, PrefixJoin, false),
 		mk("approx", ApproxLSHJoin, PrefixJoin, false),
 		mk("fs-rs", FSJoin, PrefixJoin, true),
+		mk("fs-v-rs", FSJoinV, PrefixJoin, true),
 		mk("ridpairs-rs", RIDPairsPPJoin, PrefixJoin, true),
+		mk("vsmart-rs", VSmartJoin, PrefixJoin, true),
+		mk("approx-rs", ApproxLSHJoin, PrefixJoin, true),
 	}
 }
 

@@ -209,6 +209,12 @@ func (s *Server) SelfJoin(ctx context.Context, c *Collection, opt Options) (*Res
 	return s.Run(ctx, Job{Collection: c, Options: opt})
 }
 
+// Join submits an R-S join with default job settings. Equivalent to Run
+// with a Job carrying the R collection, the S side in Other, and options.
+func (s *Server) Join(ctx context.Context, r, srel *Collection, opt Options) (*Result, error) {
+	return s.Run(ctx, Job{Collection: r, Other: srel, Options: opt})
+}
+
 // Run submits one job and blocks until it completes, is shed, or fails.
 // Admission may queue the job behind higher-priority work; ctx cancels
 // both the wait and (together with the job's deadline) the execution. The

@@ -431,3 +431,35 @@ func names(ents []os.DirEntry) []string {
 	}
 	return out
 }
+
+// TestServerRSJoin: the R-S convenience entry goes through the same
+// admission path as Run and matches the direct join exactly, rs counters
+// included.
+func TestServerRSJoin(t *testing.T) {
+	texts := corpus(40, 17)
+	dict := NewDictionary()
+	r := dict.NewTextCollection(texts[:20])
+	s := dict.NewTextCollection(texts[20:])
+	opt := Options{Threshold: 0.7, Nodes: 3, LocalParallelism: 1}
+	want, err := r.Join(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerOptions{MemoryBudget: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	got, err := srv.Join(context.Background(), r, s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+		t.Fatalf("served rs join differs: %d pairs vs %d", len(got.Pairs), len(want.Pairs))
+	}
+	if got.Stats.RSPairs != want.Stats.RSPairs || got.Stats.RSCandidates != want.Stats.RSCandidates {
+		t.Fatalf("served rs counters differ: (%d,%d) vs (%d,%d)",
+			got.Stats.RSCandidates, got.Stats.RSPairs,
+			want.Stats.RSCandidates, want.Stats.RSPairs)
+	}
+}
