@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem test-recovery test-serve test-filters test-rs all
+.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem test-recovery test-serve test-filters test-rs test-index all
 
 all: build vet test
 
@@ -28,11 +28,12 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelSpeedup|BenchmarkFig7' .
 	$(GO) test -run '^$$' -bench 'BenchmarkMemoryBudget' ./internal/mapreduce/
 
-# bench-report regenerates BENCH_PR7.json (engine, kernels with the bitmap
+# bench-report regenerates BENCH_PR8.json (engine, kernels with the bitmap
 # filter on and off, end-to-end and memory-budget suites plus derived
-# ratios, filter-effectiveness, robustness, serving and r-s join probes).
+# ratios, filter-effectiveness, robustness, serving, r-s join and
+# probe-index serving probes).
 bench-report:
-	$(GO) run ./cmd/benchreport -o BENCH_PR7.json
+	$(GO) run ./cmd/benchreport -o BENCH_PR8.json
 
 # chaos runs the seeded fault-injection equivalence suites under the race
 # detector (DESIGN.md §7). Any failure is re-runnable from its seed.
@@ -49,6 +50,7 @@ fuzz:
 	$(GO) test -fuzz 'FuzzBufferMerge' -fuzztime 10s ./internal/spill/
 	$(GO) test -fuzz 'FuzzRunCodec' -fuzztime 10s ./internal/spill/
 	$(GO) test -fuzz 'FuzzBitmapSignature' -fuzztime 10s ./internal/filters/
+	$(GO) test -fuzz 'FuzzIndexCodec' -fuzztime 10s ./internal/probeindex/
 
 # test-lowmem forces every test through the out-of-core shuffle: a 4 KiB
 # budget via the environment (tests that set an explicit budget ignore it)
@@ -101,6 +103,17 @@ test-filters:
 test-rs:
 	$(GO) test -race -run 'TestRSJoin|TestGoldenRS|TestChaosEquivalenceRS|TestServerRSJoin|TestCrashResumeEquivalence/(fs-rs|fs-v-rs|ridpairs-rs|vsmart-rs|approx-rs)' .
 	$(GO) test -race -run 'RS|Join' ./internal/vsmart/ ./internal/minhash/ ./internal/ridpairs/ ./internal/core/
+
+# test-index runs the persistent probe-index suites (DESIGN.md §13) under
+# the race detector: the internal build/probe/overlay/persistence tests,
+# the public differential tests against the self-join, R-S join and
+# brute-force oracles, the golden probe fixture, the corrupt-load
+# rebuild-never-trust test, the Server probe path, and a smoke run of the
+# index-codec fuzz target. CI runs this as its index job.
+test-index:
+	$(GO) test -race ./internal/probeindex/
+	$(GO) test -race -run 'TestIndex|TestGoldenProbe|TestServerProbe' .
+	$(GO) test -fuzz 'FuzzIndexCodec' -fuzztime 10s ./internal/probeindex/
 
 # cover enforces the CI total-coverage gate over the library packages
 # (the main packages under cmd/ and examples/ are thin wrappers with no

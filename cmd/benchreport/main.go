@@ -3,20 +3,23 @@
 // and off) against their legacy map-based baselines, the Figure 7-class
 // end-to-end joins sequential vs parallel, and the out-of-core shuffle
 // across memory budgets — and writes a machine-readable JSON report
-// (BENCH_PR6.json) with the derived speedup, allocation and spill-slowdown
-// ratios, plus three in-process sections: filter_effectiveness (the bitmap
+// (BENCH_PR8.json) with the derived speedup, allocation and spill-slowdown
+// ratios, plus five in-process sections: filter_effectiveness (the bitmap
 // signature filter's reject rates and verified-candidate reduction on the
 // golden corpus, with output equality enforced), robustness (checkpoint
 // hit/miss counters across a cold run and a resume, fault.records.skipped
 // from a poisoned word count), serving (a burst of jobs through
 // fsjoin.Server — throughput, p50/p95 latency and the shed rate under a
-// deliberately tight queue) and rs_join (the R-S FS-Join raced against the
+// deliberately tight queue), rs_join (the R-S FS-Join raced against the
 // brute-force cross-join oracle on the golden R-S fixture, byte-identical
-// agreement enforced).
+// agreement enforced) and probe_serving (the persistent probe index's
+// build/save/load costs and p50/p95 single-query latency raced against
+// per-query pipeline joins, byte-identical agreement and a 100× speedup
+// floor enforced).
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR7.json] [-benchtime 5x]
+//	go run ./cmd/benchreport [-o BENCH_PR8.json] [-benchtime 5x]
 package main
 
 import (
@@ -66,6 +69,7 @@ type report struct {
 	Robustness          map[string]float64 `json:"robustness,omitempty"`
 	Serving             map[string]float64 `json:"serving,omitempty"`
 	RSJoin              map[string]float64 `json:"rs_join,omitempty"`
+	ProbeServing        map[string]float64 `json:"probe_serving,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(
@@ -409,8 +413,161 @@ func rsJoin() (map[string]float64, error) {
 	}, nil
 }
 
+// probeServing measures the persistent probe index against the only other
+// way to answer an online single-record query: a full R-S pipeline join of
+// {q} × corpus per query, served through the same Server. It reports the
+// one-off costs (build time, saved file size, load time — with the loaded
+// index verified to answer identically to the built one) and the steady
+// state (p50/p95 probe latency and throughput over probeN queries). Every
+// baseline query's probe answer is checked byte-identical to the pipeline
+// rows before the speedup is reported, and the speedup itself is enforced:
+// an index that is not at least 100× faster per query than re-running the
+// pipeline fails the report.
+func probeServing() (map[string]float64, error) {
+	const (
+		theta     = 0.7
+		probeN    = 200
+		baselineN = 12
+	)
+	corpusTexts := make([]string, 2000)
+	for i := range corpusTexts {
+		corpusTexts[i] = fmt.Sprintf("alpha beta gamma delta eps%d zeta%d eta%d theta%d iota%d",
+			i%5, i%9, i%13, i%17, i%23)
+	}
+	dict := fsjoin.NewDictionary()
+	split := regexp.MustCompile(`\s+`)
+	sets := make([][]string, len(corpusTexts))
+	for i, t := range corpusTexts {
+		sets[i] = split.Split(t, -1)
+	}
+	coll := dict.NewCollection(sets)
+	iopt := fsjoin.IndexOptions{Threshold: theta}
+
+	start := time.Now()
+	built, err := fsjoin.BuildIndex(coll, iopt)
+	if err != nil {
+		return nil, fmt.Errorf("probe index build: %v", err)
+	}
+	buildWall := time.Since(start)
+
+	// Save / load round trip: the restart path must be cheaper than the
+	// build and the loaded index must answer exactly like the built one.
+	dir, err := os.MkdirTemp("", "benchreport-index-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := built.Save(dir); err != nil {
+		return nil, fmt.Errorf("probe index save: %v", err)
+	}
+	var indexBytes int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			indexBytes += info.Size()
+		}
+	}
+	start = time.Now()
+	ix, err := fsjoin.LoadIndex(dir, iopt)
+	if err != nil {
+		return nil, fmt.Errorf("probe index load: %v", err)
+	}
+	loadWall := time.Since(start)
+	for i := 0; i < len(sets); i += 97 {
+		a, b := built.Probe(sets[i]), ix.Probe(sets[i])
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("loaded index answers differently: query %d has %d vs %d matches", i, len(b), len(a))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return nil, fmt.Errorf("loaded index answers differently: query %d match %d = %+v vs %+v", i, j, b[j], a[j])
+			}
+		}
+	}
+
+	// Steady-state probe latency, served through the admission gate like a
+	// production query would be.
+	srv, err := fsjoin.NewServer(fsjoin.ServerOptions{MemoryBudget: 64 << 20})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Shutdown(context.Background())
+	ctx := context.Background()
+	lat := make([]time.Duration, probeN)
+	start = time.Now()
+	for i := range lat {
+		t0 := time.Now()
+		if _, err := srv.Probe(ctx, ix, sets[(i*31)%len(sets)]); err != nil {
+			return nil, fmt.Errorf("probe %d: %v", i, err)
+		}
+		lat[i] = time.Since(t0)
+	}
+	probeWall := time.Since(start)
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	pUS := func(q float64) float64 {
+		return float64(lat[int(q*float64(len(lat)-1))].Nanoseconds()) / 1e3
+	}
+
+	// Baseline: the same queries as one-record pipeline joins through the
+	// same server, with byte-identical agreement enforced per query.
+	var baseWall time.Duration
+	for i := 0; i < baselineN; i++ {
+		qi := (i * 173) % len(sets)
+		qc := dict.NewCollection([][]string{sets[qi]})
+		t0 := time.Now()
+		res, err := srv.Join(ctx, qc, coll, fsjoin.Options{Threshold: theta})
+		if err != nil {
+			return nil, fmt.Errorf("baseline pipeline join %d: %v", i, err)
+		}
+		baseWall += time.Since(t0)
+		want := make([]fsjoin.Match, 0, len(res.Pairs))
+		for _, p := range res.Pairs {
+			want = append(want, fsjoin.Match{RID: p.B, Common: p.Common, Similarity: p.Similarity})
+		}
+		sort.Slice(want, func(a, b int) bool { return want[a].RID < want[b].RID })
+		got := ix.Probe(sets[qi])
+		if len(got) != len(want) {
+			return nil, fmt.Errorf("query %d: probe found %d matches, pipeline %d", qi, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				return nil, fmt.Errorf("query %d match %d: probe %+v, pipeline %+v — agreement not byte-identical",
+					qi, j, got[j], want[j])
+			}
+		}
+	}
+
+	probePerQuery := probeWall.Seconds() / probeN
+	basePerQuery := baseWall.Seconds() / baselineN
+	speedup := basePerQuery / probePerQuery
+	if speedup < 100 {
+		return nil, fmt.Errorf("probe speedup %.1fx over the per-query pipeline is below the 100x bar", speedup)
+	}
+	st := ix.Stats()
+	return map[string]float64{
+		"corpus_records":       float64(coll.Len()),
+		"build_ms":             float64(buildWall.Nanoseconds()) / 1e6,
+		"index_bytes":          float64(indexBytes),
+		"load_ms":              float64(loadWall.Nanoseconds()) / 1e6,
+		"probes":               probeN,
+		"probe_p50_us":         pUS(0.50),
+		"probe_p95_us":         pUS(0.95),
+		"probe_max_us":         pUS(1.0),
+		"probes_per_sec":       float64(probeN) / probeWall.Seconds(),
+		"baseline_queries":     baselineN,
+		"baseline_per_query_ms": basePerQuery * 1e3,
+		"pipeline_agreement":   1,
+		"speedup_x":            speedup,
+		"index_candidates":     float64(st.Candidates),
+		"index_hits":           float64(st.Hits),
+	}, nil
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR7.json", "output file")
+	out := flag.String("o", "BENCH_PR8.json", "output file")
 	benchtime := flag.String("benchtime", "5x", "per-benchmark -benchtime")
 	flag.Parse()
 
@@ -490,6 +647,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	fmt.Fprintln(os.Stderr, "benchreport: racing the probe index against per-query pipeline joins")
+	probeStats, err := probeServing()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
 	rep := report{
 		Generated:           time.Now().UTC().Format(time.RFC3339),
 		GoVersion:           runtime.Version(),
@@ -501,6 +665,7 @@ func main() {
 		Robustness:          rob,
 		Serving:             srvStats,
 		RSJoin:              rsStats,
+		ProbeServing:        probeStats,
 	}
 	if rep.CPUs == 1 {
 		rep.Note = "single-CPU machine: parallel and sequential runs share one core, " +

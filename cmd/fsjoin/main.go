@@ -22,11 +22,21 @@
 //
 //	fsjoin -serve [-serve-mem BYTES] [-serve-jobs N] [-serve-deadline D]
 //	       [-serve-timeout D] -theta 0.8 a.txt b.txt c.txt ...
+//
+// Probe mode answers single-record queries against a persistent index of
+// the corpus instead of running a full join per query. With -index-dir the
+// index is loaded if a matching one was saved there, otherwise built and
+// saved for the next run:
+//
+//	fsjoin -probe queries.txt [-index-dir DIR] -theta 0.8 corpus.txt
+//
+// Each output line is "query-line <TAB> corpus-line <TAB> similarity".
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +69,9 @@ func main() {
 		bmW    = flag.Int("bitmap-width", 0, "bitmap signature width in bits: 0 (auto), 64, 128, 256")
 		rs     = flag.Bool("rs", false, "require an R-S join: exactly two input files (implied when two files are given)")
 
+		probe    = flag.String("probe", "", "probe mode: answer each record of this file against a persistent index of the corpus")
+		indexDir = flag.String("index-dir", "", "probe mode: load the index from this directory if present, else build and save it there")
+
 		serve         = flag.Bool("serve", false, "batch serving mode: one self-join per input file, run concurrently through a fsjoin.Server")
 		serveMem      = flag.Int64("serve-mem", 64<<20, "serving: global memory pool in bytes, shared by all jobs")
 		serveJobs     = flag.Int("serve-jobs", 0, "serving: max concurrent jobs (0 = one per core)")
@@ -68,7 +81,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 || (!*serve && flag.NArg() > 2) {
-		fmt.Fprintln(os.Stderr, "usage: fsjoin [flags] R.txt [S.txt]   or   fsjoin -serve [flags] FILE...")
+		fmt.Fprintln(os.Stderr, "usage: fsjoin [flags] R.txt [S.txt]   or   fsjoin -serve [flags] FILE...   or   fsjoin -probe Q.txt [-index-dir DIR] [flags] CORPUS.txt")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -78,6 +91,12 @@ func main() {
 	}
 	if *rs && (*serve || flag.NArg() != 2) {
 		fatal("-rs requires exactly two input files (got %d) and is incompatible with -serve", flag.NArg())
+	}
+	if *indexDir != "" && *probe == "" {
+		fatal("-index-dir requires -probe")
+	}
+	if *probe != "" && (*serve || *rs || flag.NArg() != 1) {
+		fatal("-probe takes exactly one corpus file and is incompatible with -serve and -rs")
 	}
 	opt := fsjoin.Options{Threshold: *theta, Nodes: *nodes, WorkBudget: *budget, LocalParallelism: *par, CheckpointDir: *ckpt}
 	if *ckpt != "" && !*resume {
@@ -143,11 +162,19 @@ func main() {
 	}
 
 	dict := fsjoin.NewDictionary()
-	load := func(path string) *fsjoin.Collection {
+	loadSets := func(path string) [][]string {
 		if *tsv {
-			return loadTSV(path, dict)
+			return readTSVSets(path)
 		}
-		return loadCollection(path, tk, dict)
+		return readTextSets(path, tk)
+	}
+	load := func(path string) *fsjoin.Collection {
+		return dict.NewCollection(loadSets(path))
+	}
+	if *probe != "" {
+		corpus := func() *fsjoin.Collection { return load(flag.Arg(0)) }
+		runProbe(opt, corpus, loadSets(*probe), *indexDir, *stats)
+		return
 	}
 	if *serve {
 		runServe(opt, load, serveConfig{
@@ -281,9 +308,64 @@ func runServe(opt fsjoin.Options, load func(string) *fsjoin.Collection, sc serve
 	}
 }
 
-// loadCollection reads one record per line from path, tokenises each line
-// and encodes the result against the shared dictionary.
-func loadCollection(path string, tk tokens.Tokenizer, dict *fsjoin.Dictionary) *fsjoin.Collection {
+// runProbe serves every query record against a probe index of the corpus
+// instead of running a full join per query. With a directory the index is
+// loaded when a matching one was saved there — skipping the corpus read
+// and the build entirely — and built-and-saved otherwise; a corrupt or
+// mismatched save is rebuilt, never trusted.
+func runProbe(opt fsjoin.Options, corpus func() *fsjoin.Collection, queries [][]string, dir string, stats bool) {
+	iopt := fsjoin.IndexOptions{
+		Threshold:    opt.Threshold,
+		Function:     opt.Function,
+		BitmapFilter: opt.BitmapFilter,
+		BitmapWidth:  opt.BitmapWidth,
+	}
+	var ix *fsjoin.Index
+	source := "loaded"
+	if dir != "" {
+		loaded, err := fsjoin.LoadIndex(dir, iopt)
+		switch {
+		case err == nil:
+			ix = loaded
+		case errors.Is(err, fsjoin.ErrNoIndex):
+			// fall through to a fresh build
+		default:
+			fatal("%v", err)
+		}
+	}
+	if ix == nil {
+		built, err := fsjoin.BuildIndex(corpus(), iopt)
+		if err != nil {
+			fatal("%v", err)
+		}
+		ix, source = built, "built"
+		if dir != "" {
+			if err := ix.Save(dir); err != nil {
+				fatal("saving index: %v", err)
+			}
+			source = "built and saved"
+		}
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	matches := 0
+	for qi, set := range queries {
+		for _, m := range ix.Probe(set) {
+			matches++
+			fmt.Fprintf(w, "%d\t%d\t%.4f\n", qi, m.RID, m.Similarity)
+		}
+	}
+	if stats {
+		st := ix.Stats()
+		fmt.Fprintf(os.Stderr, "index (%s): records=%d queries=%d matches=%d\n",
+			source, st.Records, len(queries), matches)
+		fmt.Fprintf(os.Stderr, "index.probes=%d index.candidates=%d index.hits=%d index.log.size=%d\n",
+			st.Probes, st.Candidates, st.Hits, st.LogSize)
+	}
+}
+
+// readTextSets reads one record per line from path and tokenises each line.
+func readTextSets(path string, tk tokens.Tokenizer) [][]string {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal("%v", err)
@@ -298,12 +380,12 @@ func loadCollection(path string, tk tokens.Tokenizer, dict *fsjoin.Dictionary) *
 	if err := sc.Err(); err != nil {
 		fatal("reading %s: %v", path, err)
 	}
-	return dict.NewCollection(sets)
+	return sets
 }
 
-// loadTSV reads a datagen-format TSV file; integer tokens are re-encoded
-// through the shared dictionary so text and TSV inputs can coexist.
-func loadTSV(path string, dict *fsjoin.Dictionary) *fsjoin.Collection {
+// readTSVSets reads a datagen-format TSV file; integer tokens become their
+// decimal strings so text and TSV inputs can share one dictionary.
+func readTSVSets(path string) [][]string {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal("%v", err)
@@ -321,7 +403,7 @@ func loadTSV(path string, dict *fsjoin.Dictionary) *fsjoin.Collection {
 		}
 		sets = append(sets, set)
 	}
-	return dict.NewCollection(sets)
+	return sets
 }
 
 func fatal(format string, args ...any) {

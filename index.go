@@ -1,0 +1,193 @@
+package fsjoin
+
+import (
+	"errors"
+	"fmt"
+
+	"fsjoin/internal/probeindex"
+)
+
+// ErrNoIndex is returned by LoadIndex when the directory holds no usable
+// index for the given options — nothing saved, a different configuration,
+// or a corrupt file. The caller should BuildIndex and Save.
+var ErrNoIndex = errors.New("fsjoin: no usable index (build and save one)")
+
+// IndexOptions configures a probe index. The similarity predicate is fixed
+// at build time: one index answers exactly one (function, threshold,
+// bitmap) configuration, and LoadIndex refuses an index saved under any
+// other.
+type IndexOptions struct {
+	// Threshold is the similarity threshold θ in (0, 1]. Required.
+	Threshold float64
+	// Function is the similarity function (default Jaccard).
+	Function Similarity
+	// BitmapFilter toggles the per-record signature filter (default
+	// BitmapAuto; see Options.BitmapFilter). Probe results are identical in
+	// every mode.
+	BitmapFilter BitmapFilterMode
+	// BitmapWidth pins the signature width in bits (64, 128 or 256); 0
+	// picks it from the corpus's mean record length.
+	BitmapWidth int
+}
+
+func (o IndexOptions) internal() (probeindex.Options, error) {
+	fn, err := o.Function.internal()
+	if err != nil {
+		return probeindex.Options{}, err
+	}
+	bm, err := Options{BitmapFilter: o.BitmapFilter, BitmapWidth: o.BitmapWidth}.bitmapConfig()
+	if err != nil {
+		return probeindex.Options{}, err
+	}
+	if o.Threshold <= 0 || o.Threshold > 1 {
+		return probeindex.Options{}, fmt.Errorf("fsjoin: Threshold %v outside (0, 1]", o.Threshold)
+	}
+	return probeindex.Options{Fn: fn, Theta: o.Threshold, Bitmap: bm}, nil
+}
+
+// Match is one probe hit: an indexed record similar to the probe set.
+type Match struct {
+	// RID is the matched record's id: its position in the collection the
+	// index was built from, or the id Insert returned.
+	RID int
+	// Common is the exact intersection size.
+	Common int
+	// Similarity is the exact score, computed by the same kernel the batch
+	// joins use.
+	Similarity float64
+}
+
+// IndexStats snapshots an index's serving counters.
+type IndexStats struct {
+	// Probes, Candidates and Hits are cumulative (they survive Save/Load):
+	// probes served, postings/overlay candidates examined, matches
+	// returned.
+	Probes     int64
+	Candidates int64
+	Hits       int64
+	// LogSize is the current side-log overlay size: records inserted plus
+	// records tombstoned since the last build or Compact.
+	LogSize int64
+	// Records is the number of live records probes can match.
+	Records int64
+	// Compactions counts Compact calls.
+	Compactions int64
+}
+
+// Index is a persistent probe index: the batch pipeline's filter stack
+// (global token order, prefix postings with positions, bitmap signatures)
+// built once over a collection and then served read-many. Probe answers a
+// single-record similarity query in microseconds with results
+// byte-identical to a full join restricted to that record. All methods are
+// safe for concurrent use.
+type Index struct {
+	ix *probeindex.Index
+}
+
+// BuildIndex builds a probe index over a prepared collection. The
+// collection's record ids (positions) become Match.RID values.
+func BuildIndex(c *Collection, opt IndexOptions) (*Index, error) {
+	iopt, err := opt.internal()
+	if err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, errors.New("fsjoin: nil collection")
+	}
+	ix, err := probeindex.Build(c.t, c.c.d.Token, iopt)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// LoadIndex restores an index previously saved into dir with Index.Save.
+// The options must match the saved configuration; any mismatch, missing or
+// damaged file returns an error wrapping ErrNoIndex (the loader verifies
+// the file's SHA-256 trailer and every structural invariant before serving
+// from it — a corrupt index is discarded, never trusted).
+func LoadIndex(dir string, opt IndexOptions) (*Index, error) {
+	iopt, err := opt.internal()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := probeindex.Load(dir, iopt)
+	if err != nil {
+		if errors.Is(err, probeindex.ErrNoIndex) {
+			return nil, fmt.Errorf("%w: %v", ErrNoIndex, err)
+		}
+		return nil, err
+	}
+	return &Index{ix: ix}, nil
+}
+
+// Save atomically persists the index (records, tombstones and side-log)
+// into dir, so a later LoadIndex skips the build. Derived structures are
+// rebuilt at load; the file carries a SHA-256 trailer.
+func (x *Index) Save(dir string) error { return x.ix.Save(dir) }
+
+// Probe returns every live indexed record whose similarity with the given
+// token set reaches the index threshold, sorted by RID. The set may be
+// unsorted, contain duplicates, or contain tokens the corpus never saw.
+func (x *Index) Probe(set []string) []Match {
+	return publishMatches(x.ix.Probe(set))
+}
+
+// ProbeBatch probes each set independently; element i of the result
+// answers set i.
+func (x *Index) ProbeBatch(sets [][]string) [][]Match {
+	out := make([][]Match, len(sets))
+	for i, set := range sets {
+		out[i] = x.Probe(set)
+	}
+	return out
+}
+
+// ProbeRecord probes with an indexed record's own token set, excluding the
+// record itself — the self-join result row for that record.
+func (x *Index) ProbeRecord(rid int) ([]Match, error) {
+	ms, err := x.ix.ProbeRecord(int32(rid))
+	if err != nil {
+		return nil, err
+	}
+	return publishMatches(ms), nil
+}
+
+// Insert adds a record to the index's side-log overlay and returns its new
+// RID. The record is immediately probeable.
+func (x *Index) Insert(set []string) int { return int(x.ix.Insert(set)) }
+
+// Delete removes a record (built, loaded or inserted) from the index.
+func (x *Index) Delete(rid int) error { return x.ix.Delete(int32(rid)) }
+
+// Compact folds the side-log overlay back into the index's CSR base,
+// recomputing the global token order and postings. Probe results are
+// unchanged; serving pauses only for the rebuild.
+func (x *Index) Compact() { x.ix.Compact() }
+
+// Len returns the number of live records.
+func (x *Index) Len() int { return x.ix.Len() }
+
+// Stats snapshots the serving counters.
+func (x *Index) Stats() IndexStats {
+	s := x.ix.Stats()
+	return IndexStats{
+		Probes:      s.Probes,
+		Candidates:  s.Candidates,
+		Hits:        s.Hits,
+		LogSize:     s.LogSize,
+		Records:     s.Records,
+		Compactions: s.Compactions,
+	}
+}
+
+func publishMatches(ms []probeindex.Match) []Match {
+	if ms == nil {
+		return nil
+	}
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{RID: int(m.RID), Common: int(m.Common), Similarity: m.Sim}
+	}
+	return out
+}

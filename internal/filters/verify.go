@@ -1,0 +1,37 @@
+package filters
+
+// VerifyOverlap merges two sorted, duplicate-free token sets and counts
+// their intersection, aborting as soon as the tokens still unread on the
+// shorter side cannot lift the count to required — PPJoin's
+// early-terminating verification. ok reports whether the count reached
+// required; when ok is false the returned count is a lower bound only (the
+// merge may have stopped early), which is all a caller pruning on the
+// bound needs. required ≤ 0 degenerates to a full exact intersection.
+//
+// This is the one exact verification kernel shared by the candidate-pair
+// paths that hold both full token sets — RIDPairsPPJoin's group joiner and
+// the probe index's serving path — so threshold semantics cannot drift
+// between batch and online serving.
+func VerifyOverlap(a, b []uint32, required int) (c int, ok bool) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		rem := len(a) - i
+		if r2 := len(b) - j; r2 < rem {
+			rem = r2
+		}
+		if c+rem < required {
+			return c, false
+		}
+		switch {
+		case a[i] == b[j]:
+			c++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return c, c >= required
+}

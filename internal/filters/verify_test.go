@@ -1,0 +1,33 @@
+package filters
+
+import "testing"
+
+func TestVerifyOverlapEarlyTermination(t *testing.T) {
+	a := []uint32{1, 2, 3, 4, 5}
+	b := []uint32{6, 7, 8, 9, 10}
+	if c, ok := VerifyOverlap(a, b, 3); ok {
+		t.Errorf("disjoint sets reported ok with c=%d", c)
+	}
+	c, ok := VerifyOverlap(a, a, 5)
+	if !ok || c != 5 {
+		t.Errorf("identical sets: got c=%d ok=%v", c, ok)
+	}
+	if c, ok := VerifyOverlap(a, []uint32{1, 2, 9, 10, 11}, 3); ok {
+		t.Errorf("overlap 2 passed required 3 (c=%d)", c)
+	}
+}
+
+func TestVerifyOverlapExactWhenUnrequired(t *testing.T) {
+	a := []uint32{1, 3, 5, 7}
+	b := []uint32{3, 4, 5, 6, 9}
+	c, ok := VerifyOverlap(a, b, 0)
+	if !ok || c != 2 {
+		t.Errorf("required 0: got c=%d ok=%v, want exact 2", c, ok)
+	}
+	if c, ok := VerifyOverlap(nil, b, 0); !ok || c != 0 {
+		t.Errorf("empty side: got c=%d ok=%v", c, ok)
+	}
+	if _, ok := VerifyOverlap(nil, b, 1); ok {
+		t.Error("empty side reached required 1")
+	}
+}

@@ -1,0 +1,89 @@
+package probeindex
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fsjoin/internal/filters"
+	"fsjoin/internal/similarity"
+	"fsjoin/internal/testutil"
+)
+
+// fuzzOpt is the fixed serving configuration the fuzz target loads under.
+var fuzzOpt = Options{Fn: similarity.Jaccard, Theta: 0.8, Bitmap: filters.BitmapConfig{Mode: filters.BitmapOn, Width: 64}}
+
+// ckptPath is where checkpoint.Store materialises the index file.
+func ckptPath(dir string) string {
+	return filepath.Join(dir, fmt.Sprintf("stage-%03d-%s.ckpt", persistStage, persistJob))
+}
+
+// validIndexFile renders one real saved index to seed the corpus.
+func validIndexFile(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	ix, err := Build(testutil.RandomCollection(30, 20, 10, 41), tokenName, fuzzOpt)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ix.Insert([]string{"x", "y", "z"})
+	if err := ix.Delete(0); err != nil {
+		tb.Fatal(err)
+	}
+	if err := ix.Save(dir); err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := os.ReadFile(ckptPath(dir))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzIndexCodec feeds arbitrary bytes to the index loader: truncated,
+// bit-flipped or wholly fabricated files (including garbage bodies behind
+// a freshly valid SHA-256 trailer, which the fuzzer will synthesise from
+// the seed) must either load into a servable index or fail with an error —
+// never panic. Whatever loads must survive a probe and a save/load
+// round-trip.
+func FuzzIndexCodec(f *testing.F) {
+	valid := validIndexFile(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("FSCKPT01 not really"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/3] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(ckptPath(dir), data, 0o600); err != nil {
+			t.Skip()
+		}
+		ix, err := Load(dir, fuzzOpt)
+		if err != nil {
+			return // rejected input: the only other acceptable outcome
+		}
+		// Whatever passed validation must behave like an index.
+		ix.Probe([]string{"x", "y", "z"})
+		if ix.Len() > 0 {
+			rid := ix.Insert([]string{"q1", "q2"})
+			if err := ix.Delete(rid); err != nil {
+				t.Fatalf("delete of fresh insert: %v", err)
+			}
+		}
+		dir2 := t.TempDir()
+		if err := ix.Save(dir2); err != nil {
+			t.Fatalf("save of loaded index: %v", err)
+		}
+		ix2, err := Load(dir2, fuzzOpt)
+		if err != nil {
+			t.Fatalf("round-trip load: %v", err)
+		}
+		if ix2.Len() != ix.Len() {
+			t.Fatalf("round-trip Len %d != %d", ix2.Len(), ix.Len())
+		}
+	})
+}

@@ -1,0 +1,307 @@
+// Index persistence rides the internal/checkpoint codec: one atomic,
+// SHA-256-trailed file per directory holding the token table, the CSR base
+// records, the tombstone set and the live side-log. Derived structure —
+// postings, signatures, the rank map — is rebuilt at load rather than
+// trusted from disk, so a file that decodes but lies about derived state
+// cannot make probes return wrong results: everything that influences a
+// probe answer is either validated against the record data or recomputed
+// from it (rebuild-never-trust, DESIGN.md §13).
+//
+// The checkpoint fingerprint covers only the serving configuration
+// (format version, similarity function, threshold, resolved bitmap mode
+// and width), so Load can decide hit/stale before reading a record, and an
+// index saved under one θ can never answer probes for another.
+
+package probeindex
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fsjoin/internal/checkpoint"
+	"fsjoin/internal/filters"
+	"fsjoin/internal/similarity"
+)
+
+// ErrNoIndex reports that a directory holds no usable index for the given
+// options: nothing saved yet, a stale configuration, a corrupt file, or a
+// body that decoded but failed validation. Callers rebuild and Save.
+var ErrNoIndex = errors.New("probeindex: no usable index")
+
+const (
+	persistPipeline = "probeindex"
+	persistStage    = 0
+	persistJob      = "index"
+	// persistVersion must change whenever the record layout does.
+	persistVersion = 1
+)
+
+// persistMeta is the JSON "meta" record: the scalars the record frames
+// cannot carry.
+type persistMeta struct {
+	Version int     `json:"version"`
+	Fn      int     `json:"fn"`
+	Theta   float64 `json:"theta"`
+	NextRID int32   `json:"next_rid"`
+	LogN    int     `json:"log_n"`
+}
+
+// fingerprint keys the checkpoint by serving configuration. The bitmap
+// config is environment-resolved first, so flipping FSJOIN_BITMAP between
+// runs reads as Stale (rebuild) rather than silently serving with a
+// mismatched filter.
+func fingerprint(fn similarity.Func, theta float64, bm filters.BitmapConfig) string {
+	f := checkpoint.NewFingerprint()
+	f.Str(fmt.Sprintf("probeindex/v%d", persistVersion))
+	f.I64(int64(fn))
+	f.Str(strconv.FormatFloat(theta, 'g', -1, 64))
+	f.Str(bm.Mode.String())
+	f.I64(int64(bm.Width))
+	return f.Hex()
+}
+
+// Save atomically persists the index into dir (temp write → fsync →
+// rename, SHA-256 trailer). Cumulative counters travel in the manifest so
+// a restart keeps its history.
+func (ix *Index) Save(dir string) error {
+	st, err := checkpoint.Open(dir)
+	if err != nil {
+		return err
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	var deleted []int32
+	for s, d := range ix.dead {
+		if d {
+			deleted = append(deleted, ix.recRID[s])
+		}
+	}
+	var logRIDs []int32
+	var logToks [][]uint32
+	for li := range ix.log {
+		if !ix.log[li].dead {
+			logRIDs = append(logRIDs, ix.log[li].rid)
+			logToks = append(logToks, ix.log[li].toks)
+		}
+	}
+	meta, err := json.Marshal(persistMeta{
+		Version: persistVersion,
+		Fn:      int(ix.fn),
+		Theta:   ix.theta,
+		NextRID: ix.nextRID,
+		LogN:    len(logRIDs),
+	})
+	if err != nil {
+		return fmt.Errorf("probeindex: %w", err)
+	}
+	recs := []checkpoint.Record{
+		{Key: "meta", Value: string(meta)},
+		{Key: "tokens", Value: ix.tokStr},
+		{Key: "recoff", Value: ix.recOff},
+		{Key: "rectok", Value: ix.recTok},
+		{Key: "recrid", Value: ix.recRID},
+		{Key: "deleted", Value: deleted},
+		{Key: "logrid", Value: logRIDs},
+	}
+	for i, ts := range logToks {
+		recs = append(recs, checkpoint.Record{Key: logKey(i), Value: ts})
+	}
+	m := checkpoint.Manifest{
+		Pipeline:    persistPipeline,
+		Stage:       persistStage,
+		Job:         persistJob,
+		Fingerprint: fingerprint(ix.fn, ix.theta, ix.bitmap),
+		Counters: map[string]int64{
+			CtrProbes:          ix.probes.Load(),
+			CtrCandidates:      ix.candidates.Load(),
+			CtrHits:            ix.hits.Load(),
+			"index.compactions": ix.compactions.Load(),
+		},
+	}
+	return st.Save(m, recs)
+}
+
+func logKey(i int) string { return fmt.Sprintf("log.%08d", i) }
+
+// Load reconstructs an index saved into dir under the same serving
+// configuration. Any miss — no file, stale fingerprint, bad checksum, or a
+// body that decodes but fails structural validation — returns an error
+// wrapping ErrNoIndex, directing the caller to rebuild.
+func Load(dir string, opt Options) (*Index, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	st, err := checkpoint.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	ix := newIndex(opt)
+	snap, status := st.Load(persistStage, persistJob, fingerprint(ix.fn, ix.theta, ix.bitmap))
+	if status != checkpoint.Hit {
+		return nil, fmt.Errorf("%w: checkpoint %s in %s", ErrNoIndex, status, dir)
+	}
+	if err := ix.restore(snap); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoIndex, err)
+	}
+	return ix, nil
+}
+
+// restore rebuilds the index from a decoded snapshot, validating every
+// structural invariant the probe path relies on. The checksum only proves
+// the bytes are what Save wrote; this proves the content is an index.
+func (ix *Index) restore(snap *checkpoint.Snapshot) error {
+	vals := make(map[string]any, len(snap.Records))
+	for _, r := range snap.Records {
+		if _, dup := vals[r.Key]; dup {
+			return fmt.Errorf("duplicate record %q", r.Key)
+		}
+		vals[r.Key] = r.Value
+	}
+	metaStr, ok := vals["meta"].(string)
+	if !ok {
+		return errors.New("missing meta record")
+	}
+	var meta persistMeta
+	dec := json.NewDecoder(strings.NewReader(metaStr))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&meta); err != nil {
+		return fmt.Errorf("meta: %v", err)
+	}
+	if meta.Version != persistVersion {
+		return fmt.Errorf("version %d (want %d)", meta.Version, persistVersion)
+	}
+	if meta.Fn != int(ix.fn) || meta.Theta != ix.theta {
+		return errors.New("meta disagrees with fingerprint")
+	}
+	tokStr, ok := vals["tokens"].([]string)
+	if !ok {
+		return errors.New("missing tokens record")
+	}
+	recOff, ok := vals["recoff"].([]int)
+	if !ok {
+		return errors.New("missing recoff record")
+	}
+	recTok, ok := vals["rectok"].([]uint32)
+	if !ok {
+		return errors.New("missing rectok record")
+	}
+	recRID, ok := vals["recrid"].([]int32)
+	if !ok {
+		return errors.New("missing recrid record")
+	}
+	deleted, ok := vals["deleted"].([]int32)
+	if !ok {
+		return errors.New("missing deleted record")
+	}
+	logRIDs, ok := vals["logrid"].([]int32)
+	if !ok {
+		return errors.New("missing logrid record")
+	}
+	if meta.LogN != len(logRIDs) {
+		return errors.New("log count disagrees with logrid")
+	}
+
+	// Token table: strings must be unique (the rank map inverts them).
+	tokRank := make(map[string]uint32, len(tokStr))
+	for r, s := range tokStr {
+		if _, dup := tokRank[s]; dup {
+			return fmt.Errorf("duplicate token %q", s)
+		}
+		tokRank[s] = uint32(r)
+	}
+
+	// CSR shape: monotone offsets bracketing rectok; per-record token
+	// slices strictly increasing with ranks inside the table; unique rids.
+	if len(recOff) == 0 || recOff[0] != 0 || recOff[len(recOff)-1] != len(recTok) {
+		return errors.New("recoff does not bracket rectok")
+	}
+	if len(recRID) != len(recOff)-1 {
+		return errors.New("recrid length disagrees with recoff")
+	}
+	maxRID := int32(-1)
+	seenRID := make(map[int32]bool, len(recRID)+len(logRIDs))
+	recs := make([]baseRec, len(recRID))
+	for s := range recRID {
+		lo, hi := recOff[s], recOff[s+1]
+		if lo > hi || hi > len(recTok) {
+			return fmt.Errorf("recoff not monotone at slot %d", s)
+		}
+		ts := recTok[lo:hi]
+		for i, t := range ts {
+			if int(t) >= len(tokStr) {
+				return fmt.Errorf("slot %d rank %d outside token table", s, t)
+			}
+			if i > 0 && ts[i-1] >= t {
+				return fmt.Errorf("slot %d tokens not strictly increasing", s)
+			}
+		}
+		rid := recRID[s]
+		if seenRID[rid] {
+			return fmt.Errorf("duplicate rid %d", rid)
+		}
+		seenRID[rid] = true
+		if rid > maxRID {
+			maxRID = rid
+		}
+		recs[s] = baseRec{rid: rid, toks: ts}
+	}
+
+	// Rebuild derived structure (postings, signatures, maps) from the
+	// validated records, then replay the overlay.
+	ix.tokStr = tokStr
+	ix.tokRank = tokRank
+	ix.assemble(recs)
+
+	for _, rid := range deleted {
+		s, ok := ix.slotOf[rid]
+		if !ok || ix.dead[s] {
+			return fmt.Errorf("tombstone for unknown rid %d", rid)
+		}
+		ix.dead[s] = true
+		ix.baseDead++
+		ix.liveN--
+	}
+	for i, rid := range logRIDs {
+		ts, ok := vals[logKey(i)].([]uint32)
+		if !ok {
+			return fmt.Errorf("missing log record %d", i)
+		}
+		for j, t := range ts {
+			if int(t) >= len(tokStr) {
+				return fmt.Errorf("log %d rank %d outside token table", i, t)
+			}
+			if j > 0 && ts[j-1] >= t {
+				return fmt.Errorf("log %d tokens not strictly increasing", i)
+			}
+		}
+		if seenRID[rid] {
+			return fmt.Errorf("duplicate rid %d", rid)
+		}
+		seenRID[rid] = true
+		if rid > maxRID {
+			maxRID = rid
+		}
+		e := logRec{rid: rid, toks: ts}
+		if ix.sigWords > 0 {
+			filters.BuildSignature(&e.sig, ts, ix.sigWords)
+		}
+		ix.logSlot[rid] = len(ix.log)
+		ix.log = append(ix.log, e)
+		ix.logLive++
+		ix.liveN++
+	}
+	if meta.NextRID <= maxRID {
+		return fmt.Errorf("next_rid %d not past max rid %d", meta.NextRID, maxRID)
+	}
+	ix.nextRID = meta.NextRID
+
+	ix.probes.Store(snap.Manifest.Counters[CtrProbes])
+	ix.candidates.Store(snap.Manifest.Counters[CtrCandidates])
+	ix.hits.Store(snap.Manifest.Counters[CtrHits])
+	ix.compactions.Store(snap.Manifest.Counters["index.compactions"])
+	return nil
+}

@@ -281,7 +281,7 @@ func (g *groupJoiner) Reduce(ctx *mapreduce.Context, key string, values []any) {
 			if g.rs {
 				ctx.Inc(result.CtrRSCandidates, 1)
 			}
-			c, ok := verifyOverlap(a.rec.Tokens, b.rec.Tokens, required)
+			c, ok := filters.VerifyOverlap(a.rec.Tokens, b.rec.Tokens, required)
 			if !ok || !g.fn.AtLeast(c, la, lb, g.theta) {
 				continue
 			}
@@ -303,33 +303,6 @@ func (g *groupJoiner) Reduce(ctx *mapreduce.Context, key string, values []any) {
 // tokenPos locates w in a sorted token set.
 func tokenPos(ts []tokens.ID, w uint32) int {
 	return sort.Search(len(ts), func(i int) bool { return ts[i] >= w })
-}
-
-// verifyOverlap merges two sorted token sets, aborting early when the
-// remaining tokens cannot reach the required overlap (PPJoin's
-// early-termination verification). ok is false when the bound was missed.
-func verifyOverlap(a, b []tokens.ID, required int) (int, bool) {
-	i, j, c := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		rem := len(a) - i
-		if r2 := len(b) - j; r2 < rem {
-			rem = r2
-		}
-		if c+rem < required {
-			return c, false
-		}
-		switch {
-		case a[i] == b[j]:
-			c++
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return c, c >= required
 }
 
 func min(a, b int) int {

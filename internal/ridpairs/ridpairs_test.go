@@ -45,21 +45,6 @@ func TestRIDPairsInvalidTheta(t *testing.T) {
 	}
 }
 
-func TestVerifyOverlapEarlyTermination(t *testing.T) {
-	a := []uint32{1, 2, 3, 4, 5}
-	b := []uint32{6, 7, 8, 9, 10}
-	if c, ok := verifyOverlap(a, b, 3); ok {
-		t.Errorf("disjoint sets reported ok with c=%d", c)
-	}
-	c, ok := verifyOverlap(a, a, 5)
-	if !ok || c != 5 {
-		t.Errorf("identical sets: got c=%d ok=%v", c, ok)
-	}
-	if c, ok := verifyOverlap(a, []uint32{1, 2, 9, 10, 11}, 3); ok {
-		t.Errorf("overlap 2 passed required 3 (c=%d)", c)
-	}
-}
-
 func TestRIDPairsRSJoinMatchesOracle(t *testing.T) {
 	r := testutil.RandomCollection(70, 40, 18, 51)
 	s := testutil.RandomCollection(80, 40, 18, 52)

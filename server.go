@@ -351,6 +351,101 @@ func (s *Server) execute(ctx context.Context, job Job, lease int64) (res *Result
 	return job.Collection.SelfJoin(opt)
 }
 
+// probeLeaseCap bounds the memory lease a probe holds: probes never spill
+// or shuffle, so their admission cost is a token share of the pool — enough
+// to be counted, never enough to starve a batch join.
+const probeLeaseCap = 64 << 10
+
+// probePriority orders probes ahead of default-priority batch jobs in the
+// admission queue: single-record queries are latency-bound while batch
+// joins are throughput-bound, so an online probe should not sit behind a
+// queued multi-minute join.
+const probePriority = 1
+
+// Probe serves one single-record similarity query against a probe index
+// through the server's admission machinery: the query takes a (small)
+// memory lease from the same global pool batch jobs use, waits in the same
+// priority queue (ahead of default-priority jobs), is shed with the same
+// typed errors under overload or shutdown, and runs panic-isolated. The
+// index itself is built with BuildIndex or LoadIndex and may be shared by
+// any number of concurrent probes.
+func (s *Server) Probe(ctx context.Context, ix *Index, set []string) ([]Match, error) {
+	out, err := s.ProbeBatch(ctx, ix, [][]string{set})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// ProbeBatch serves many probes under one admission grant: the batch is
+// admitted once, then each set is answered in order (ctx is honoured
+// between sets). Element i of the result answers sets[i].
+func (s *Server) ProbeBatch(ctx context.Context, ix *Index, sets [][]string) (_ [][]Match, err error) {
+	if ix == nil {
+		return nil, errors.New("fsjoin: probe against nil index")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	lease := s.opt.MemoryBudget / int64(s.opt.MaxConcurrent)
+	if lease < 1 {
+		lease = 1
+	}
+	if lease > probeLeaseCap {
+		lease = probeLeaseCap
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	s.running.Add(1)
+	s.mu.Unlock()
+	defer s.running.Done()
+
+	grant, err := s.gate.Acquire(ctx, lease, probePriority, s.opt.QueueTimeout)
+	if err != nil {
+		return nil, translateSched(err)
+	}
+	defer grant.Release()
+
+	s.mu.Lock()
+	if s.closed {
+		// Shutdown won the race after admission: refuse to start.
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		if err != nil {
+			s.failed++
+			if _, ok := err.(*JobError); ok {
+				s.panicked++
+			}
+		} else {
+			s.completed++
+		}
+		s.mu.Unlock()
+	}()
+
+	out := make([][]Match, len(sets))
+	defer func() {
+		if r := recover(); r != nil {
+			err = &JobError{Job: "probe", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	for i, set := range sets {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		out[i] = ix.Probe(set)
+	}
+	return out, nil
+}
+
 // Shutdown drains the server: new and queued jobs are rejected with
 // ErrServerClosed, running jobs continue until they finish, hit their
 // deadlines, or — once ctx is done — are cancelled. After every job has
