@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem test-recovery test-serve test-filters test-rs test-index all
+.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem test-recovery test-serve test-filters test-rs test-index test-durability all
 
 all: build vet test
 
@@ -28,12 +28,12 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelSpeedup|BenchmarkFig7' .
 	$(GO) test -run '^$$' -bench 'BenchmarkMemoryBudget' ./internal/mapreduce/
 
-# bench-report regenerates BENCH_PR8.json (engine, kernels with the bitmap
+# bench-report regenerates BENCH_PR9.json (engine, kernels with the bitmap
 # filter on and off, end-to-end and memory-budget suites plus derived
-# ratios, filter-effectiveness, robustness, serving, r-s join and
-# probe-index serving probes).
+# ratios, filter-effectiveness, robustness, serving, r-s join, probe-index
+# serving and durability probes).
 bench-report:
-	$(GO) run ./cmd/benchreport -o BENCH_PR8.json
+	$(GO) run ./cmd/benchreport -o BENCH_PR9.json
 
 # chaos runs the seeded fault-injection equivalence suites under the race
 # detector (DESIGN.md §7). Any failure is re-runnable from its seed.
@@ -51,6 +51,7 @@ fuzz:
 	$(GO) test -fuzz 'FuzzRunCodec' -fuzztime 10s ./internal/spill/
 	$(GO) test -fuzz 'FuzzBitmapSignature' -fuzztime 10s ./internal/filters/
 	$(GO) test -fuzz 'FuzzIndexCodec' -fuzztime 10s ./internal/probeindex/
+	$(GO) test -fuzz 'FuzzWAL' -fuzztime 10s ./internal/probeindex/
 
 # test-lowmem forces every test through the out-of-core shuffle: a 4 KiB
 # budget via the environment (tests that set an explicit budget ignore it)
@@ -114,6 +115,19 @@ test-index:
 	$(GO) test -race ./internal/probeindex/
 	$(GO) test -race -run 'TestIndex|TestGoldenProbe|TestServerProbe' .
 	$(GO) test -fuzz 'FuzzIndexCodec' -fuzztime 10s ./internal/probeindex/
+
+# test-durability runs the probe-index durability suites (DESIGN.md §14)
+# under the race detector: the crash-kill matrix (in-process panics at
+# every WAL/compaction/snapshot boundary plus the forked SIGKILL harness),
+# WAL unit tests (torn tails, mid-log corruption, foreign headers,
+# injected write/fsync failures, group commit), the concurrent
+# probe/mutate/auto-compact race test, the public round-trip and
+# Server.MaintainIndex tests, and a smoke run of the WAL fuzz target. CI
+# runs this as its durability job.
+test-durability:
+	$(GO) test -race -run 'TestCrashKill|TestWAL|TestConcurrentDurable|TestPersistValidation' ./internal/probeindex/
+	$(GO) test -race -run 'TestDurableIndexRoundTrip|TestServerMaintain' .
+	$(GO) test -fuzz 'FuzzWAL' -fuzztime 10s ./internal/probeindex/
 
 # cover enforces the CI total-coverage gate over the library packages
 # (the main packages under cmd/ and examples/ are thin wrappers with no

@@ -12,14 +12,16 @@
 // fsjoin.Server — throughput, p50/p95 latency and the shed rate under a
 // deliberately tight queue), rs_join (the R-S FS-Join raced against the
 // brute-force cross-join oracle on the golden R-S fixture, byte-identical
-// agreement enforced) and probe_serving (the persistent probe index's
+// agreement enforced), probe_serving (the persistent probe index's
 // build/save/load costs and p50/p95 single-query latency raced against
 // per-query pipeline joins, byte-identical agreement and a 100× speedup
-// floor enforced).
+// floor enforced) and durability (acknowledged-insert latency under each
+// WAL fsync policy, and recovery time as the replayed log grows, with the
+// recovered record count enforced).
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR8.json] [-benchtime 5x]
+//	go run ./cmd/benchreport [-o BENCH_PR9.json] [-benchtime 5x]
 package main
 
 import (
@@ -70,6 +72,7 @@ type report struct {
 	Serving             map[string]float64 `json:"serving,omitempty"`
 	RSJoin              map[string]float64 `json:"rs_join,omitempty"`
 	ProbeServing        map[string]float64 `json:"probe_serving,omitempty"`
+	Durability          map[string]float64 `json:"durability,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(
@@ -548,26 +551,133 @@ func probeServing() (map[string]float64, error) {
 	}
 	st := ix.Stats()
 	return map[string]float64{
-		"corpus_records":       float64(coll.Len()),
-		"build_ms":             float64(buildWall.Nanoseconds()) / 1e6,
-		"index_bytes":          float64(indexBytes),
-		"load_ms":              float64(loadWall.Nanoseconds()) / 1e6,
-		"probes":               probeN,
-		"probe_p50_us":         pUS(0.50),
-		"probe_p95_us":         pUS(0.95),
-		"probe_max_us":         pUS(1.0),
-		"probes_per_sec":       float64(probeN) / probeWall.Seconds(),
-		"baseline_queries":     baselineN,
+		"corpus_records":        float64(coll.Len()),
+		"build_ms":              float64(buildWall.Nanoseconds()) / 1e6,
+		"index_bytes":           float64(indexBytes),
+		"load_ms":               float64(loadWall.Nanoseconds()) / 1e6,
+		"probes":                probeN,
+		"probe_p50_us":          pUS(0.50),
+		"probe_p95_us":          pUS(0.95),
+		"probe_max_us":          pUS(1.0),
+		"probes_per_sec":        float64(probeN) / probeWall.Seconds(),
+		"baseline_queries":      baselineN,
 		"baseline_per_query_ms": basePerQuery * 1e3,
-		"pipeline_agreement":   1,
-		"speedup_x":            speedup,
-		"index_candidates":     float64(st.Candidates),
-		"index_hits":           float64(st.Hits),
+		"pipeline_agreement":    1,
+		"speedup_x":             speedup,
+		"index_candidates":      float64(st.Candidates),
+		"index_hits":            float64(st.Hits),
 	}, nil
 }
 
+// durability measures what the probe-index write-ahead log costs and what
+// it buys: acknowledged-insert latency under each fsync policy (always
+// pays an fsync per mutation, interval group-commits, never leaves
+// syncing to the OS), and cold recovery time as the replayed log grows —
+// with the recovered record count enforced, so the numbers can never come
+// from an index that silently lost mutations.
+func durability() (map[string]float64, error) {
+	const corpusN = 1000
+	corpusTexts := make([][]string, corpusN)
+	for i := range corpusTexts {
+		corpusTexts[i] = []string{"alpha", "beta",
+			fmt.Sprintf("g%d", i%7), fmt.Sprintf("d%d", i%11), fmt.Sprintf("e%d", i%29)}
+	}
+	iopt := fsjoin.IndexOptions{Threshold: 0.8}
+	build := func() (*fsjoin.Index, error) {
+		return fsjoin.BuildIndex(fsjoin.NewDictionary().NewCollection(corpusTexts), iopt)
+	}
+	out := map[string]float64{}
+
+	// Acknowledged-insert latency per fsync policy.
+	const insertN = 300
+	for _, pol := range []struct {
+		name string
+		d    fsjoin.Durability
+	}{
+		{"always", fsjoin.Durability{WALSync: fsjoin.WALSyncAlways}},
+		{"interval", fsjoin.Durability{WALSync: fsjoin.WALSyncInterval}},
+		{"never", fsjoin.Durability{WALSync: fsjoin.WALSyncNever}},
+	} {
+		ix, err := build()
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "benchreport-wal-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		if err := ix.Persist(dir, pol.d); err != nil {
+			return nil, fmt.Errorf("persist (%s): %v", pol.name, err)
+		}
+		lat := make([]time.Duration, insertN)
+		for i := range lat {
+			set := []string{"ins", fmt.Sprintf("w%d", i%97), fmt.Sprintf("v%d", i%31)}
+			t0 := time.Now()
+			if _, err := ix.Insert(set); err != nil {
+				return nil, fmt.Errorf("durable insert (%s): %v", pol.name, err)
+			}
+			lat[i] = time.Since(t0)
+		}
+		if err := ix.Close(); err != nil {
+			return nil, err
+		}
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		pUS := func(q float64) float64 {
+			return float64(lat[int(q*float64(len(lat)-1))].Nanoseconds()) / 1e3
+		}
+		out["insert_p50_us_sync_"+pol.name] = pUS(0.50)
+		out["insert_p95_us_sync_"+pol.name] = pUS(0.95)
+	}
+
+	// Recovery time vs WAL length: reopen after 0, 200 and 2000 logged
+	// mutations; every acknowledged mutation must be there.
+	for _, n := range []int{0, 200, 2000} {
+		ix, err := build()
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "benchreport-recover-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		if err := ix.Persist(dir, fsjoin.Durability{WALSync: fsjoin.WALSyncNever}); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if _, err := ix.Insert([]string{"rec", fmt.Sprintf("w%d", i%211)}); err != nil {
+				return nil, err
+			}
+		}
+		if err := ix.Close(); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		ld, err := fsjoin.LoadIndex(dir, iopt)
+		if err != nil {
+			return nil, fmt.Errorf("recovery with %d logged ops: %v", n, err)
+		}
+		wall := time.Since(t0)
+		if ld.Len() != corpusN+n {
+			return nil, fmt.Errorf("recovery with %d logged ops: %d records, want %d — acknowledged mutations lost",
+				n, ld.Len(), corpusN+n)
+		}
+		st := ld.Stats()
+		if st.WALReplayed != int64(n) || st.WALTruncatedFrames != 0 {
+			return nil, fmt.Errorf("recovery with %d logged ops: replayed %d, truncated %d",
+				n, st.WALReplayed, st.WALTruncatedFrames)
+		}
+		out[fmt.Sprintf("recover_%d_ops_ms", n)] = float64(wall.Nanoseconds()) / 1e6
+		if n == 2000 {
+			out["snapshot_bytes"] = float64(st.SnapshotBytes)
+		}
+	}
+	return out, nil
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR8.json", "output file")
+	out := flag.String("o", "BENCH_PR9.json", "output file")
 	benchtime := flag.String("benchtime", "5x", "per-benchmark -benchtime")
 	flag.Parse()
 
@@ -654,6 +764,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	fmt.Fprintln(os.Stderr, "benchreport: running in-process durability probes")
+	durStats, err := durability()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
 	rep := report{
 		Generated:           time.Now().UTC().Format(time.RFC3339),
 		GoVersion:           runtime.Version(),
@@ -666,6 +783,7 @@ func main() {
 		Serving:             srvStats,
 		RSJoin:              rsStats,
 		ProbeServing:        probeStats,
+		Durability:          durStats,
 	}
 	if rep.CPUs == 1 {
 		rep.Note = "single-CPU machine: parallel and sequential runs share one core, " +

@@ -31,6 +31,10 @@
 //	fsjoin -probe queries.txt [-index-dir DIR] -theta 0.8 corpus.txt
 //
 // Each output line is "query-line <TAB> corpus-line <TAB> similarity".
+// With -index-dir, -wal-sync always|interval|never attaches a write-ahead
+// log so acknowledged mutations survive crashes, and -auto-compact N makes
+// the index fold its overlay into a fresh snapshot generation once it
+// reaches N records (DESIGN.md §14).
 package main
 
 import (
@@ -71,6 +75,9 @@ func main() {
 
 		probe    = flag.String("probe", "", "probe mode: answer each record of this file against a persistent index of the corpus")
 		indexDir = flag.String("index-dir", "", "probe mode: load the index from this directory if present, else build and save it there")
+		walSync  = flag.String("wal-sync", "", "probe mode: attach a write-ahead log to the index with this fsync policy: always, interval, never (\"\" = no WAL)")
+		walIvl   = flag.Duration("wal-sync-interval", 0, "probe mode: group-commit window for -wal-sync interval (0 = 100ms)")
+		autoComp = flag.Int("auto-compact", 0, "probe mode: auto-compact the durable index when its overlay reaches this many records (0 = disabled; implies -wal-sync always)")
 
 		serve         = flag.Bool("serve", false, "batch serving mode: one self-join per input file, run concurrently through a fsjoin.Server")
 		serveMem      = flag.Int64("serve-mem", 64<<20, "serving: global memory pool in bytes, shared by all jobs")
@@ -97,6 +104,9 @@ func main() {
 	}
 	if *probe != "" && (*serve || *rs || flag.NArg() != 1) {
 		fatal("-probe takes exactly one corpus file and is incompatible with -serve and -rs")
+	}
+	if (*walSync != "" || *autoComp != 0) && *indexDir == "" {
+		fatal("-wal-sync and -auto-compact require -probe with -index-dir")
 	}
 	opt := fsjoin.Options{Threshold: *theta, Nodes: *nodes, WorkBudget: *budget, LocalParallelism: *par, CheckpointDir: *ckpt}
 	if *ckpt != "" && !*resume {
@@ -173,7 +183,8 @@ func main() {
 	}
 	if *probe != "" {
 		corpus := func() *fsjoin.Collection { return load(flag.Arg(0)) }
-		runProbe(opt, corpus, loadSets(*probe), *indexDir, *stats)
+		runProbe(opt, corpus, loadSets(*probe), *indexDir, *stats,
+			probeDurability{sync: *walSync, interval: *walIvl, autoCompact: *autoComp})
 		return
 	}
 	if *serve {
@@ -308,12 +319,45 @@ func runServe(opt fsjoin.Options, load func(string) *fsjoin.Collection, sc serve
 	}
 }
 
+// probeDurability carries the -wal-sync / -auto-compact flags into probe
+// mode.
+type probeDurability struct {
+	sync        string
+	interval    time.Duration
+	autoCompact int
+}
+
+// enabled reports whether the run should attach a WAL to the index.
+func (d probeDurability) enabled() bool { return d.sync != "" || d.autoCompact > 0 }
+
+// options maps the flags onto the public Durability knobs.
+func (d probeDurability) options() (fsjoin.Durability, error) {
+	out := fsjoin.Durability{
+		WALSyncInterval: d.interval,
+		AutoCompact:     fsjoin.AutoCompact{MaxLogRecords: d.autoCompact},
+	}
+	switch d.sync {
+	case "", "always":
+		out.WALSync = fsjoin.WALSyncAlways
+	case "interval":
+		out.WALSync = fsjoin.WALSyncInterval
+	case "never":
+		out.WALSync = fsjoin.WALSyncNever
+	default:
+		return out, fmt.Errorf("unknown -wal-sync %q (want always, interval or never)", d.sync)
+	}
+	return out, nil
+}
+
 // runProbe serves every query record against a probe index of the corpus
 // instead of running a full join per query. With a directory the index is
 // loaded when a matching one was saved there — skipping the corpus read
 // and the build entirely — and built-and-saved otherwise; a corrupt or
-// mismatched save is rebuilt, never trusted.
-func runProbe(opt fsjoin.Options, corpus func() *fsjoin.Collection, queries [][]string, dir string, stats bool) {
+// mismatched save is rebuilt, never trusted. With -wal-sync/-auto-compact
+// the index is made durable: a fresh snapshot generation is rolled forward
+// and a write-ahead log attached, so a long-lived embedder of the same
+// flow survives crashes between compactions.
+func runProbe(opt fsjoin.Options, corpus func() *fsjoin.Collection, queries [][]string, dir string, stats bool, dur probeDurability) {
 	iopt := fsjoin.IndexOptions{
 		Threshold:    opt.Threshold,
 		Function:     opt.Function,
@@ -339,12 +383,27 @@ func runProbe(opt fsjoin.Options, corpus func() *fsjoin.Collection, queries [][]
 			fatal("%v", err)
 		}
 		ix, source = built, "built"
-		if dir != "" {
+		if dir != "" && !dur.enabled() {
 			if err := ix.Save(dir); err != nil {
 				fatal("saving index: %v", err)
 			}
 			source = "built and saved"
 		}
+	}
+	if dur.enabled() {
+		dopt, err := dur.options()
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := ix.Persist(dir, dopt); err != nil {
+			fatal("persisting index: %v", err)
+		}
+		defer func() {
+			if err := ix.Close(); err != nil {
+				fatal("closing index: %v", err)
+			}
+		}()
+		source += ", durable"
 	}
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -361,6 +420,15 @@ func runProbe(opt fsjoin.Options, corpus func() *fsjoin.Collection, queries [][]
 			source, st.Records, len(queries), matches)
 		fmt.Fprintf(os.Stderr, "index.probes=%d index.candidates=%d index.hits=%d index.log.size=%d\n",
 			st.Probes, st.Candidates, st.Hits, st.LogSize)
+		fmt.Fprintf(os.Stderr, "wal.appends=%d wal.synced.bytes=%d wal.replayed=%d wal.truncated.frames=%d\n",
+			st.WALAppends, st.WALSyncedBytes, st.WALReplayed, st.WALTruncatedFrames)
+		fmt.Fprintf(os.Stderr, "index.compactions=%d index.compactions.auto=%d snapshot.bytes=%d index.generation=%d\n",
+			st.Compactions, st.AutoCompactions, st.SnapshotBytes, st.Generation)
+		for _, k := range []string{"corrupt", "stale", "invariant", "wal"} {
+			if n := fsjoin.IndexLoadRejects()["index.load.rejects."+k]; n > 0 {
+				fmt.Fprintf(os.Stderr, "index.load.rejects.%s=%d\n", k, n)
+			}
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package fsjoin
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"fsjoin/internal/probeindex"
 )
@@ -11,6 +12,23 @@ import (
 // index for the given options — nothing saved, a different configuration,
 // or a corrupt file. The caller should BuildIndex and Save.
 var ErrNoIndex = errors.New("fsjoin: no usable index (build and save one)")
+
+// ErrDurability is wrapped into the error of a durable Insert/Delete whose
+// write-ahead-log append or fsync failed. The mutation was neither applied
+// nor acknowledged, and the log stays poisoned (every later mutation fails
+// the same way) until the index is reloaded — a torn tail is never
+// appended to.
+var ErrDurability = errors.New("fsjoin: durable mutation failed (not applied, not acknowledged)")
+
+// publishIndexErr folds the internal typed WAL failure into the public
+// sentinel so callers outside the module can errors.Is against it.
+func publishIndexErr(err error) error {
+	var we *probeindex.WALError
+	if errors.As(err, &we) {
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	return err
+}
 
 // IndexOptions configures a probe index. The similarity predicate is fixed
 // at build time: one index answers exactly one (function, threshold,
@@ -45,6 +63,72 @@ func (o IndexOptions) internal() (probeindex.Options, error) {
 	return probeindex.Options{Fn: fn, Theta: o.Threshold, Bitmap: bm}, nil
 }
 
+// WALSyncMode selects when write-ahead-log appends reach stable storage on
+// a durable index (see Index.Persist).
+type WALSyncMode int
+
+const (
+	// WALSyncAlways fsyncs every append before the mutation is
+	// acknowledged: an acknowledged Insert/Delete survives power loss.
+	WALSyncAlways WALSyncMode = iota
+	// WALSyncInterval group-commits: appends hit the OS immediately but are
+	// fsynced at most once per interval, so a crash can lose up to one
+	// interval of acknowledged mutations — never reorder or corrupt them.
+	WALSyncInterval
+	// WALSyncNever leaves syncing to the OS (and to Close/compaction).
+	WALSyncNever
+)
+
+// AutoCompact configures a durable index's self-maintenance: when the
+// side-log overlay outgrows these thresholds, the index folds it into a
+// fresh snapshot generation and rotates its WAL. The zero value disables
+// auto-compaction (manual Compact still checkpoints).
+type AutoCompact struct {
+	// LogFraction triggers compaction when the overlay reaches this
+	// fraction of the live record count; 0 disables the fractional trigger.
+	LogFraction float64
+	// MaxLogRecords triggers compaction at this absolute overlay size; 0
+	// disables the absolute trigger.
+	MaxLogRecords int
+	// MinInterval spaces automatic compactions; 0 means no spacing.
+	MinInterval time.Duration
+}
+
+// Durability configures Index.Persist.
+type Durability struct {
+	// WALSync is the fsync policy for acknowledged mutations (default
+	// WALSyncAlways).
+	WALSync WALSyncMode
+	// WALSyncInterval is the group-commit window under WALSyncInterval;
+	// 0 means 100ms.
+	WALSyncInterval time.Duration
+	// AutoCompact is the self-maintenance policy, evaluated by
+	// Server.MaintainIndex (or any caller of the index's maintenance).
+	AutoCompact AutoCompact
+}
+
+func (d Durability) internal() (probeindex.DurableOptions, error) {
+	var mode probeindex.SyncMode
+	switch d.WALSync {
+	case WALSyncAlways:
+		mode = probeindex.SyncAlways
+	case WALSyncInterval:
+		mode = probeindex.SyncInterval
+	case WALSyncNever:
+		mode = probeindex.SyncNever
+	default:
+		return probeindex.DurableOptions{}, fmt.Errorf("fsjoin: unknown WALSync mode %d", int(d.WALSync))
+	}
+	return probeindex.DurableOptions{
+		Sync: probeindex.SyncPolicy{Mode: mode, Interval: d.WALSyncInterval},
+		AutoCompact: probeindex.AutoCompactPolicy{
+			LogFraction:   d.AutoCompact.LogFraction,
+			MaxLogRecords: d.AutoCompact.MaxLogRecords,
+			MinInterval:   d.AutoCompact.MinInterval,
+		},
+	}, nil
+}
+
 // Match is one probe hit: an indexed record similar to the probe set.
 type Match struct {
 	// RID is the matched record's id: its position in the collection the
@@ -70,9 +154,28 @@ type IndexStats struct {
 	LogSize int64
 	// Records is the number of live records probes can match.
 	Records int64
-	// Compactions counts Compact calls.
-	Compactions int64
+	// Compactions counts Compact calls; AutoCompactions is the
+	// policy-triggered subset.
+	Compactions     int64
+	AutoCompactions int64
+	// Durability counters, all zero for a purely in-memory index:
+	// acknowledged mutations appended to the WAL, WAL bytes fsynced, WAL
+	// frames replayed at load, torn WAL tails truncated at load, and the
+	// size of the current snapshot generation on disk.
+	WALAppends         int64
+	WALSyncedBytes     int64
+	WALReplayed        int64
+	WALTruncatedFrames int64
+	SnapshotBytes      int64
+	// Generation is the current snapshot generation (0 until persisted).
+	Generation int64
 }
+
+// IndexLoadRejects snapshots the process-wide index.load.rejects.<reason>
+// counters ("corrupt", "stale", "invariant", "wal"), incremented each time
+// LoadIndex discards an unusable generation — so operators can tell
+// corruption from an ordinary configuration change.
+func IndexLoadRejects() map[string]int64 { return probeindex.LoadRejects() }
 
 // Index is a persistent probe index: the batch pipeline's filter stack
 // (global token order, prefix postings with positions, bitmap signatures)
@@ -123,8 +226,38 @@ func LoadIndex(dir string, opt IndexOptions) (*Index, error) {
 
 // Save atomically persists the index (records, tombstones and side-log)
 // into dir, so a later LoadIndex skips the build. Derived structures are
-// rebuilt at load; the file carries a SHA-256 trailer.
+// rebuilt at load; the file carries a SHA-256 trailer. Save is a one-shot
+// snapshot of an in-memory index; a Persist-ed index checkpoints through
+// Compact instead.
 func (x *Index) Save(dir string) error { return x.ix.Save(dir) }
+
+// Persist makes the index durable in dir: the current state is written as
+// a fresh snapshot generation and a write-ahead log is opened next to it.
+// From then on every acknowledged Insert/Delete is WAL-logged (synced per
+// d.WALSync) before it is applied, so LoadIndex after a crash recovers
+// exactly the acknowledged mutation history; a WAL write failure returns
+// an error wrapping ErrDurability and the mutation is neither applied nor
+// acknowledged. Close releases the WAL; the on-disk state stays loadable.
+func (x *Index) Persist(dir string, d Durability) error {
+	dopt, err := d.internal()
+	if err != nil {
+		return err
+	}
+	return x.ix.Persist(dir, dopt)
+}
+
+// Close flushes and closes the index's write-ahead log, detaching it from
+// its directory. Safe (and a no-op) on a never-persisted index.
+func (x *Index) Close() error { return x.ix.Close() }
+
+// Durable reports whether the index currently has an attached WAL.
+func (x *Index) Durable() bool { return x.ix.Durable() }
+
+// Maintain runs one maintenance pass: pending group-commit WAL bytes are
+// flushed and the auto-compaction policy is evaluated. Server.MaintainIndex
+// drives this periodically; callers without a Server may run it on their
+// own schedule.
+func (x *Index) Maintain() error { return x.ix.Maintain() }
 
 // Probe returns every live indexed record whose similarity with the given
 // token set reaches the index threshold, sorted by RID. The set may be
@@ -154,16 +287,24 @@ func (x *Index) ProbeRecord(rid int) ([]Match, error) {
 }
 
 // Insert adds a record to the index's side-log overlay and returns its new
-// RID. The record is immediately probeable.
-func (x *Index) Insert(set []string) int { return int(x.ix.Insert(set)) }
+// RID. The record is immediately probeable. On a durable index the insert
+// is WAL-logged before it is acknowledged; a WAL failure leaves the index
+// unchanged and returns the typed error.
+func (x *Index) Insert(set []string) (int, error) {
+	rid, err := x.ix.Insert(set)
+	return int(rid), publishIndexErr(err)
+}
 
-// Delete removes a record (built, loaded or inserted) from the index.
-func (x *Index) Delete(rid int) error { return x.ix.Delete(int32(rid)) }
+// Delete removes a record (built, loaded or inserted) from the index,
+// following the same WAL-before-acknowledge contract as Insert.
+func (x *Index) Delete(rid int) error { return publishIndexErr(x.ix.Delete(int32(rid))) }
 
 // Compact folds the side-log overlay back into the index's CSR base,
 // recomputing the global token order and postings. Probe results are
-// unchanged; serving pauses only for the rebuild.
-func (x *Index) Compact() { x.ix.Compact() }
+// unchanged; serving pauses only for the rebuild. On a durable index
+// Compact also checkpoints: a fresh snapshot generation is written
+// atomically and the WAL rotated.
+func (x *Index) Compact() error { return x.ix.Compact() }
 
 // Len returns the number of live records.
 func (x *Index) Len() int { return x.ix.Len() }
@@ -172,12 +313,19 @@ func (x *Index) Len() int { return x.ix.Len() }
 func (x *Index) Stats() IndexStats {
 	s := x.ix.Stats()
 	return IndexStats{
-		Probes:      s.Probes,
-		Candidates:  s.Candidates,
-		Hits:        s.Hits,
-		LogSize:     s.LogSize,
-		Records:     s.Records,
-		Compactions: s.Compactions,
+		Probes:             s.Probes,
+		Candidates:         s.Candidates,
+		Hits:               s.Hits,
+		LogSize:            s.LogSize,
+		Records:            s.Records,
+		Compactions:        s.Compactions,
+		AutoCompactions:    s.AutoCompactions,
+		WALAppends:         s.WALAppends,
+		WALSyncedBytes:     s.WALSyncedBytes,
+		WALReplayed:        s.WALReplayed,
+		WALTruncatedFrames: s.WALTruncatedFrames,
+		SnapshotBytes:      s.SnapshotBytes,
+		Generation:         s.Generation,
 	}
 }
 

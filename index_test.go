@@ -175,7 +175,10 @@ func TestIndexMutationsMatchOracle(t *testing.T) {
 	check("initial")
 	extra := corpus(12, 9)
 	for i, tx := range extra {
-		rid := ix.Insert(strings.Fields(tx))
+		rid, err := ix.Insert(strings.Fields(tx))
+		if err != nil {
+			t.Fatal(err)
+		}
 		liveTexts[rid] = tx
 		if i%3 == 0 {
 			victim := i * 4 % len(texts)
@@ -191,7 +194,9 @@ func TestIndexMutationsMatchOracle(t *testing.T) {
 	if ix.Stats().LogSize == 0 {
 		t.Fatal("mutations left no overlay to compact")
 	}
-	ix.Compact()
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
 	if got := ix.Stats().LogSize; got != 0 {
 		t.Fatalf("LogSize %d after Compact", got)
 	}

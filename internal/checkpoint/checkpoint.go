@@ -49,6 +49,23 @@ const checksumLen = sha256.Size
 // memory instead of failing the job.
 var ErrUnencodable = errors.New("checkpoint: value has no spill codec")
 
+// saveKillHook, when non-nil, fires at the named durability boundaries of
+// Save ("save.start" after the temp file exists, "save.synced" after the
+// fsync but before the rename, "save.renamed" after the rename). The
+// crash-kill harness uses it to die mid-protocol and prove that recovery
+// never observes a partial snapshot. Nil in production.
+var saveKillHook func(point string)
+
+// SetKillHook installs (or, with nil, removes) the save-boundary kill
+// hook. Test-only; not safe to flip while saves are in flight.
+func SetKillHook(fn func(point string)) { saveKillHook = fn }
+
+func killPoint(p string) {
+	if saveKillHook != nil {
+		saveKillHook(p)
+	}
+}
+
 // Record is one persisted output pair.
 type Record struct {
 	Key   string
@@ -232,6 +249,7 @@ func (s *Store) Save(m Manifest, recs []Record) (err error) {
 			os.Remove(tmp)
 		}
 	}()
+	killPoint("save.start")
 	h := sha256.New()
 	bw := bufio.NewWriterSize(io.MultiWriter(f, h), 64<<10)
 	var scratch []byte
@@ -272,10 +290,12 @@ func (s *Store) Save(m Manifest, recs []Record) (err error) {
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	killPoint("save.synced")
 	if err = os.Rename(tmp, s.fileName(m.Stage, m.Job)); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	killPoint("save.renamed")
 	return nil
 }
 

@@ -1,11 +1,21 @@
 // Index persistence rides the internal/checkpoint codec: one atomic,
-// SHA-256-trailed file per directory holding the token table, the CSR base
-// records, the tombstone set and the live side-log. Derived structure —
+// SHA-256-trailed snapshot file per generation holding the token table, the
+// CSR base records, the tombstone set and the live side-log, with the
+// checkpoint stage number doubling as the generation. Derived structure —
 // postings, signatures, the rank map — is rebuilt at load rather than
 // trusted from disk, so a file that decodes but lies about derived state
 // cannot make probes return wrong results: everything that influences a
 // probe answer is either validated against the record data or recomputed
 // from it (rebuild-never-trust, DESIGN.md §13).
+//
+// Generations (DESIGN.md §14): `stage-%03d-index.ckpt` is generation g's
+// snapshot, `wal.g%08d` its write-ahead log. Load scans generations newest
+// first, restores the first loadable snapshot and replays its WAL on top
+// (truncate-to-last-valid), so a crash anywhere in the compaction protocol
+// recovers from either the old generation (snapshot + WAL) or the new one —
+// never a mix. Each rejected generation is counted under
+// index.load.rejects.<reason> and woven into the returned error, so
+// operators can tell corruption from a config change.
 //
 // The checkpoint fingerprint covers only the serving configuration
 // (format version, similarity function, threshold, resolved bitmap mode
@@ -18,8 +28,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 
 	"fsjoin/internal/checkpoint"
 	"fsjoin/internal/filters"
@@ -28,16 +41,65 @@ import (
 
 // ErrNoIndex reports that a directory holds no usable index for the given
 // options: nothing saved yet, a stale configuration, a corrupt file, or a
-// body that decoded but failed validation. Callers rebuild and Save.
+// body that decoded but failed validation. Callers rebuild and Save. The
+// returned error also wraps the per-generation reason sentinel
+// (ErrCorruptSnapshot, ErrStaleConfig, ErrInvariant, ErrWALRejected), so
+// errors.Is can separate corruption from an ordinary config change.
 var ErrNoIndex = errors.New("probeindex: no usable index")
+
+// Load rejection reasons, wrapped into the ErrNoIndex error and counted
+// under index.load.rejects.<reason> (see LoadRejects).
+var (
+	// ErrCorruptSnapshot: the snapshot failed its SHA-256 trailer or could
+	// not be decoded. Reason "corrupt".
+	ErrCorruptSnapshot = errors.New("corrupt snapshot")
+	// ErrStaleConfig: the snapshot is valid but was written under a
+	// different serving configuration (fn, θ, bitmap mode/width or format
+	// version). Reason "stale".
+	ErrStaleConfig = errors.New("config fingerprint mismatch")
+	// ErrInvariant: the snapshot decoded but its content failed structural
+	// validation (the checksum proves the bytes, not the semantics). Reason
+	// "invariant".
+	ErrInvariant = errors.New("snapshot invariant failure")
+	// ErrWALRejected: the generation's WAL exists but its header does not
+	// bind to this snapshot (wrong magic, generation or fingerprint), or
+	// the file cannot be read; the whole log is ignored. Reason "wal".
+	ErrWALRejected = errors.New("wal rejected")
+)
 
 const (
 	persistPipeline = "probeindex"
-	persistStage    = 0
 	persistJob      = "index"
 	// persistVersion must change whenever the record layout does.
 	persistVersion = 1
 )
+
+// Process-wide load-rejection counters: index.load.rejects.<reason>. They
+// outlive any single Index because a rejected load returns no Index to
+// hang a counter on.
+var (
+	rejectMu  sync.Mutex
+	rejectCtr = map[string]int64{}
+)
+
+func noteReject(reason string) {
+	rejectMu.Lock()
+	rejectCtr["index.load.rejects."+reason]++
+	rejectMu.Unlock()
+}
+
+// LoadRejects snapshots the process-wide index.load.rejects.<reason>
+// counters ("corrupt", "stale", "invariant", "wal"). Empty until a Load
+// has rejected something.
+func LoadRejects() map[string]int64 {
+	rejectMu.Lock()
+	defer rejectMu.Unlock()
+	out := make(map[string]int64, len(rejectCtr))
+	for k, v := range rejectCtr {
+		out[k] = v
+	}
+	return out
+}
 
 // persistMeta is the JSON "meta" record: the scalars the record frames
 // cannot carry.
@@ -52,7 +114,9 @@ type persistMeta struct {
 // fingerprint keys the checkpoint by serving configuration. The bitmap
 // config is environment-resolved first, so flipping FSJOIN_BITMAP between
 // runs reads as Stale (rebuild) rather than silently serving with a
-// mismatched filter.
+// mismatched filter. Durability knobs (sync policy, compaction thresholds)
+// are deliberately excluded: they shape when bytes hit disk, not what an
+// index answers.
 func fingerprint(fn similarity.Func, theta float64, bm filters.BitmapConfig) string {
 	f := checkpoint.NewFingerprint()
 	f.Str(fmt.Sprintf("probeindex/v%d", persistVersion))
@@ -63,9 +127,80 @@ func fingerprint(fn similarity.Func, theta float64, bm filters.BitmapConfig) str
 	return f.Hex()
 }
 
-// Save atomically persists the index into dir (temp write → fsync →
-// rename, SHA-256 trailer). Cumulative counters travel in the manifest so
-// a restart keeps its history.
+// snapshotPath names generation gen's snapshot file; it must agree with
+// the checkpoint store's naming for stage=gen, job=persistJob.
+func snapshotPath(dir string, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("stage-%03d-%s.ckpt", gen, persistJob))
+}
+
+func genOfSnapshot(name string) (int, bool) {
+	const pre = "stage-"
+	const suf = "-" + persistJob + ".ckpt"
+	if !strings.HasPrefix(name, pre) || !strings.HasSuffix(name, suf) {
+		return 0, false
+	}
+	g, err := strconv.Atoi(name[len(pre) : len(name)-len(suf)])
+	if err != nil || g < 0 {
+		return 0, false
+	}
+	return g, true
+}
+
+func genOfWAL(name string) (int, bool) {
+	const pre = "wal.g"
+	if !strings.HasPrefix(name, pre) {
+		return 0, false
+	}
+	g, err := strconv.Atoi(name[len(pre):])
+	if err != nil || g < 0 {
+		return 0, false
+	}
+	return g, true
+}
+
+// maxGeneration scans dir for the highest generation present as either a
+// snapshot or a WAL (a crash can leave one without the other); 0 when the
+// directory holds neither.
+func maxGeneration(dir string) int {
+	max := 0
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range ents {
+		if g, ok := genOfSnapshot(e.Name()); ok && g > max {
+			max = g
+		}
+		if g, ok := genOfWAL(e.Name()); ok && g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// retireGenerations removes every snapshot and WAL older than keep. Best
+// effort: a straggler only wastes disk, it can never be loaded over a
+// newer valid generation.
+func retireGenerations(dir string, keep int) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if g, ok := genOfSnapshot(e.Name()); ok && g < keep {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+		if g, ok := genOfWAL(e.Name()); ok && g < keep {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// Save atomically persists the index into dir as a fresh generation (temp
+// write → fsync → rename, SHA-256 trailer) and retires older generations.
+// Cumulative counters travel in the manifest so a restart keeps its
+// history. Save serves the in-memory index; a durable one checkpoints
+// through Compact/Checkpoint, which also rotate the WAL.
 func (ix *Index) Save(dir string) error {
 	st, err := checkpoint.Open(dir)
 	if err != nil {
@@ -73,7 +208,20 @@ func (ix *Index) Save(dir string) error {
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if ix.wal != nil {
+		return errors.New("probeindex: Save on a durable index (use Checkpoint or Compact)")
+	}
+	gen := maxGeneration(dir) + 1
+	if err := ix.writeSnapshotLocked(st, gen); err != nil {
+		return err
+	}
+	retireGenerations(dir, gen)
+	return nil
+}
 
+// writeSnapshotLocked writes the current state as generation gen's
+// snapshot. Callers hold at least the read lock.
+func (ix *Index) writeSnapshotLocked(st *checkpoint.Store, gen int) error {
 	var deleted []int32
 	for s, d := range ix.dead {
 		if d {
@@ -112,25 +260,43 @@ func (ix *Index) Save(dir string) error {
 	}
 	m := checkpoint.Manifest{
 		Pipeline:    persistPipeline,
-		Stage:       persistStage,
+		Stage:       gen,
 		Job:         persistJob,
 		Fingerprint: fingerprint(ix.fn, ix.theta, ix.bitmap),
 		Counters: map[string]int64{
-			CtrProbes:          ix.probes.Load(),
-			CtrCandidates:      ix.candidates.Load(),
-			CtrHits:            ix.hits.Load(),
-			"index.compactions": ix.compactions.Load(),
+			CtrProbes:                ix.probes.Load(),
+			CtrCandidates:            ix.candidates.Load(),
+			CtrHits:                  ix.hits.Load(),
+			CtrCompactions:           ix.compactions.Load(),
+			CtrCompactions + ".auto": ix.autoCompactions.Load(),
+			CtrWALAppends:            ix.walAppends.Load(),
+			CtrWALSyncedBytes:        ix.walSynced.Load(),
 		},
 	}
-	return st.Save(m, recs)
+	if err := st.Save(m, recs); err != nil {
+		return err
+	}
+	if fi, err := os.Stat(snapshotPath(st.Dir(), gen)); err == nil {
+		ix.snapshotBytes.Store(fi.Size())
+	}
+	return nil
 }
 
 func logKey(i int) string { return fmt.Sprintf("log.%08d", i) }
 
 // Load reconstructs an index saved into dir under the same serving
-// configuration. Any miss — no file, stale fingerprint, bad checksum, or a
-// body that decodes but fails structural validation — returns an error
-// wrapping ErrNoIndex, directing the caller to rebuild.
+// configuration: generations are tried newest first, the first loadable
+// snapshot is restored, and its write-ahead log is replayed on top
+// (truncating the log at the first torn or invalid frame), so recovery
+// after a crash yields exactly the acknowledged mutation prefix. A
+// generation that fails — corrupt trailer, stale fingerprint, invariant
+// failure, rejected WAL — is counted, discarded and the next older one
+// tried. When nothing loads, the error wraps ErrNoIndex and every
+// generation's reason sentinel, directing the caller to rebuild.
+//
+// The returned index is in-memory (no WAL attached); call Persist to make
+// it durable again — which rolls a fresh generation forward, bounding WAL
+// growth across restarts.
 func Load(dir string, opt Options) (*Index, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -139,15 +305,77 @@ func Load(dir string, opt Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := newIndex(opt)
-	snap, status := st.Load(persistStage, persistJob, fingerprint(ix.fn, ix.theta, ix.bitmap))
-	if status != checkpoint.Hit {
-		return nil, fmt.Errorf("%w: checkpoint %s in %s", ErrNoIndex, status, dir)
+	probe := newIndex(opt)
+	fp := fingerprint(probe.fn, probe.theta, probe.bitmap)
+
+	var reasons []error
+	for gen := maxGeneration(dir); gen >= 1; gen-- {
+		if _, err := os.Stat(snapshotPath(dir, gen)); errors.Is(err, os.ErrNotExist) {
+			continue // generation present only as an orphan WAL
+		}
+		ix := newIndex(opt)
+		snap, status := st.Load(gen, persistJob, fp)
+		switch status {
+		case checkpoint.Hit:
+		case checkpoint.Miss:
+			continue
+		case checkpoint.Stale:
+			noteReject("stale")
+			reasons = append(reasons, fmt.Errorf("gen %d: %w", gen, ErrStaleConfig))
+			continue
+		default: // Corrupt
+			noteReject("corrupt")
+			reasons = append(reasons, fmt.Errorf("gen %d: %w", gen, ErrCorruptSnapshot))
+			continue
+		}
+		if err := ix.restore(snap); err != nil {
+			noteReject("invariant")
+			os.Remove(snapshotPath(dir, gen))
+			reasons = append(reasons, fmt.Errorf("gen %d: %w: %v", gen, ErrInvariant, err))
+			continue
+		}
+		res, werr := replayWAL(walPath(dir, gen), gen, fp, ix.applyWALOp)
+		if werr != nil {
+			// The log cannot bind to this snapshot (foreign header) or
+			// cannot be read at all. The snapshot itself is good: recover
+			// it with an empty replayed prefix rather than rejecting the
+			// whole index, and count the rejected log.
+			noteReject("wal")
+			reasons = append(reasons, fmt.Errorf("gen %d: %w: %v", gen, ErrWALRejected, werr))
+			ix.walTruncated.Add(1)
+			os.Remove(walPath(dir, gen))
+		}
+		ix.walReplayed.Store(res.replayed)
+		ix.walTruncated.Add(res.truncated)
+		if fi, err := os.Stat(snapshotPath(dir, gen)); err == nil {
+			ix.snapshotBytes.Store(fi.Size())
+		}
+		ix.gen = gen
+		return ix, nil
 	}
-	if err := ix.restore(snap); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNoIndex, err)
+	if len(reasons) == 0 {
+		return nil, fmt.Errorf("%w: checkpoint miss in %s", ErrNoIndex, dir)
 	}
-	return ix, nil
+	return nil, fmt.Errorf("%w: %w", ErrNoIndex, errors.Join(reasons...))
+}
+
+// applyWALOp replays one decoded WAL frame onto the restoring index. An
+// op that cannot apply — an insert off the rid sequence, a delete of a
+// dead rid — was never acknowledged in this history; the error makes
+// replayWAL truncate there.
+func (ix *Index) applyWALOp(op walOp) error {
+	switch op.op {
+	case walOpInsert:
+		if op.rid != ix.nextRID {
+			return fmt.Errorf("insert rid %d off sequence (want %d)", op.rid, ix.nextRID)
+		}
+		ix.applyInsertLocked(op.rid, op.set)
+		return nil
+	case walOpDelete:
+		return ix.applyDeleteLocked(op.rid)
+	default:
+		return fmt.Errorf("unknown op %d", op.op)
+	}
 }
 
 // restore rebuilds the index from a decoded snapshot, validating every
@@ -302,6 +530,9 @@ func (ix *Index) restore(snap *checkpoint.Snapshot) error {
 	ix.probes.Store(snap.Manifest.Counters[CtrProbes])
 	ix.candidates.Store(snap.Manifest.Counters[CtrCandidates])
 	ix.hits.Store(snap.Manifest.Counters[CtrHits])
-	ix.compactions.Store(snap.Manifest.Counters["index.compactions"])
+	ix.compactions.Store(snap.Manifest.Counters[CtrCompactions])
+	ix.autoCompactions.Store(snap.Manifest.Counters[CtrCompactions+".auto"])
+	ix.walAppends.Store(snap.Manifest.Counters[CtrWALAppends])
+	ix.walSynced.Store(snap.Manifest.Counters[CtrWALSyncedBytes])
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fsjoin/internal/filters"
 	"fsjoin/internal/similarity"
@@ -46,6 +47,22 @@ const (
 	// CtrLogSize gauges the side-log overlay: live log inserts plus base
 	// tombstones not yet folded by Compact.
 	CtrLogSize = "index.log.size"
+	// CtrCompactions counts Compact calls (manual and automatic).
+	CtrCompactions = "index.compactions"
+	// CtrWALAppends counts acknowledged durable mutations appended to the
+	// write-ahead log.
+	CtrWALAppends = "wal.appends"
+	// CtrWALSyncedBytes counts WAL bytes made durable by an fsync.
+	CtrWALSyncedBytes = "wal.synced.bytes"
+	// CtrWALReplayed counts WAL frames replayed by Load on top of the
+	// snapshot.
+	CtrWALReplayed = "wal.replayed"
+	// CtrWALTruncated counts torn or invalid WAL tails dropped by
+	// truncate-to-last-valid recovery.
+	CtrWALTruncated = "wal.truncated.frames"
+	// CtrSnapshotBytes gauges the size of the current snapshot generation
+	// on disk (0 until the index is persisted).
+	CtrSnapshotBytes = "snapshot.bytes"
 )
 
 // Options configures an index. The similarity function, threshold and
@@ -96,8 +113,21 @@ type Stats struct {
 	LogSize int64
 	// Records is the number of live records probes can match.
 	Records int64
-	// Compactions counts Compact calls since build/load.
-	Compactions int64
+	// Compactions counts Compact calls since build/load (manual plus
+	// automatic); AutoCompactions is the policy-triggered subset.
+	Compactions     int64
+	AutoCompactions int64
+	// Durability counters (all zero for a purely in-memory index):
+	// mutations appended to the WAL, WAL bytes fsynced, frames replayed at
+	// load, torn tails truncated at load, and the size of the current
+	// snapshot generation on disk.
+	WALAppends         int64
+	WALSyncedBytes     int64
+	WALReplayed        int64
+	WALTruncatedFrames int64
+	SnapshotBytes      int64
+	// Generation is the current snapshot generation (0 until persisted).
+	Generation int64
 }
 
 // logRec is one side-log overlay entry: a record inserted after the last
@@ -157,7 +187,19 @@ type Index struct {
 	nextRID int32
 	liveN   int
 
+	// Durability state (nil/zero for a purely in-memory index): the
+	// directory and snapshot generation the index is bound to, the open
+	// WAL accepting acknowledged mutations, and the maintenance policy.
+	dir         string
+	gen         int
+	wal         *wal
+	dopt        DurableOptions
+	lastCompact time.Time
+
 	probes, candidates, hits, compactions atomic.Int64
+
+	autoCompactions, walAppends, walSynced   atomic.Int64
+	walReplayed, walTruncated, snapshotBytes atomic.Int64
 
 	scratchPool sync.Pool
 }
@@ -521,11 +563,29 @@ func (ix *Index) probeLocked(ranks []uint32, total int, exclude int32, hasExcl b
 // RID. Tokens unknown to the index extend the global order at the frequent
 // end — a sound extension, because every already-indexed prefix stays a
 // prefix under any order completion that only appends new ranks.
-func (ix *Index) Insert(set []string) int32 {
+//
+// On a durable index the mutation is appended to the write-ahead log
+// (synced per the configured policy) BEFORE it is applied or acknowledged;
+// a WAL failure returns a *WALError and leaves the index unchanged — a
+// mutation is never acknowledged without its durable record.
+func (ix *Index) Insert(set []string) (int32, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	rid := ix.nextRID
-	ix.nextRID++
+	if ix.wal != nil {
+		if err := ix.walAppendLocked(encodeInsertFrame(rid, set)); err != nil {
+			return 0, err
+		}
+		kill("wal.append.post")
+	}
+	ix.applyInsertLocked(rid, set)
+	return rid, nil
+}
+
+// applyInsertLocked commits one insert to the in-memory overlay under a
+// held write lock: rid becomes live, new tokens extend the rank table.
+func (ix *Index) applyInsertLocked(rid int32, set []string) {
+	ix.nextRID = rid + 1
 	ranks := make([]uint32, 0, len(set))
 	for _, tok := range set {
 		r, ok := ix.tokRank[tok]
@@ -553,14 +613,37 @@ func (ix *Index) Insert(set []string) int32 {
 	ix.log = append(ix.log, e)
 	ix.logLive++
 	ix.liveN++
-	return rid
 }
 
 // Delete removes a record: base slots are tombstoned (their postings decay
-// at the next Compact), log entries are tombstoned in place.
+// at the next Compact), log entries are tombstoned in place. Durable
+// deletes follow the same WAL-before-acknowledge contract as Insert.
 func (ix *Index) Delete(rid int32) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if !ix.liveLocked(rid) {
+		return fmt.Errorf("probeindex: record %d not in index", rid)
+	}
+	if ix.wal != nil {
+		if err := ix.walAppendLocked(encodeDeleteFrame(rid)); err != nil {
+			return err
+		}
+		kill("wal.append.post")
+	}
+	return ix.applyDeleteLocked(rid)
+}
+
+// liveLocked reports whether rid is currently probeable.
+func (ix *Index) liveLocked(rid int32) bool {
+	if s, ok := ix.slotOf[rid]; ok && !ix.dead[s] {
+		return true
+	}
+	li, ok := ix.logSlot[rid]
+	return ok && !ix.log[li].dead
+}
+
+// applyDeleteLocked commits one delete under a held write lock.
+func (ix *Index) applyDeleteLocked(rid int32) error {
 	if s, ok := ix.slotOf[rid]; ok && !ix.dead[s] {
 		ix.dead[s] = true
 		ix.baseDead++
@@ -577,15 +660,40 @@ func (ix *Index) Delete(rid int32) error {
 	return fmt.Errorf("probeindex: record %d not in index", rid)
 }
 
+// walAppendLocked appends one frame to the open WAL, folding the sync
+// outcome into the durability counters.
+func (ix *Index) walAppendLocked(frame []byte) error {
+	synced, err := ix.wal.append(frame)
+	if err != nil {
+		return err
+	}
+	ix.walAppends.Add(1)
+	ix.walSynced.Add(synced)
+	return nil
+}
+
 // Compact folds the overlay into the CSR base: live log records join the
 // base, tombstones vanish, the global token order is recomputed from the
 // surviving corpus (frequency ascending, ties by string, dead tokens
 // dropped) and postings and signatures are rebuilt. Probe results are
 // unchanged; only the layout moves.
-func (ix *Index) Compact() {
+//
+// On a durable index compaction also checkpoints: a fresh snapshot
+// generation is written atomically, a new empty WAL is installed and the
+// old generation retired — see checkpointLocked for the crash protocol.
+func (ix *Index) Compact() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.wal != nil {
+		return ix.checkpointLocked(true)
+	}
+	ix.compactLocked()
+	return nil
+}
 
+// compactLocked is the in-memory fold, shared by Compact and the durable
+// checkpoint path.
+func (ix *Index) compactLocked() {
 	// Collect live records in old ranks.
 	type oldRec struct {
 		rid  int32
@@ -645,6 +753,7 @@ func (ix *Index) Compact() {
 	}
 	ix.assemble(recs)
 	ix.compactions.Add(1)
+	ix.lastCompact = time.Now()
 }
 
 // Len returns the number of live records.
@@ -664,14 +773,22 @@ func (ix *Index) Stats() Stats {
 	ix.mu.RLock()
 	logSize := int64(ix.logLive + ix.baseDead)
 	records := int64(ix.liveN)
+	gen := int64(ix.gen)
 	ix.mu.RUnlock()
 	return Stats{
-		Probes:      ix.probes.Load(),
-		Candidates:  ix.candidates.Load(),
-		Hits:        ix.hits.Load(),
-		LogSize:     logSize,
-		Records:     records,
-		Compactions: ix.compactions.Load(),
+		Probes:             ix.probes.Load(),
+		Candidates:         ix.candidates.Load(),
+		Hits:               ix.hits.Load(),
+		LogSize:            logSize,
+		Records:            records,
+		Compactions:        ix.compactions.Load(),
+		AutoCompactions:    ix.autoCompactions.Load(),
+		WALAppends:         ix.walAppends.Load(),
+		WALSyncedBytes:     ix.walSynced.Load(),
+		WALReplayed:        ix.walReplayed.Load(),
+		WALTruncatedFrames: ix.walTruncated.Load(),
+		SnapshotBytes:      ix.snapshotBytes.Load(),
+		Generation:         gen,
 	}
 }
 

@@ -1,6 +1,7 @@
 package probeindex
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -161,7 +162,10 @@ func TestInsertDeleteCompactMatchesOracle(t *testing.T) {
 						set = append(set, fmt.Sprintf("new-%d-%d", round, rng.Intn(20)))
 					}
 				}
-				rid := ix.Insert(set)
+				rid, err := ix.Insert(set)
+				if err != nil {
+					t.Fatal(err)
+				}
 				if _, clash := live[rid]; clash {
 					t.Fatalf("Insert reused rid %d", rid)
 				}
@@ -194,7 +198,9 @@ func TestInsertDeleteCompactMatchesOracle(t *testing.T) {
 			check(fmt.Sprintf("bitmap=%v round %d pre-compact", mode, round))
 			if round%2 == 1 {
 				before := ix.Stats()
-				ix.Compact()
+				if err := ix.Compact(); err != nil {
+					t.Fatal(err)
+				}
 				after := ix.Stats()
 				if after.LogSize != 0 {
 					t.Fatalf("LogSize %d after Compact", after.LogSize)
@@ -233,7 +239,9 @@ func TestStatsCounters(t *testing.T) {
 	if st.Records != int64(len(c.Records)) {
 		t.Fatalf("Records=%d want %d", st.Records, len(c.Records))
 	}
-	ix.Insert([]string{"a", "b"})
+	if _, err := ix.Insert([]string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
 	if err := ix.Delete(c.Records[0].RID); err != nil {
 		t.Fatal(err)
 	}
@@ -271,14 +279,19 @@ func TestEmptyIndexAndEmptyProbe(t *testing.T) {
 	if got := ix.Probe([]string{"a", "b"}); got != nil {
 		t.Fatalf("probe of empty index returned %v", got)
 	}
-	rid := ix.Insert([]string{"a", "b"})
+	rid, err := ix.Insert([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := ix.Probe([]string{"a", "b"}); len(got) != 1 || got[0].RID != rid {
 		t.Fatalf("probe after insert: %v", got)
 	}
 	if got := ix.Probe(nil); got != nil {
 		t.Fatalf("empty probe returned %v", got)
 	}
-	ix.Compact()
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
 	if got := ix.Probe([]string{"b", "a", "a"}); len(got) != 1 || got[0].RID != rid {
 		t.Fatalf("probe after compact: %v", got)
 	}
@@ -292,8 +305,12 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix.Insert([]string{"alpha", "beta", "gamma"})
-	ix.Insert(names(c.Records[3].Tokens))
+	if _, err := ix.Insert([]string{"alpha", "beta", "gamma"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Insert(names(c.Records[3].Tokens)); err != nil {
+		t.Fatal(err)
+	}
 	if err := ix.Delete(c.Records[5].RID); err != nil {
 		t.Fatal(err)
 	}
@@ -322,8 +339,15 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatalf("stats drift: saved %+v loaded %+v", ist, lst)
 	}
 	// RID allocation continues past everything persisted.
-	rid := ld.Insert([]string{"delta"})
-	if other := ix.Insert([]string{"delta"}); rid != other {
+	rid, err := ld.Insert([]string{"delta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := ix.Insert([]string{"delta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rid != other {
 		t.Fatalf("loaded index allocated rid %d, original %d", rid, other)
 	}
 }
@@ -339,11 +363,14 @@ func TestLoadStaleAndCorrupt(t *testing.T) {
 	if err := ix.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	// Different serving configuration: stale, never served.
+	// Different serving configuration: stale, never served — and the
+	// rejection names its reason.
 	stale := opt
 	stale.Theta = 0.6
 	if _, err := Load(dir, stale); err == nil {
 		t.Fatal("stale load succeeded")
+	} else if !errors.Is(err, ErrNoIndex) || !errors.Is(err, ErrStaleConfig) {
+		t.Fatalf("stale load error %v does not wrap ErrNoIndex+ErrStaleConfig", err)
 	}
 	// The stale load removed the file; a matching load now misses too.
 	if _, err := Load(dir, opt); err == nil {
@@ -368,6 +395,11 @@ func TestLoadStaleAndCorrupt(t *testing.T) {
 	}
 	if _, err := Load(dir, opt); err == nil {
 		t.Fatal("corrupt load succeeded")
+	} else if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("corrupt load error %v does not wrap ErrCorruptSnapshot", err)
+	}
+	if rej := LoadRejects(); rej["index.load.rejects.stale"] == 0 || rej["index.load.rejects.corrupt"] == 0 {
+		t.Fatalf("load-reject counters missing: %v", rej)
 	}
 	// Rebuild-never-trust: after the failed load a fresh Save works again.
 	if err := ix.Save(dir); err != nil {
@@ -400,14 +432,20 @@ func TestConcurrentProbesAndMutations(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 50; i++ {
-			rid := ix.Insert([]string{fmt.Sprintf("w%d", i), fmt.Sprintf("w%d", i+1)})
+			rid, err := ix.Insert([]string{fmt.Sprintf("w%d", i), fmt.Sprintf("w%d", i+1)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
 			if i%3 == 0 {
 				if err := ix.Delete(rid); err != nil {
 					t.Error(err)
 				}
 			}
 			if i%20 == 19 {
-				ix.Compact()
+				if err := ix.Compact(); err != nil {
+					t.Error(err)
+				}
 			}
 		}
 	}()

@@ -85,6 +85,10 @@ type ServerOptions struct {
 	// for jobs that set a Key: each keyed job checkpoints under its own
 	// subdirectory, so concurrent jobs never collide on stage files.
 	CheckpointRoot string
+	// MaintenanceInterval paces the background maintenance goroutines
+	// started by MaintainIndex (WAL group-commit flush + auto-compaction
+	// checks); 0 means 1s.
+	MaintenanceInterval time.Duration
 }
 
 // Job is one join submitted to a Server.
@@ -133,6 +137,11 @@ type ServerStats struct {
 	Completed int64
 	Failed    int64
 	Panicked  int64
+	// MaintenanceFailed and MaintenancePanicked count failing background
+	// index-maintenance passes (see MaintainIndex); the panicked subset was
+	// recovered into a *JobError.
+	MaintenanceFailed   int64
+	MaintenancePanicked int64
 	// Running and Queued are current occupancy; PeakQueued the queue's
 	// high-water mark; MemoryInUse the leased share of the pool.
 	Running     int
@@ -164,6 +173,19 @@ type Server struct {
 	running   sync.WaitGroup
 	spillRoot string
 	ownSpill  bool
+
+	// drain closes when Shutdown begins, stopping maintenance goroutines
+	// before the job drain is waited on.
+	drain     chan struct{}
+	drainOnce sync.Once
+
+	maintFailed   int64
+	maintPanicked int64
+	lastMaintErr  error
+
+	// testHookMaintain, when set by in-package tests, observes the outcome
+	// of every maintenance pass.
+	testHookMaintain func(err error)
 }
 
 // NewServer validates the options and returns a running server.
@@ -186,6 +208,7 @@ func NewServer(opt ServerOptions) (*Server, error) {
 		opt:     opt,
 		gate:    sched.New(opt.MemoryBudget, slots, queue),
 		cancels: make(map[int64]context.CancelFunc),
+		drain:   make(chan struct{}),
 	}
 	s.opt.MaxConcurrent = slots
 	if opt.SpillRoot != "" {
@@ -446,6 +469,70 @@ func (s *Server) ProbeBatch(ctx context.Context, ix *Index, sets [][]string) (_ 
 	return out, nil
 }
 
+// MaintainIndex runs ix's maintenance — pending WAL group commits are
+// flushed and the auto-compaction policy evaluated — in a supervised
+// background goroutine every ServerOptions.MaintenanceInterval (default
+// 1s) until the server shuts down. A panicking pass is recovered into a
+// *JobError (visible through ServerStats.MaintenancePanicked) and the loop
+// keeps running: one broken compaction cannot take maintenance down with
+// it. Compaction takes the index write lock, so it coexists with
+// concurrent probes and mutations under the index's existing RWMutex
+// regime. Safe to call for several indexes; each gets its own goroutine.
+func (s *Server) MaintainIndex(ix *Index) error {
+	if ix == nil {
+		return errors.New("fsjoin: maintain nil index")
+	}
+	interval := s.opt.MaintenanceInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.running.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.running.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.drain:
+				return
+			case <-ticker.C:
+			}
+			err := s.maintainOnce(ix)
+			s.mu.Lock()
+			if err != nil {
+				s.maintFailed++
+				if _, ok := err.(*JobError); ok {
+					s.maintPanicked++
+				}
+				s.lastMaintErr = err
+			}
+			hook := s.testHookMaintain
+			s.mu.Unlock()
+			if hook != nil {
+				hook(err)
+			}
+		}
+	}()
+	return nil
+}
+
+// maintainOnce runs one panic-isolated maintenance pass.
+func (s *Server) maintainOnce(ix *Index) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &JobError{Job: "index-maintenance", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return ix.Maintain()
+}
+
 // Shutdown drains the server: new and queued jobs are rejected with
 // ErrServerClosed, running jobs continue until they finish, hit their
 // deadlines, or — once ctx is done — are cancelled. After every job has
@@ -455,6 +542,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	s.drainOnce.Do(func() { close(s.drain) })
 	s.gate.Close()
 
 	done := make(chan struct{})
@@ -518,6 +606,7 @@ func (s *Server) Stats() ServerStats {
 		Admitted: g.Admitted, Shed: g.Shed, TimedOut: g.TimedOut,
 		Cancelled: g.Cancelled,
 		Completed: s.completed, Failed: s.failed, Panicked: s.panicked,
+		MaintenanceFailed: s.maintFailed, MaintenancePanicked: s.maintPanicked,
 		Running: g.Running, Queued: g.Queued, PeakQueued: g.PeakQueued,
 		MemoryInUse: g.MemoryInUse,
 	}
