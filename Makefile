@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem test-recovery test-serve test-filters test-rs test-index test-durability all
+.PHONY: build test vet race bench bench-report chaos fuzz cover test-lowmem test-recovery test-serve test-filters test-rs test-index test-durability test-cluster all
 
 all: build vet test
 
@@ -28,12 +28,12 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelSpeedup|BenchmarkFig7' .
 	$(GO) test -run '^$$' -bench 'BenchmarkMemoryBudget' ./internal/mapreduce/
 
-# bench-report regenerates BENCH_PR9.json (engine, kernels with the bitmap
-# filter on and off, end-to-end and memory-budget suites plus derived
-# ratios, filter-effectiveness, robustness, serving, r-s join, probe-index
-# serving and durability probes).
+# bench-report regenerates BENCH_PR10.json (engine, kernels with the
+# bitmap filter on and off, end-to-end and memory-budget suites plus
+# derived ratios, filter-effectiveness, robustness, serving, r-s join,
+# probe-index serving, durability and multi-process worker probes).
 bench-report:
-	$(GO) run ./cmd/benchreport -o BENCH_PR9.json
+	$(GO) run ./cmd/benchreport -o BENCH_PR10.json
 
 # chaos runs the seeded fault-injection equivalence suites under the race
 # detector (DESIGN.md §7). Any failure is re-runnable from its seed.
@@ -128,6 +128,18 @@ test-durability:
 	$(GO) test -race -run 'TestCrashKill|TestWAL|TestConcurrentDurable|TestPersistValidation' ./internal/probeindex/
 	$(GO) test -race -run 'TestDurableIndexRoundTrip|TestServerMaintain' .
 	$(GO) test -fuzz 'FuzzWAL' -fuzztime 10s ./internal/probeindex/
+
+# test-cluster runs the multi-process execution suites (DESIGN.md §15)
+# under the race detector: filesystem-transport equivalence, the seeded
+# transport-fault chaos schedules at parallelism 1 and 4, real 2-worker
+# clustered runs, and the worker-kill recovery harness (SIGKILL one of
+# two workers at every map/handoff/reduce boundary, byte-identical output
+# and reassignment counters enforced), plus the engine-level supervisor,
+# FS-transport and delivery-fault suites. CI runs this as its cluster
+# job.
+test-cluster:
+	$(GO) test -race -run 'TestFileShuffleEquivalence|TestChaosTransportEquivalence|TestMultiprocessEquivalence|TestWorkerKillRecovery|TestClusterRejections' .
+	$(GO) test -race -run 'TestFSTransport|TestDistributed|TestSupervisor|TestSeededPlanTransportKinds|TestInjectedDeliveryFaults|TestParseKillSpec' ./internal/mapreduce/
 
 # cover enforces the CI total-coverage gate over the library packages
 # (the main packages under cmd/ and examples/ are thin wrappers with no

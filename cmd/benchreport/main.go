@@ -15,13 +15,20 @@
 // agreement enforced), probe_serving (the persistent probe index's
 // build/save/load costs and p50/p95 single-query latency raced against
 // per-query pipeline joins, byte-identical agreement and a 100× speedup
-// floor enforced) and durability (acknowledged-insert latency under each
+// floor enforced), durability (acknowledged-insert latency under each
 // WAL fsync policy, and recovery time as the replayed log grows, with the
-// recovered record count enforced).
+// recovered record count enforced) and multiprocess (the same join across
+// supervised worker processes over the filesystem shuffle transport —
+// multi-worker wall time vs in-process, and the recovery overhead of a
+// worker SIGKILLed mid-run, pairs enforced identical throughout).
+//
+// Every section carries a header with the host's CPU count, GOMAXPROCS
+// and the shuffle transport mode it exercised, so reports from different
+// machines and transports compare honestly.
 //
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_PR9.json] [-benchtime 5x]
+//	go run ./cmd/benchreport [-o BENCH_PR10.json] [-benchtime 5x]
 package main
 
 import (
@@ -58,6 +65,27 @@ type result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// section is one in-process probe suite plus the execution-context header
+// every section records: the host's CPU count, GOMAXPROCS, and which
+// shuffle transport the suite exercised ("memory", "fs" or
+// "multiprocess").
+type section struct {
+	CPUs       int                `json:"cpus"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Transport  string             `json:"transport"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// sec wraps a probe suite's metrics with the section header.
+func sec(transport string, m map[string]float64) *section {
+	return &section{
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Transport:  transport,
+		Metrics:    m,
+	}
+}
+
 // report is the emitted JSON document.
 type report struct {
 	Generated           string             `json:"generated"`
@@ -67,12 +95,13 @@ type report struct {
 	Note                string             `json:"note,omitempty"`
 	Benchmarks          []result           `json:"benchmarks"`
 	Derived             map[string]float64 `json:"derived"`
-	FilterEffectiveness map[string]float64 `json:"filter_effectiveness,omitempty"`
-	Robustness          map[string]float64 `json:"robustness,omitempty"`
-	Serving             map[string]float64 `json:"serving,omitempty"`
-	RSJoin              map[string]float64 `json:"rs_join,omitempty"`
-	ProbeServing        map[string]float64 `json:"probe_serving,omitempty"`
-	Durability          map[string]float64 `json:"durability,omitempty"`
+	FilterEffectiveness *section           `json:"filter_effectiveness,omitempty"`
+	Robustness          *section           `json:"robustness,omitempty"`
+	Serving             *section           `json:"serving,omitempty"`
+	RSJoin              *section           `json:"rs_join,omitempty"`
+	ProbeServing        *section           `json:"probe_serving,omitempty"`
+	Durability          *section           `json:"durability,omitempty"`
+	Multiprocess        *section           `json:"multiprocess,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(
@@ -676,8 +705,97 @@ func durability() (map[string]float64, error) {
 	return out, nil
 }
 
+// multiprocess measures the multi-process execution path: the same join
+// in-process (sequential — a one-worker stand-in), across 2 and 4
+// supervised worker processes over the filesystem shuffle transport, and
+// across 2 workers with one SIGKILLed at its first map boundary. Pairs
+// are enforced identical across every configuration; the section reports
+// wall times, the multi-worker speedup, the recovery overhead relative
+// to the unharmed 2-worker run, and the supervision counters that prove
+// the killed run actually recovered.
+func multiprocess() (map[string]float64, error) {
+	texts := make([]string, 500)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("alpha beta gamma delta eps%d zeta%d eta%d", i%5, i%9, i%13)
+	}
+	opt := fsjoin.Options{Threshold: 0.6, Nodes: 8, LocalParallelism: 1}
+	run := func(workers int, kill string) (*fsjoin.Result, time.Duration, error) {
+		o := opt
+		o.Workers = workers
+		if kill != "" {
+			os.Setenv("FSJOIN_KILL_WORKER", kill)
+			defer os.Unsetenv("FSJOIN_KILL_WORKER")
+		}
+		t0 := time.Now()
+		res, err := fsjoin.SelfJoinStrings(texts, o)
+		return res, time.Since(t0), err
+	}
+	same := func(name string, got, want *fsjoin.Result) error {
+		if len(got.Pairs) != len(want.Pairs) {
+			return fmt.Errorf("%s: %d pairs, in-process %d — output diverged", name, len(got.Pairs), len(want.Pairs))
+		}
+		for i := range want.Pairs {
+			if got.Pairs[i] != want.Pairs[i] {
+				return fmt.Errorf("%s: pair %d differs from the in-process run", name, i)
+			}
+		}
+		return nil
+	}
+
+	base, baseWall, err := run(0, "")
+	if err != nil {
+		return nil, fmt.Errorf("in-process baseline: %v", err)
+	}
+	if len(base.Pairs) == 0 {
+		return nil, fmt.Errorf("multiprocess corpus produced no pairs — equality checks would be vacuous")
+	}
+	w2, w2Wall, err := run(2, "")
+	if err != nil {
+		return nil, fmt.Errorf("2-worker run: %v", err)
+	}
+	if err := same("2-worker run", w2, base); err != nil {
+		return nil, err
+	}
+	w4, w4Wall, err := run(4, "")
+	if err != nil {
+		return nil, fmt.Errorf("4-worker run: %v", err)
+	}
+	if err := same("4-worker run", w4, base); err != nil {
+		return nil, err
+	}
+	rec, recWall, err := run(2, "0:map:1")
+	if err != nil {
+		return nil, fmt.Errorf("2-worker run with SIGKILL: %v", err)
+	}
+	if err := same("2-worker run with SIGKILL", rec, base); err != nil {
+		return nil, err
+	}
+	if rec.Stats.WorkerDeaths < 1 || rec.Stats.TasksReassigned == 0 {
+		return nil, fmt.Errorf("killed run recorded deaths=%d reassigned=%d — recovery never engaged",
+			rec.Stats.WorkerDeaths, rec.Stats.TasksReassigned)
+	}
+	return map[string]float64{
+		"records":                float64(len(texts)),
+		"pairs":                  float64(len(base.Pairs)),
+		"inprocess_wall_ms":      float64(baseWall.Nanoseconds()) / 1e6,
+		"workers2_wall_ms":       float64(w2Wall.Nanoseconds()) / 1e6,
+		"workers4_wall_ms":       float64(w4Wall.Nanoseconds()) / 1e6,
+		"workers2_speedup_x":     baseWall.Seconds() / w2Wall.Seconds(),
+		"workers4_speedup_x":     baseWall.Seconds() / w4Wall.Seconds(),
+		"recovery_wall_ms":       float64(recWall.Nanoseconds()) / 1e6,
+		"recovery_overhead_x":    recWall.Seconds() / w2Wall.Seconds(),
+		"heartbeats":             float64(w2.Stats.TransportHeartbeats),
+		"worker_deaths":          float64(rec.Stats.WorkerDeaths),
+		"tasks_reassigned":       float64(rec.Stats.TasksReassigned),
+		"partitions_redelivered": float64(rec.Stats.PartitionsRedelivered),
+	}, nil
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR9.json", "output file")
+	// Hand over immediately when this process was re-executed as a
+	// clustered join worker by the multiprocess section.
+	fsjoin.MaybeWorker()
+	out := flag.String("o", "BENCH_PR10.json", "output file")
 	benchtime := flag.String("benchtime", "5x", "per-benchmark -benchtime")
 	flag.Parse()
 
@@ -771,6 +889,13 @@ func main() {
 		os.Exit(1)
 	}
 
+	fmt.Fprintln(os.Stderr, "benchreport: running multi-process worker probes")
+	mpStats, err := multiprocess()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
 	rep := report{
 		Generated:           time.Now().UTC().Format(time.RFC3339),
 		GoVersion:           runtime.Version(),
@@ -778,12 +903,13 @@ func main() {
 		GoMaxProcs:          runtime.GOMAXPROCS(0),
 		Benchmarks:          all,
 		Derived:             derived,
-		FilterEffectiveness: filt,
-		Robustness:          rob,
-		Serving:             srvStats,
-		RSJoin:              rsStats,
-		ProbeServing:        probeStats,
-		Durability:          durStats,
+		FilterEffectiveness: sec("memory", filt),
+		Robustness:          sec("memory", rob),
+		Serving:             sec("memory", srvStats),
+		RSJoin:              sec("memory", rsStats),
+		ProbeServing:        sec("memory", probeStats),
+		Durability:          sec("memory", durStats),
+		Multiprocess:        sec("multiprocess", mpStats),
 	}
 	if rep.CPUs == 1 {
 		rep.Note = "single-CPU machine: parallel and sequential runs share one core, " +

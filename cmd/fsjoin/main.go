@@ -7,7 +7,14 @@
 //	fsjoin -theta 0.8 [-algo fs|fs-v|ridpairs|vsmart|massjoin|massjoin-light]
 //	       [-fn jaccard|dice|cosine] [-q N] [-nodes N] [-stats]
 //	       [-bitmap auto|on|off] [-bitmap-width 0|64|128|256]
+//	       [-workers N [-work-dir DIR]] [-file-shuffle]
 //	       [-checkpoint DIR [-resume]] [-skip-bad-records] [-rs] R.txt [S.txt]
+//
+// -workers N ≥ 2 executes the join across N supervised worker processes
+// (the binary re-executes itself) over the filesystem shuffle transport;
+// -file-shuffle routes the shuffle through the same transport within a
+// single process. Both are byte-identical to the default in-process run
+// (DESIGN.md §15).
 //
 // With one input file a self-join is performed; with two, an R-S join:
 // every output pair matches a line of R.txt (first column) with a line of
@@ -55,6 +62,9 @@ import (
 )
 
 func main() {
+	// Hand over immediately when this process was spawned as a clustered
+	// join worker; everything below is the driver path.
+	fsjoin.MaybeWorker()
 	var (
 		theta  = flag.Float64("theta", 0.8, "similarity threshold in (0,1]")
 		algo   = flag.String("algo", "fs", "algorithm: fs, fs-v, ridpairs, vsmart, massjoin, massjoin-light, approx")
@@ -72,6 +82,10 @@ func main() {
 		bitmap = flag.String("bitmap", "auto", "bitmap signature filter: auto, on, off")
 		bmW    = flag.Int("bitmap-width", 0, "bitmap signature width in bits: 0 (auto), 64, 128, 256")
 		rs     = flag.Bool("rs", false, "require an R-S join: exactly two input files (implied when two files are given)")
+
+		workers = flag.Int("workers", 0, "execute the join across this many supervised worker processes (0 or 1 = in-process)")
+		workDir = flag.String("work-dir", "", "shared work directory for -workers (\"\" = a temporary one)")
+		fileSh  = flag.Bool("file-shuffle", false, "route the map→reduce hand-off through the filesystem shuffle transport")
 
 		probe    = flag.String("probe", "", "probe mode: answer each record of this file against a persistent index of the corpus")
 		indexDir = flag.String("index-dir", "", "probe mode: load the index from this directory if present, else build and save it there")
@@ -108,7 +122,11 @@ func main() {
 	if (*walSync != "" || *autoComp != 0) && *indexDir == "" {
 		fatal("-wal-sync and -auto-compact require -probe with -index-dir")
 	}
-	opt := fsjoin.Options{Threshold: *theta, Nodes: *nodes, WorkBudget: *budget, LocalParallelism: *par, CheckpointDir: *ckpt}
+	opt := fsjoin.Options{Threshold: *theta, Nodes: *nodes, WorkBudget: *budget, LocalParallelism: *par, CheckpointDir: *ckpt,
+		Workers: *workers, WorkDir: *workDir, FileShuffle: *fileSh}
+	if *workers > 1 && (*serve || *probe != "") {
+		fatal("-workers is incompatible with -serve and -probe")
+	}
 	if *ckpt != "" && !*resume {
 		// A fresh (non-resume) run must not reuse checkpoints left over
 		// from an earlier invocation with different inputs.
@@ -231,6 +249,11 @@ func main() {
 		if *ckpt != "" || *skip {
 			fmt.Fprintf(os.Stderr, "checkpoint hits=%d misses=%d skipped-records=%d\n",
 				res.Stats.CheckpointHits, res.Stats.CheckpointMisses, res.Stats.RecordsSkipped)
+		}
+		if *workers > 1 {
+			fmt.Fprintf(os.Stderr, "transport workers=%d heartbeats=%d worker-deaths=%d tasks-reassigned=%d partitions-redelivered=%d\n",
+				res.Stats.Workers, res.Stats.TransportHeartbeats, res.Stats.WorkerDeaths,
+				res.Stats.TasksReassigned, res.Stats.PartitionsRedelivered)
 		}
 	}
 }

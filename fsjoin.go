@@ -24,6 +24,7 @@ package fsjoin
 import (
 	"context"
 	"fmt"
+	"os"
 	"strconv"
 	"time"
 
@@ -274,6 +275,32 @@ type Options struct {
 	// Stats.CheckpointHits/CheckpointMisses report the replay activity.
 	// Directories must not be reused across library versions.
 	CheckpointDir string
+	// Workers, when ≥ 2, runs the join across that many supervised worker
+	// processes (the calling binary re-executed; main or TestMain must
+	// call MaybeWorker first). Map and reduce tasks are sharded across the
+	// workers over the filesystem shuffle transport; a crashed or stalled
+	// worker's tasks are reassigned to survivors and the join completes
+	// with byte-identical results. Stats.Workers and the Stats transport
+	// counters report the run. Incompatible with CheckpointDir,
+	// Fault.OnQuarantine and Fault.SpeculativeDelay; 0 or 1 is the normal
+	// in-process execution.
+	Workers int
+	// WorkDir is the shared directory for a Workers ≥ 2 run (job spec,
+	// control socket, shuffle frames); "" creates and removes a temporary
+	// one. The caller owns a non-empty WorkDir.
+	WorkDir string
+	// FileShuffle routes the map→reduce hand-off through the filesystem
+	// shuffle transport (CRC-validated spill-codec frames in a temporary
+	// directory) even for a single-process run. Results are byte-identical
+	// to the in-memory shuffle; useful for validating the transport and
+	// for bounding shuffle memory beyond MemoryBudget. Implied by
+	// Workers ≥ 2.
+	FileShuffle bool
+
+	// runtime carries the resolved execution substrate (transport +
+	// executor) into the algorithm pipelines. Worker processes and the
+	// clustered driver set it; user code never does.
+	runtime mapreduce.Runtime
 }
 
 // FaultOptions is the public face of the engine's fault model (DESIGN.md
@@ -301,6 +328,14 @@ type FaultOptions struct {
 	// ChaosIntensity is the fraction of (phase, task) pairs the schedule
 	// targets; 0 means 0.3. Meaningful only with ChaosSeed set.
 	ChaosIntensity float64
+	// ChaosTransportFaults mixes the transport fault kinds into the
+	// ChaosSeed schedule: worker-loss reassignments and duplicate partition
+	// deliveries injected at the map→reduce hand-off, exercising the
+	// idempotent-delivery contract (Stats.TasksReassigned and
+	// Stats.PartitionsRedelivered record them). Results remain
+	// byte-identical under any schedule. Meaningful only with ChaosSeed
+	// set.
+	ChaosTransportFaults bool
 	// SkipBadRecords enables Hadoop-style skip mode: when a task exhausts
 	// its attempts on the same deterministic panic, the engine bisects to
 	// the poison input record, quarantines it (Stats.RecordsSkipped, the
@@ -350,10 +385,18 @@ func (o Options) faultPolicy() mapreduce.FaultPolicy {
 		fp.Backoff = mapreduce.ExponentialBackoff(f.RetryBackoffBase, 8*f.RetryBackoffBase)
 	}
 	if f.ChaosSeed != 0 {
-		fp.Injector = mapreduce.NewSeededPlan(mapreduce.PlanConfig{
+		pc := mapreduce.PlanConfig{
 			Seed:       f.ChaosSeed,
 			TargetRate: f.ChaosIntensity,
-		})
+		}
+		if f.ChaosTransportFaults {
+			pc.Kinds = []mapreduce.FaultKind{
+				mapreduce.FaultPanic, mapreduce.FaultEmitPanic,
+				mapreduce.FaultError, mapreduce.FaultDelay,
+				mapreduce.FaultWorkerLoss, mapreduce.FaultRedeliver,
+			}
+		}
+		fp.Injector = mapreduce.NewSeededPlan(pc)
 	}
 	if f.injector != nil {
 		fp.Injector = f.injector
@@ -402,6 +445,21 @@ func (o Options) cluster() *mapreduce.Cluster {
 		cl.Nodes = o.Nodes
 	}
 	return cl
+}
+
+// resolveTransport realises Options.FileShuffle for an in-process run:
+// the shuffle goes through CRC-validated frames in a fresh temporary
+// directory, removed by the returned cleanup.
+func (o *Options) resolveTransport() (func(), error) {
+	if !o.FileShuffle || o.runtime.Transport != nil {
+		return func() {}, nil
+	}
+	dir, err := os.MkdirTemp(o.SpillDir, "fsjoin-shuffle-")
+	if err != nil {
+		return nil, fmt.Errorf("fsjoin: FileShuffle: %w", err)
+	}
+	o.runtime.Transport = mapreduce.NewFSTransport(dir, false)
+	return func() { os.RemoveAll(dir) }, nil
 }
 
 // localParallelism resolves Options.LocalParallelism for the engine: the
@@ -474,6 +532,20 @@ type Stats struct {
 	// len(Result.Pairs) there. Always zero for self-joins.
 	RSCandidates int64
 	RSPairs      int64
+	// Workers is the worker-process count of a clustered run
+	// (Options.Workers ≥ 2); zero for in-process execution.
+	Workers int
+	// TransportHeartbeats, WorkerDeaths, TasksReassigned and
+	// PartitionsRedelivered report a clustered run's supervision activity:
+	// heartbeats received, workers declared dead (crash or heartbeat
+	// timeout), task leases reassigned from dead or stalled workers, and
+	// partition deliveries that duplicated an already-committed generation
+	// (idempotent redelivery). All zero for in-process runs without
+	// injected transport faults.
+	TransportHeartbeats   int64
+	WorkerDeaths          int64
+	TasksReassigned       int64
+	PartitionsRedelivered int64
 	// QueueWait is how long the job waited for admission when run through
 	// a Server (zero for direct Join/SelfJoin calls, or when admitted
 	// immediately).

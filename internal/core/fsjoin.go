@@ -78,6 +78,10 @@ type Options struct {
 	// fingerprint, so one checkpoint directory reused under different
 	// options recomputes instead of replaying mismatched state.
 	CheckpointSalt string
+	// Runtime selects the execution substrate (shuffle transport and, for
+	// multi-process runs, the task executor); the zero value is the
+	// in-process engine. See mapreduce.Runtime.
+	Runtime mapreduce.Runtime
 	// Bitmap configures the hashed signature filter every join kernel
 	// applies before exact intersections (DESIGN.md §11). The zero value is
 	// auto: enabled, width from per-fragment length statistics, overridable
@@ -177,6 +181,7 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	p.SpillDir = opt.SpillDir
 	p.CheckpointDir = opt.CheckpointDir
 	p.CheckpointSalt = opt.CheckpointSalt
+	p.Runtime = opt.Runtime
 
 	// ---- Phase 1: Ordering (one MR job over the union) ----
 	union := r

@@ -137,6 +137,11 @@ type Config struct {
 	// on a fingerprint-matched re-run (crash/restart recovery, DESIGN.md
 	// §9). Plain Run ignores it; inheritance and replay live in Pipeline.
 	CheckpointDir string
+	// Runtime selects the shuffle transport and, for multi-process runs,
+	// the task executor (DESIGN.md §15). The zero value is the in-process
+	// engine with the in-memory transport. A non-nil Executor requires a
+	// shared filesystem Transport and is incompatible with CheckpointDir.
+	Runtime Runtime
 }
 
 // cancelled reports the context's error once it is done.
@@ -377,10 +382,12 @@ func DefaultPartitioner(key string, reducers int) int {
 // Run executes one MapReduce job over the input. A nil reducer makes the
 // job map-only. Map tasks emit straight into per-reduce-task buffers
 // (map-side pre-partitioning), so there is no separate partition pass; each
-// reduce task then fetches, groups and sorts its own partition. Tasks run
-// sequentially or on a bounded worker pool per Config.Parallelism, with
-// per-task output slots so assembly order — and therefore Output, counters
-// and every shuffle metric — is identical at any parallelism level.
+// reduce task then fetches, groups and sorts its own partition — through
+// the configured transport (Config.Runtime), in memory by default. Tasks
+// run sequentially or on a bounded worker pool per Config.Parallelism,
+// with per-task output slots so assembly order — and therefore Output,
+// counters and every shuffle metric — is identical at any parallelism
+// level, any transport, and any worker-process count.
 func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error) {
 	if mapper == nil {
 		return nil, fmt.Errorf("mapreduce: job %q has no mapper", cfg.Name)
@@ -401,7 +408,62 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 	if part == nil {
 		part = DefaultPartitioner
 	}
+	combineFolder, _ := cfg.Combiner.(Folder)
+	foldingReducer, folding := reducer.(FoldingReducer)
+	env := &jobEnv{
+		cfg:            cfg,
+		cl:             cl,
+		mapper:         mapper,
+		reducer:        reducer,
+		part:           part,
+		mapTasks:       mapTasks,
+		reduceTasks:    reduceTasks,
+		combineFolder:  combineFolder,
+		folding:        folding,
+		foldingReducer: foldingReducer,
+		budget:         cfg.memoryBudget(),
+		sdir:           cfg.spillDir(),
+		quarantine:     &quarantineState{},
+	}
+	if cfg.Runtime.Executor != nil {
+		return runDistributed(env, input)
+	}
+	return runLocal(env, input)
+}
 
+// jobEnv bundles one run's resolved execution parameters, shared by every
+// task of the local and distributed paths.
+type jobEnv struct {
+	cfg            Config
+	cl             *Cluster
+	mapper         Mapper
+	reducer        Reducer
+	part           func(string, int) int
+	mapTasks       int
+	reduceTasks    int
+	combineFolder  Folder
+	folding        bool
+	foldingReducer FoldingReducer
+	budget         int64
+	sdir           string
+	quarantine     *quarantineState
+}
+
+// openTransport opens the job's shuffle channel on the configured (or
+// default in-memory) transport.
+func (env *jobEnv) openTransport() (JobTransport, error) {
+	tr := env.cfg.Runtime.Transport
+	if tr == nil {
+		tr = MemoryTransport()
+	}
+	return tr.Open(TransportSpec{Job: env.cfg.Name, MapTasks: env.mapTasks, ReduceTasks: env.reduceTasks})
+}
+
+// runLocal is the in-process engine: every task executes here, and only
+// the map→reduce hand-off goes through the transport.
+func runLocal(env *jobEnv, input []KV) (*Result, error) {
+	cfg, cl, mapTasks, reduceTasks := env.cfg, env.cl, env.mapTasks, env.reduceTasks
+	reducer := env.reducer
 	res := &Result{Counters: NewCounters()}
 	m := &res.Metrics
 	m.Job = cfg.Name
@@ -413,11 +475,9 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 	// ---- Map phase ----
 	splits := splitInput(input, mapTasks)
 	m.MapTaskTime = make([]time.Duration, mapTasks)
-	budget := cfg.memoryBudget()
-	sdir := cfg.spillDir()
 	var (
-		mapOutputs [][]KV         // map-only jobs
-		sinks      []*shuffleSink // jobs with a reduce phase
+		mapOutputs [][]KV       // map-only jobs
+		jt         JobTransport // jobs with a reduce phase
 		taskRecs   []int64
 		taskBytes  []int64
 		taskStats  []spill.Stats
@@ -425,57 +485,20 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 	if reducer == nil {
 		mapOutputs = make([][]KV, mapTasks)
 	} else {
-		sinks = make([]*shuffleSink, mapTasks)
+		var err error
+		if jt, err = env.openTransport(); err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: %w", cfg.Name, err)
+		}
 		taskRecs = make([]int64, mapTasks)
 		taskBytes = make([]int64, mapTasks)
 		taskStats = make([]spill.Stats, mapTasks)
 	}
-	combineFolder, _ := cfg.Combiner.(Folder)
-	quarantine := &quarantineState{}
 	mapErr := runPhase(cfg.Parallelism, mapTasks, func(t int) error {
 		if err := cfg.cancelled(); err != nil {
 			return fmt.Errorf("mapreduce: job %q: %w", cfg.Name, err)
 		}
 		start := time.Now()
-		// The attempt loop is parameterised by its split so skip mode can
-		// re-enter it over a working set with poison records removed.
-		mapAttempts := func(split []KV) (*Context, error) {
-			return runAttempts(cfg, res.Counters, func(a int) (*Context, error) {
-				ctx := &Context{TaskID: t, Job: cfg, counters: res.Counters}
-				if reducer != nil {
-					ctx.shuffle = newShuffleSink(part, reduceTasks, combineFolder, budget, sdir, cfg.cancelCheck())
-				} else {
-					ctx.out = make([]KV, 0, len(split)+16)
-				}
-				f := cfg.decideFault(PhaseMap, t, a)
-				if err := f.injectErr(res.Counters); err != nil {
-					return ctx, err
-				}
-				return ctx, guard(func() {
-					f.injectEnter(res.Counters)
-					runTask(ctx, split, recordFaultWrap(mapper, f, res.Counters))
-					if cfg.Combiner != nil {
-						fc := cfg.decideFault(PhaseCombine, t, a)
-						fc.injectEnter(res.Counters)
-						switch {
-						case reducer == nil:
-							ctx.out = combine(cfg, ctx, cfg.Combiner, res.Counters)
-						case combineFolder == nil:
-							ctx.shuffle = combineSink(cfg, ctx, cfg.Combiner, res.Counters)
-						default:
-							// A Folder combiner already folded at Emit time.
-						}
-						fc.injectExit(res.Counters)
-					}
-					f.injectExit(res.Counters)
-				})
-			})
-		}
-		ctx, err := mapAttempts(splits[t])
-		if err != nil && cfg.Fault.SkipBadRecords && !isCancellation(err) {
-			ctx, err = skipMapRecords(cfg, res.Counters, quarantine, t,
-				splits[t], mapper, mapAttempts, err)
-		}
+		ctx, err := env.runMapAttempts(res.Counters, t, splits[t])
 		if err != nil {
 			return taskErr(cfg.Name, PhaseMap, t, err)
 		}
@@ -485,36 +508,29 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 			mapOutputs[t] = ctx.out
 			return nil
 		}
-		// Spill accounting is winner-only: the surviving attempt's buffer
-		// is the one whose runs the reduce phase merges. Counters are
-		// recorded only under an active budget so unbounded runs keep their
-		// historical counter surface.
-		st := ctx.shuffle.stats()
-		if st.Runs > 0 {
-			ctx.Inc(CounterSpillRuns, st.Runs)
-			ctx.Inc(CounterSpillBytes, st.SpilledBytes)
+		recs, bytes, st, ferr := env.finishMapTask(res.Counters, ctx)
+		if ferr != nil {
+			return taskErr(cfg.Name, PhaseMap, t, ferr)
 		}
-		if st.MergeWays > 1 {
-			// A non-folding combiner already merged spilled runs map-side.
-			res.Counters.Max(CounterSpillMergeWays, st.MergeWays)
-		}
-		ctx.flushCounters()
-		if budget > 0 {
-			res.Counters.Max(CounterShufflePeak, st.PeakBytes)
-		}
-		taskStats[t] = st
-		// Total the task's shuffle outside the timed section; a folding
-		// sink that spilled pays one merge pass here.
-		recs, bytes, terr := ctx.shuffle.totals()
-		if terr != nil {
+		taskStats[t], taskRecs[t], taskBytes[t] = st, recs, bytes
+		// Hand the winning attempt's partitions to the reduce phase. The
+		// in-memory transport keeps the sink live; a filesystem transport
+		// serialises and owns it from here.
+		if _, cerr := jt.CommitMap(t, ctx.shuffle, TaskMeta{
+			Records: recs, Bytes: bytes, TaskNanos: int64(m.MapTaskTime[t]), Spill: st,
+		}); cerr != nil {
 			ctx.shuffle.close()
-			return taskErr(cfg.Name, PhaseMap, t, terr)
+			return taskErr(cfg.Name, PhaseMap, t, cerr)
 		}
-		sinks[t], taskRecs[t], taskBytes[t] = ctx.shuffle, recs, bytes
+		if derr := injectDeliveryFault(cfg, res.Counters, jt, t); derr != nil {
+			return taskErr(cfg.Name, PhaseMap, t, derr)
+		}
 		return nil
 	})
 	if mapErr != nil {
-		closeSinks(sinks)
+		if jt != nil {
+			jt.Close()
+		}
 		return nil, mapErr
 	}
 
@@ -550,7 +566,6 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 	m.MapOutputBytes = m.ShuffleBytes
 
 	// ---- Reduce phase (per-reducer shuffle, group, sort, reduce) ----
-	foldingReducer, folding := reducer.(FoldingReducer)
 	m.PerReduceRecords = make([]int64, reduceTasks)
 	m.PerReduceBytes = make([]int64, reduceTasks)
 	m.ReduceTaskTime = make([]time.Duration, reduceTasks)
@@ -561,127 +576,37 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 		if err := cfg.cancelled(); err != nil {
 			return fmt.Errorf("mapreduce: job %q: %w", cfg.Name, err)
 		}
-		// Fetch this reducer's partition from every map task in map-task
-		// order — the record order a global partition pass would produce
-		// (its key-sorted merge when the task spilled; grouping plus the
-		// key sort below make both orders identical downstream) — then
-		// group and sort. Guarded so a panicking Fold aborts the task, not
-		// the process.
-		var (
-			groups  map[string][]any
-			folded  map[string]any
-			keys    []string
-			maxWays int
-		)
-		gBytes := make(map[string]int64)
-		if gerr := guard(func() {
-			if folding {
-				folded = make(map[string]any)
-			} else {
-				groups = make(map[string][]any)
-			}
-			for mt := 0; mt < mapTasks; mt++ {
-				ways, derr := sinks[mt].drain(t, func(key string, value any, b int64) {
-					if folding {
-						if acc, seen := folded[key]; seen {
-							folded[key] = foldingReducer.Fold(acc, value)
-						} else {
-							keys = append(keys, key)
-							folded[key] = value
-						}
-					} else {
-						vs, seen := groups[key]
-						if !seen {
-							keys = append(keys, key)
-						}
-						groups[key] = append(vs, value)
-					}
-					m.PerReduceRecords[t]++
-					m.PerReduceBytes[t] += b
-					gBytes[key] += b
-				})
-				if derr != nil {
-					panic(&enginePanic{err: fmt.Errorf("shuffle fetch: %w", derr)})
-				}
-				if ways > maxWays {
-					maxWays = ways
-				}
-			}
-			sort.Strings(keys)
-		}); gerr != nil {
+		in, gerr := env.fetchReduceInput(jt, t)
+		if gerr != nil {
 			return taskErr(cfg.Name, PhaseReduce, t, gerr)
 		}
-		if maxWays > 1 {
-			res.Counters.Max(CounterSpillMergeWays, int64(maxWays))
+		m.PerReduceRecords[t] = in.recs
+		m.PerReduceBytes[t] = in.bytes
+		if in.maxWays > 1 {
+			res.Counters.Max(CounterSpillMergeWays, int64(in.maxWays))
 		}
-		groupCounts[t] = int64(len(keys))
+		groupCounts[t] = int64(len(in.keys))
 		start := time.Now()
-		// reduceKeys is the task body shared by real attempts and skip-mode
-		// probes: the reducer run over one key slice, realising a
-		// FaultRecordPanic at its group index. counters is nil for probes,
-		// which inject without counting.
-		reduceKeys := func(ctx *Context, ks []string, f Fault, counters *Counters) {
-			if s, ok := reducer.(Setupper); ok {
-				s.Setup(ctx)
-			}
-			for i, k := range ks {
-				ctx.CheckCancel()
-				if f.Kind == FaultRecordPanic && i == f.Record {
-					if counters != nil {
-						counters.Inc(counterInjectedPrefix+f.Kind.String(), 1)
-					}
-					panic(f.Msg)
-				}
-				if folding {
-					foldingReducer.FinishFold(ctx, k, folded[k])
-				} else {
-					reducer.Reduce(ctx, k, groups[k])
-				}
-			}
-			if c, ok := reducer.(Cleanupper); ok {
-				c.Cleanup(ctx)
-			}
-		}
-		reduceAttempts := func(ks []string) (*Context, error) {
-			return runAttempts(cfg, res.Counters, func(a int) (*Context, error) {
-				ctx := &Context{TaskID: t, Job: cfg, counters: res.Counters}
-				f := cfg.decideFault(PhaseReduce, t, a)
-				if err := f.injectErr(res.Counters); err != nil {
-					return ctx, err
-				}
-				return ctx, guard(func() {
-					f.injectEnter(res.Counters)
-					reduceKeys(ctx, ks, f, res.Counters)
-					f.injectExit(res.Counters)
-				})
-			})
-		}
-		ctx, err := reduceAttempts(keys)
-		if err != nil && cfg.Fault.SkipBadRecords && !isCancellation(err) {
-			probeBody := func(ctx *Context, ks []string, f Fault) {
-				reduceKeys(ctx, ks, f, nil)
-			}
-			ctx, err = skipReduceGroups(cfg, res.Counters, quarantine, t,
-				keys, probeBody, reduceAttempts, err)
-		}
+		ctx, err := env.runReduceAttempts(res.Counters, t, in)
 		if err != nil {
 			return taskErr(cfg.Name, PhaseReduce, t, err)
 		}
 		m.ReduceTaskTime[t] = time.Since(start)
 		ctx.flushCounters()
 		reduceOuts[t] = ctx.out
-		for _, b := range gBytes {
+		for _, b := range in.gBytes {
 			m.GroupSpillTime[t] += cl.groupSpillTime(b)
 		}
 		for mt := 0; mt < mapTasks; mt++ {
-			sinks[mt].release(t)
+			jt.ReleasePartition(mt, t)
 		}
 		return nil
 	})
 	if reduceErr != nil {
-		closeSinks(sinks)
+		jt.Close()
 		return nil, reduceErr
 	}
+	jt.Close()
 	for t := 0; t < reduceTasks; t++ {
 		m.ReduceInputGroups += groupCounts[t]
 		res.Output = append(res.Output, reduceOuts[t]...)
@@ -691,7 +616,202 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 		m.OutputBytes += int64(kvBytes(kv))
 	}
 
-	// ---- Cost model ----
+	applyCostModel(cl, m, mapTasks, reduceTasks)
+	m.WallTime = time.Since(wallStart)
+	return res, nil
+}
+
+// runMapAttempts executes one map task's full attempt loop — retries,
+// speculation and, on deterministic failure, skip mode — and returns the
+// winning context. The attempt loop is parameterised by its split so skip
+// mode can re-enter it over a working set with poison records removed.
+// counters receives the attempt bookkeeping: the job counters locally, a
+// task-local set on a distributed worker.
+func (env *jobEnv) runMapAttempts(counters *Counters, t int, split []KV) (*Context, error) {
+	cfg := env.cfg
+	mapAttempts := func(split []KV) (*Context, error) {
+		return runAttempts(cfg, counters, func(a int) (*Context, error) {
+			ctx := &Context{TaskID: t, Job: cfg, counters: counters}
+			if env.reducer != nil {
+				ctx.shuffle = newShuffleSink(env.part, env.reduceTasks, env.combineFolder, env.budget, env.sdir, cfg.cancelCheck())
+			} else {
+				ctx.out = make([]KV, 0, len(split)+16)
+			}
+			f := cfg.decideFault(PhaseMap, t, a)
+			if err := f.injectErr(counters); err != nil {
+				return ctx, err
+			}
+			return ctx, guard(func() {
+				f.injectEnter(counters)
+				runTask(ctx, split, recordFaultWrap(env.mapper, f, counters))
+				if cfg.Combiner != nil {
+					fc := cfg.decideFault(PhaseCombine, t, a)
+					fc.injectEnter(counters)
+					switch {
+					case env.reducer == nil:
+						ctx.out = combine(cfg, ctx, cfg.Combiner, counters)
+					case env.combineFolder == nil:
+						ctx.shuffle = combineSink(cfg, ctx, cfg.Combiner, counters)
+					default:
+						// A Folder combiner already folded at Emit time.
+					}
+					fc.injectExit(counters)
+				}
+				f.injectExit(counters)
+			})
+		})
+	}
+	ctx, err := mapAttempts(split)
+	if err != nil && cfg.Fault.SkipBadRecords && !isCancellation(err) {
+		ctx, err = skipMapRecords(cfg, counters, env.quarantine, t,
+			split, env.mapper, mapAttempts, err)
+	}
+	return ctx, err
+}
+
+// finishMapTask settles a winning map attempt's shuffle accounting: spill
+// counters are flushed winner-only (the surviving attempt's buffer is the
+// one whose runs the reduce phase merges; counters are recorded only
+// under an active budget so unbounded runs keep their historical counter
+// surface) and the sink's totals are taken outside the timed section — a
+// folding sink that spilled pays one merge pass here.
+func (env *jobEnv) finishMapTask(counters *Counters, ctx *Context) (recs, bytes int64, st spill.Stats, err error) {
+	st = ctx.shuffle.stats()
+	if st.Runs > 0 {
+		ctx.Inc(CounterSpillRuns, st.Runs)
+		ctx.Inc(CounterSpillBytes, st.SpilledBytes)
+	}
+	if st.MergeWays > 1 {
+		// A non-folding combiner already merged spilled runs map-side.
+		counters.Max(CounterSpillMergeWays, st.MergeWays)
+	}
+	ctx.flushCounters()
+	if env.budget > 0 {
+		counters.Max(CounterShufflePeak, st.PeakBytes)
+	}
+	recs, bytes, terr := ctx.shuffle.totals()
+	if terr != nil {
+		ctx.shuffle.close()
+		return 0, 0, st, terr
+	}
+	return recs, bytes, st, nil
+}
+
+// reduceInput is one reduce task's fetched, grouped and key-sorted input.
+type reduceInput struct {
+	keys    []string
+	groups  map[string][]any // non-folding reducers
+	folded  map[string]any   // folding reducers
+	maxWays int
+	recs    int64
+	bytes   int64
+	gBytes  map[string]int64
+}
+
+// fetchReduceInput pulls reduce task t's partition from every map task in
+// map-task order — the record order a global partition pass would produce
+// (its key-sorted merge when the task spilled; grouping plus the key sort
+// below make both orders identical downstream) — then groups and sorts.
+// Guarded so a panicking Fold aborts the task, not the process.
+func (env *jobEnv) fetchReduceInput(jt JobTransport, t int) (*reduceInput, error) {
+	in := &reduceInput{gBytes: make(map[string]int64)}
+	if gerr := guard(func() {
+		if env.folding {
+			in.folded = make(map[string]any)
+		} else {
+			in.groups = make(map[string][]any)
+		}
+		for mt := 0; mt < env.mapTasks; mt++ {
+			ways, derr := jt.FetchPartition(mt, t, func(key string, value any, b int64) {
+				if env.folding {
+					if acc, seen := in.folded[key]; seen {
+						in.folded[key] = env.foldingReducer.Fold(acc, value)
+					} else {
+						in.keys = append(in.keys, key)
+						in.folded[key] = value
+					}
+				} else {
+					vs, seen := in.groups[key]
+					if !seen {
+						in.keys = append(in.keys, key)
+					}
+					in.groups[key] = append(vs, value)
+				}
+				in.recs++
+				in.bytes += b
+				in.gBytes[key] += b
+			})
+			if derr != nil {
+				panic(&enginePanic{err: fmt.Errorf("shuffle fetch: %w", derr)})
+			}
+			if ways > in.maxWays {
+				in.maxWays = ways
+			}
+		}
+		sort.Strings(in.keys)
+	}); gerr != nil {
+		return nil, gerr
+	}
+	return in, nil
+}
+
+// runReduceAttempts executes one reduce task's attempt loop (plus skip
+// mode) over fetched input and returns the winning context.
+func (env *jobEnv) runReduceAttempts(counters *Counters, t int, in *reduceInput) (*Context, error) {
+	cfg, reducer := env.cfg, env.reducer
+	// reduceKeys is the task body shared by real attempts and skip-mode
+	// probes: the reducer run over one key slice, realising a
+	// FaultRecordPanic at its group index. counters is nil for probes,
+	// which inject without counting.
+	reduceKeys := func(ctx *Context, ks []string, f Fault, counters *Counters) {
+		if s, ok := reducer.(Setupper); ok {
+			s.Setup(ctx)
+		}
+		for i, k := range ks {
+			ctx.CheckCancel()
+			if f.Kind == FaultRecordPanic && i == f.Record {
+				if counters != nil {
+					counters.Inc(counterInjectedPrefix+f.Kind.String(), 1)
+				}
+				panic(f.Msg)
+			}
+			if env.folding {
+				env.foldingReducer.FinishFold(ctx, k, in.folded[k])
+			} else {
+				reducer.Reduce(ctx, k, in.groups[k])
+			}
+		}
+		if c, ok := reducer.(Cleanupper); ok {
+			c.Cleanup(ctx)
+		}
+	}
+	reduceAttempts := func(ks []string) (*Context, error) {
+		return runAttempts(cfg, counters, func(a int) (*Context, error) {
+			ctx := &Context{TaskID: t, Job: cfg, counters: counters}
+			f := cfg.decideFault(PhaseReduce, t, a)
+			if err := f.injectErr(counters); err != nil {
+				return ctx, err
+			}
+			return ctx, guard(func() {
+				f.injectEnter(counters)
+				reduceKeys(ctx, ks, f, counters)
+				f.injectExit(counters)
+			})
+		})
+	}
+	ctx, err := reduceAttempts(in.keys)
+	if err != nil && cfg.Fault.SkipBadRecords && !isCancellation(err) {
+		probeBody := func(ctx *Context, ks []string, f Fault) {
+			reduceKeys(ctx, ks, f, nil)
+		}
+		ctx, err = skipReduceGroups(cfg, counters, env.quarantine, t,
+			in.keys, probeBody, reduceAttempts, err)
+	}
+	return ctx, err
+}
+
+// applyCostModel fills the simulated cluster times from measured metrics.
+func applyCostModel(cl *Cluster, m *Metrics, mapTasks, reduceTasks int) {
 	m.SimulatedMapTime = simPhase(cl, m.MapTaskTime)
 	m.SimulatedShuffle = cl.spillTime(m.MapOutputBytes, mapTasks) +
 		cl.measuredSpillTime(m.SpillBytes)
@@ -705,18 +825,6 @@ func Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (*Result, error
 	}
 	m.SimulatedReduce = cl.makespan(reduceDurs)
 	m.SimulatedTotalTime = m.SimulatedMapTime + m.SimulatedShuffle + m.SimulatedReduce
-	m.WallTime = time.Since(wallStart)
-	return res, nil
-}
-
-// closeSinks removes every surviving sink's spill files when a job aborts;
-// the happy path reclaims them through per-partition release instead.
-// runPhase has joined all workers by the time this runs, so no task is
-// still writing.
-func closeSinks(sinks []*shuffleSink) {
-	for _, s := range sinks {
-		s.close()
-	}
 }
 
 // runTask feeds one split through a mapper with lifecycle hooks, polling

@@ -48,12 +48,12 @@ var countingWCMapper = MapFunc(func(ctx *Context, kv KV) {
 func sameMetrics(t *testing.T, label string, got, want *Metrics) {
 	t.Helper()
 	type det struct {
-		MapTasks, ReduceTasks                                int
-		MapInputRecords, MapOutputRecords, MapOutputBytes    int64
-		ShuffleRecords, ShuffleBytes                         int64
-		ReduceInputGroups, OutputRecords, OutputBytes        int64
-		PerReduceRecords, PerReduceBytes                     []int64
-		LoadImbalance                                        float64
+		MapTasks, ReduceTasks                             int
+		MapInputRecords, MapOutputRecords, MapOutputBytes int64
+		ShuffleRecords, ShuffleBytes                      int64
+		ReduceInputGroups, OutputRecords, OutputBytes     int64
+		PerReduceRecords, PerReduceBytes                  []int64
+		LoadImbalance                                     float64
 	}
 	extract := func(m *Metrics) det {
 		return det{

@@ -51,6 +51,13 @@ type Pipeline struct {
 	// fingerprint, so one directory reused under different algorithm
 	// options recomputes instead of replaying mismatched state.
 	CheckpointSalt string
+	// Runtime is inherited by every stage that leaves its Config.Runtime
+	// at the zero value — how one execution substrate (transport +
+	// executor, DESIGN.md §15) reaches every job of an algorithm. A
+	// distributed runtime (non-nil Executor) is incompatible with
+	// CheckpointDir: replaying a stage on some participants but not
+	// others would desynchronise the SPMD phase sequence.
+	Runtime Runtime
 
 	stages []stageResult
 	stores map[string]*checkpoint.Store
@@ -107,6 +114,12 @@ func (p *Pipeline) Run(cfg Config, input []KV, mapper Mapper, reducer Reducer) (
 	}
 	if cfg.CheckpointDir == "" {
 		cfg.CheckpointDir = p.CheckpointDir
+	}
+	if cfg.Runtime.Transport == nil && cfg.Runtime.Executor == nil {
+		cfg.Runtime = p.Runtime
+	}
+	if cfg.Runtime.Executor != nil && cfg.CheckpointDir != "" {
+		return nil, fmt.Errorf("pipeline %s: a distributed Runtime is incompatible with CheckpointDir", p.Name)
 	}
 	stage := len(p.stages)
 	var (

@@ -1,0 +1,263 @@
+package mapreduce
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// injFunc adapts a function to Injector for scripted schedules.
+type injFunc func(phase Phase, task, attempt int) Fault
+
+func (f injFunc) Decide(phase Phase, task, attempt int) Fault { return f(phase, task, attempt) }
+
+// transportFixture runs wordcount over a meaty input with the given
+// config mutations on both transports and returns the two results.
+func transportFixture(t *testing.T, mutate func(*Config)) (mem, fs *Result) {
+	t.Helper()
+	var lines []string
+	for i := 0; i < 40; i++ {
+		lines = append(lines, fmt.Sprintf("w%d a b common w%d w%d", i%7, i%3, i))
+	}
+	input := wcInput(lines...)
+	run := func(tr Transport) *Result {
+		cfg := Config{Name: "wc-transport", Cluster: tinyCluster(), MapTasks: 5}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		cfg.Runtime.Transport = tr
+		res, err := Run(cfg, input, wcMapper{}, wcReducer{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	return run(nil), run(NewFSTransport(t.TempDir(), false))
+}
+
+// assertSameResult compares everything deterministic between two runs:
+// output bytes, the full counter set, and the shuffle-shape metrics.
+func assertSameResult(t *testing.T, mem, fs *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(mem.Output, fs.Output) {
+		t.Fatalf("output differs: mem %d records, fs %d records", len(mem.Output), len(fs.Output))
+	}
+	if mc, fc := mem.Counters.Snapshot(), fs.Counters.Snapshot(); !reflect.DeepEqual(mc, fc) {
+		t.Fatalf("counters differ:\nmem %v\nfs  %v", mc, fc)
+	}
+	mm, fm := mem.Metrics, fs.Metrics
+	type shape struct {
+		ShuffleRecords, ShuffleBytes, ReduceInputGroups, OutputRecords, OutputBytes, SpillRuns, SpillBytes int64
+		PerReduceRecords, PerReduceBytes                                                                   []int64
+	}
+	ms := shape{mm.ShuffleRecords, mm.ShuffleBytes, mm.ReduceInputGroups, mm.OutputRecords, mm.OutputBytes, mm.SpillRuns, mm.SpillBytes, mm.PerReduceRecords, mm.PerReduceBytes}
+	fss := shape{fm.ShuffleRecords, fm.ShuffleBytes, fm.ReduceInputGroups, fm.OutputRecords, fm.OutputBytes, fm.SpillRuns, fm.SpillBytes, fm.PerReduceRecords, fm.PerReduceBytes}
+	if !reflect.DeepEqual(ms, fss) {
+		t.Fatalf("metrics differ:\nmem %+v\nfs  %+v", ms, fss)
+	}
+}
+
+func TestFSTransportEquivalence(t *testing.T) {
+	cases := map[string]func(*Config){
+		"plain":          nil,
+		"combiner":       func(c *Config) { c.Combiner = wcReducer{} },
+		"spill":          func(c *Config) { c.MemoryBudgetBytes = 256 },
+		"spill-combiner": func(c *Config) { c.MemoryBudgetBytes = 256; c.Combiner = wcReducer{} },
+		"parallel":       func(c *Config) { c.Parallelism = 4 },
+		"folding":        func(c *Config) { c.Combiner = FirstValue{} },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			mem, fs := transportFixture(t, mutate)
+			assertSameResult(t, mem, fs)
+		})
+	}
+}
+
+// TestInjectedDeliveryFaults proves the idempotent-delivery contract: a
+// schedule redelivering every map task's partitions (half as worker-loss
+// reassignments, half as duplicate hand-offs) leaves output and
+// deterministic counters byte-identical on both transports, while the
+// transport counters record what happened.
+func TestInjectedDeliveryFaults(t *testing.T) {
+	inj := injFunc(func(phase Phase, task, attempt int) Fault {
+		if phase == PhaseMap && attempt == DeliveryAttempt {
+			if task%2 == 0 {
+				return Fault{Kind: FaultWorkerLoss}
+			}
+			return Fault{Kind: FaultRedeliver}
+		}
+		return Fault{}
+	})
+	clean, _ := transportFixture(t, nil)
+	for _, tr := range []struct {
+		name string
+		make func() Transport
+	}{
+		{"memory", func() Transport { return nil }},
+		{"fs", func() Transport { return NewFSTransport(t.TempDir(), false) }},
+	} {
+		t.Run(tr.name, func(t *testing.T) {
+			var lines []string
+			for i := 0; i < 40; i++ {
+				lines = append(lines, fmt.Sprintf("w%d a b common w%d w%d", i%7, i%3, i))
+			}
+			cfg := Config{Name: "wc-transport", Cluster: tinyCluster(), MapTasks: 5}
+			cfg.Fault.Injector = inj
+			cfg.Runtime.Transport = tr.make()
+			res, err := Run(cfg, wcInput(lines...), wcMapper{}, wcReducer{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(clean.Output, res.Output) {
+				t.Fatal("output differs under injected delivery faults")
+			}
+			if n := res.Counters.Get(CounterPartitionsRedelivered); n == 0 {
+				t.Fatal("expected redelivered partitions > 0")
+			}
+			if n := res.Counters.Get(CounterTasksReassigned); n == 0 {
+				t.Fatal("expected reassigned tasks > 0")
+			}
+		})
+	}
+}
+
+// TestSeededPlanTransportKinds proves the satellite contract: a seeded
+// chaos schedule drawing worker-loss/redelivery kinds (alongside the
+// regular mix) yields byte-identical output at parallelism 1 and 4.
+func TestSeededPlanTransportKinds(t *testing.T) {
+	var lines []string
+	for i := 0; i < 60; i++ {
+		lines = append(lines, fmt.Sprintf("k%d v%d shared k%d", i%11, i, i%5))
+	}
+	input := wcInput(lines...)
+	var redelivered int64
+	for seed := int64(1); seed <= 4; seed++ {
+		plan := NewSeededPlan(PlanConfig{
+			Seed:       seed,
+			TargetRate: 0.9,
+			Kinds: []FaultKind{
+				FaultPanic, FaultError, FaultWorkerLoss, FaultRedeliver,
+			},
+		})
+		run := func(par int) *Result {
+			cfg := Config{Name: "wc-chaos", Cluster: tinyCluster(), MapTasks: 6, Parallelism: par}
+			cfg.Fault.Injector = plan
+			cfg.Runtime.Transport = NewFSTransport(t.TempDir(), false)
+			res, err := Run(cfg, input, wcMapper{}, wcReducer{})
+			if err != nil {
+				t.Fatalf("seed %d par %d: %v", seed, par, err)
+			}
+			return res
+		}
+		r1, r4 := run(1), run(4)
+		if !reflect.DeepEqual(r1.Output, r4.Output) {
+			t.Fatalf("seed %d: output differs between parallelism 1 and 4", seed)
+		}
+		if !reflect.DeepEqual(r1.Counters.Snapshot(), r4.Counters.Snapshot()) {
+			t.Fatalf("seed %d: counters differ between parallelism 1 and 4", seed)
+		}
+		redelivered += r1.Counters.Get(CounterPartitionsRedelivered)
+	}
+	if redelivered == 0 {
+		t.Fatal("no seed's schedule injected a transport fault")
+	}
+}
+
+// TestFSTransportCorruptFallback proves newest-complete-wins: when the
+// newest generation of a task's partitions is corrupt, the fetch falls
+// back to the previous complete generation.
+func TestFSTransportCorruptFallback(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewFSTransport(dir, true)
+	jtI, err := tr.Open(TransportSpec{Job: "fallback", MapTasks: 1, ReduceTasks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt := jtI.(*fsJob)
+	sink := newShuffleSink(DefaultPartitioner, 2, nil, 0, "", nil)
+	sink.add("alpha", int64(1))
+	sink.add("beta", int64(2))
+	sink.add("gamma", int64(3))
+	if _, err := jt.CommitMap(0, sink, TaskMeta{Records: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := jt.Redeliver(0); err != nil || !info.Redelivered {
+		t.Fatalf("redeliver: info=%+v err=%v", info, err)
+	}
+	// Corrupt the newest generation (truncate it mid-frame) and force a
+	// fresh read through a second transport handle on the same directory.
+	cands := jt.candidates(fsKindMap, 0)
+	if len(cands) != 2 {
+		t.Fatalf("expected 2 generations, got %d", len(cands))
+	}
+	if err := os.Truncate(cands[0].path, 10); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := NewFSTransport(dir, true)
+	jt2, err := tr2.Open(TransportSpec{Job: "fallback", MapTasks: 1, ReduceTasks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for r := 0; r < 2; r++ {
+		if _, err := jt2.FetchPartition(0, r, func(key string, v any, b int64) {
+			got = append(got, fmt.Sprintf("%s=%d", key, v.(int64)))
+		}); err != nil {
+			t.Fatalf("fetch after corruption: %v", err)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("expected 3 records from fallback generation, got %v", got)
+	}
+	meta, err := jt2.MapMeta(0)
+	if err != nil || meta.Records != 3 {
+		t.Fatalf("meta after fallback: %+v err=%v", meta, err)
+	}
+}
+
+// TestFSTransportFingerprintRejected proves a frame from a different job
+// shape fails validation instead of decoding garbage.
+func TestFSTransportFingerprintRejected(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewFSTransport(dir, true)
+	jt, err := tr.Open(TransportSpec{Job: "shape-a", MapTasks: 1, ReduceTasks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newShuffleSink(DefaultPartitioner, 1, nil, 0, "", nil)
+	sink.add("k", int64(1))
+	if _, err := jt.CommitMap(0, sink, TaskMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	// A second transport over the same directory restarts its stage
+	// sequence, so a job with a different shape opens the SAME stage dir
+	// and finds shape-a's frame — its fingerprint must be rejected.
+	stage := filepath.Join(dir, "s001-shape-a")
+	frames, err := os.ReadDir(stage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var planted bool
+	for _, e := range frames {
+		if strings.HasPrefix(e.Name(), "m0.") {
+			planted = true
+		}
+	}
+	if !planted {
+		t.Fatal("no committed frame found")
+	}
+	tr2 := NewFSTransport(dir, true)
+	jt2, err := tr2.Open(TransportSpec{Job: "shape-a", MapTasks: 1, ReduceTasks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jt2.FetchPartition(0, 0, func(string, any, int64) {}); err == nil {
+		t.Fatal("expected fingerprint/shape mismatch error")
+	} else if !strings.Contains(err.Error(), "fingerprint") && !strings.Contains(err.Error(), "no valid frame") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -99,6 +99,10 @@ type Options struct {
 	// fingerprint, so one checkpoint directory reused under different
 	// options recomputes instead of replaying mismatched state.
 	CheckpointSalt string
+	// Runtime selects the execution substrate (shuffle transport and, for
+	// multi-process runs, the task executor); the zero value is the
+	// in-process engine. See mapreduce.Runtime.
+	Runtime mapreduce.Runtime
 }
 
 // Result carries the join output and pipeline metrics.

@@ -28,6 +28,7 @@ func SelfJoin(c *tokens.Collection, opt Options) (*Result, error) {
 	p.SpillDir = opt.SpillDir
 	p.CheckpointDir = opt.CheckpointDir
 	p.CheckpointSalt = opt.CheckpointSalt
+	p.Runtime = opt.Runtime
 
 	// Job 1: global ordering (token frequency).
 	o, err := order.Compute(p, c)

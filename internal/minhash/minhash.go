@@ -64,6 +64,10 @@ type Params struct {
 	// fingerprint, so one checkpoint directory reused under different
 	// options recomputes instead of replaying mismatched state.
 	CheckpointSalt string
+	// Runtime selects the execution substrate (shuffle transport and, for
+	// multi-process runs, the task executor); the zero value is the
+	// in-process engine. See mapreduce.Runtime.
+	Runtime mapreduce.Runtime
 }
 
 // Auto fills Bands and Rows so the S-curve's steep section brackets theta:
@@ -174,6 +178,7 @@ func run(r, s *tokens.Collection, p Params) (*Result, error) {
 	pipe.SpillDir = p.SpillDir
 	pipe.CheckpointDir = p.CheckpointDir
 	pipe.CheckpointSalt = p.CheckpointSalt
+	pipe.Runtime = p.Runtime
 
 	// Job 1: band signatures → candidate pairs. Token ids hash directly, so
 	// no global ordering job is needed; r and s share a dictionary.

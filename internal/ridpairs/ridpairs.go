@@ -52,6 +52,10 @@ type Options struct {
 	// fingerprint, so one checkpoint directory reused under different
 	// options recomputes instead of replaying mismatched state.
 	CheckpointSalt string
+	// Runtime selects the execution substrate (shuffle transport and, for
+	// multi-process runs, the task executor); the zero value is the
+	// in-process engine. See mapreduce.Runtime.
+	Runtime mapreduce.Runtime
 	// Bitmap configures the hashed signature filter applied before
 	// verification (DESIGN.md §11): per-record fixed-width token bitmaps
 	// whose XOR+popcount overlap upper bound skips verifyOverlap calls
@@ -117,6 +121,7 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	p.SpillDir = opt.SpillDir
 	p.CheckpointDir = opt.CheckpointDir
 	p.CheckpointSalt = opt.CheckpointSalt
+	p.Runtime = opt.Runtime
 
 	// Stage 1: global ordering (same job as FS-Join's) over the union.
 	union := r

@@ -61,6 +61,10 @@ type Options struct {
 	// fingerprint, so one checkpoint directory reused under different
 	// options recomputes instead of replaying mismatched state.
 	CheckpointSalt string
+	// Runtime selects the execution substrate (shuffle transport and, for
+	// multi-process runs, the task executor); the zero value is the
+	// in-process engine. See mapreduce.Runtime.
+	Runtime mapreduce.Runtime
 }
 
 // Result carries the join output and pipeline metrics.
@@ -143,6 +147,7 @@ func run(r, s *tokens.Collection, opt Options) (*Result, error) {
 	p.SpillDir = opt.SpillDir
 	p.CheckpointDir = opt.CheckpointDir
 	p.CheckpointSalt = opt.CheckpointSalt
+	p.Runtime = opt.Runtime
 
 	// Ordering is not required for correctness here, but running the same
 	// frequency job keeps the end-to-end comparison fair across methods.

@@ -100,6 +100,14 @@ func RSJoin(r, s *Collection, opt Options) (*Result, error) {
 
 // SelfJoin runs the configured algorithm over the collection.
 func (c *Collection) SelfJoin(opt Options) (*Result, error) {
+	if opt.Workers > 1 && opt.runtime.Executor == nil {
+		return runCluster(c, nil, opt)
+	}
+	cleanup, err := opt.resolveTransport()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
 	fn, err := opt.Function.internal()
 	if err != nil {
 		return nil, err
@@ -133,6 +141,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			SpillDir:           opt.SpillDir,
 			CheckpointDir:      opt.CheckpointDir,
 			CheckpointSalt:     opt.checkpointSalt(),
+			Runtime:            opt.runtime,
 			Bitmap:             bm,
 		})
 		if err != nil {
@@ -145,7 +154,8 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
-			Bitmap: bm,
+			Runtime: opt.runtime,
+			Bitmap:  bm,
 		})
 		if err != nil {
 			return nil, err
@@ -158,6 +168,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			Fault:        opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
+			Runtime: opt.runtime,
 		})
 		if err != nil {
 			return nil, err
@@ -173,6 +184,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			Fault:        opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
+			Runtime: opt.runtime,
 		})
 		if err != nil {
 			return nil, err
@@ -189,6 +201,7 @@ func (c *Collection) SelfJoin(opt Options) (*Result, error) {
 			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
+			Runtime: opt.runtime,
 		})
 		if err != nil {
 			return nil, err
@@ -210,6 +223,14 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 	if c.c != s.c {
 		return nil, errors.New("fsjoin: collections must share a Dictionary")
 	}
+	if opt.Workers > 1 && opt.runtime.Executor == nil {
+		return runCluster(c, s, opt)
+	}
+	cleanup, err := opt.resolveTransport()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
 	fn, err := opt.Function.internal()
 	if err != nil {
 		return nil, err
@@ -226,7 +247,8 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 			Parallelism: opt.localParallelism(), Fault: opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
-			Bitmap: bm,
+			Runtime: opt.runtime,
+			Bitmap:  bm,
 		})
 		if err != nil {
 			return nil, err
@@ -239,6 +261,7 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 			Fault:        opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
+			Runtime: opt.runtime,
 		})
 		if err != nil {
 			return nil, err
@@ -254,6 +277,7 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 			Fault:        opt.faultPolicy(),
 			MemoryBudget: opt.MemoryBudget, SpillDir: opt.SpillDir,
 			CheckpointDir: opt.CheckpointDir, CheckpointSalt: opt.checkpointSalt(),
+			Runtime: opt.runtime,
 		})
 		if err != nil {
 			return nil, err
@@ -284,6 +308,7 @@ func (c *Collection) Join(s *Collection, opt Options) (*Result, error) {
 		SpillDir:           opt.SpillDir,
 		CheckpointDir:      opt.CheckpointDir,
 		CheckpointSalt:     opt.checkpointSalt(),
+		Runtime:            opt.runtime,
 		Bitmap:             bm,
 	})
 	if err != nil {
@@ -300,23 +325,25 @@ func publish(pairs []result.Pair, p *mapreduce.Pipeline, candidates int64) *Resu
 	}
 	ck := p.CheckpointStats()
 	out.Stats = Stats{
-		SimulatedTime:      p.TotalSimulatedTime(),
-		ShuffleRecords:     p.TotalShuffleRecords(),
-		ShuffleBytes:       p.TotalShuffleBytes(),
-		LoadImbalance:      p.MaxLoadImbalance(),
-		Candidates:         candidates,
-		BitmapBuilt:        p.Counter(filters.CtrBitmapBuilt),
-		BitmapRejected:     p.Counter(filters.CtrBitmapRejected),
-		BitmapPassed:       p.Counter(filters.CtrBitmapPassed),
-		VerifiedCandidates: p.Counter(filters.CtrVerifyCandidates),
-		SpillRuns:          p.Counter(mapreduce.CounterSpillRuns),
-		SpillBytes:         p.Counter(mapreduce.CounterSpillBytes),
-		ShufflePeakBytes:   p.MaxCounter(mapreduce.CounterShufflePeak),
-		RecordsSkipped:     p.Counter(mapreduce.CounterRecordsSkipped),
-		CheckpointHits:     ck.Hits,
-		CheckpointMisses:   ck.Misses,
-		RSCandidates:       p.Counter(result.CtrRSCandidates),
-		RSPairs:            p.Counter(result.CtrRSEmitted),
+		SimulatedTime:         p.TotalSimulatedTime(),
+		ShuffleRecords:        p.TotalShuffleRecords(),
+		ShuffleBytes:          p.TotalShuffleBytes(),
+		LoadImbalance:         p.MaxLoadImbalance(),
+		Candidates:            candidates,
+		BitmapBuilt:           p.Counter(filters.CtrBitmapBuilt),
+		BitmapRejected:        p.Counter(filters.CtrBitmapRejected),
+		BitmapPassed:          p.Counter(filters.CtrBitmapPassed),
+		VerifiedCandidates:    p.Counter(filters.CtrVerifyCandidates),
+		SpillRuns:             p.Counter(mapreduce.CounterSpillRuns),
+		SpillBytes:            p.Counter(mapreduce.CounterSpillBytes),
+		ShufflePeakBytes:      p.MaxCounter(mapreduce.CounterShufflePeak),
+		RecordsSkipped:        p.Counter(mapreduce.CounterRecordsSkipped),
+		CheckpointHits:        ck.Hits,
+		CheckpointMisses:      ck.Misses,
+		TasksReassigned:       p.Counter(mapreduce.CounterTasksReassigned),
+		PartitionsRedelivered: p.Counter(mapreduce.CounterPartitionsRedelivered),
+		RSCandidates:          p.Counter(result.CtrRSCandidates),
+		RSPairs:               p.Counter(result.CtrRSEmitted),
 	}
 	return out
 }
